@@ -1,0 +1,43 @@
+// Ablation: output-FIFO depth sensitivity of the block-interleaved DMA
+// transfers (table 8's design choice: 2047 x 64-bit).
+#include <cstdio>
+
+#include "apps/drivers.hpp"
+#include "apps/memio.hpp"
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+using namespace rtr;
+
+int main() {
+  const int n = 16384;  // 64-bit items
+  const auto data = bench::random_bytes(static_cast<std::size_t>(n) * 8);
+
+  report::Table t{
+      "Ablation: block-interleaved DMA vs output FIFO depth (16384 64-bit "
+      "transfers)",
+      {"FIFO depth", "Blocks", "Total (us)", "Avg per transfer (us)"}};
+
+  for (int depth : {64, 256, 1024, 2047, 4096, 8192}) {
+    PlatformOptions opts;
+    opts.fifo_depth = depth;
+    Platform64 p{opts};
+    bench::must_load(p, hw::kLoopback);
+    apps::store_bytes(p.cpu().plb(), bench::kA64, data);
+
+    const auto total = apps::dma_interleaved_seq(p, bench::kA64, bench::kOut64, n);
+    RTR_CHECK(!p.dock().overflowed(), "overflow");
+    RTR_CHECK(apps::fetch_bytes(p.cpu().plb(), bench::kOut64, data.size()) ==
+                  data,
+              "data corrupted");
+    t.row({report::fmt_int(depth), report::fmt_int((n + depth - 1) / depth),
+           report::fmt_us(total),
+           report::fmt_us(sim::SimTime{total.ps() / n})});
+  }
+  t.print();
+  std::printf("\nDeeper FIFOs amortise the per-block descriptor setup and "
+              "interrupt cost; beyond ~2k entries the return is small, which "
+              "is why the paper's 2047-deep FIFO (8 BRAMs) is a reasonable "
+              "sizing.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: reconfiguration cost (not a paper table; quantifies the design
+// choices of section 2.2).
+//  * complete (BitLinker) configuration load time per module, both systems;
+//  * differential configuration size vs complete (the trade-off the paper
+//    describes: differential is smaller/faster but correct only from a
+//    known prior state);
+//  * ICAP-only lower bound vs CPU-driven load (the driver loop overhead).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "bitlinker/bitlinker.hpp"
+#include "bitstream/partial_config.hpp"
+#include "report/table.hpp"
+
+using namespace rtr;
+
+int main() {
+  report::Table t{
+      "Ablation: module reconfiguration cost (complete configurations)",
+      {"Module", "KB (32-bit sys)", "KB (64-bit sys)", "Load 32-bit sys (ms)",
+       "Load 64-bit sys (ms)"}};
+
+  for (hw::BehaviorId id : {hw::kPatternMatcher, hw::kJenkinsHash,
+                            hw::kBrightness, hw::kBlendAdd, hw::kFade,
+                            hw::kSha1}) {
+    Platform32 p32;
+    Platform64 p64;
+    const auto s32 = p32.load_module(id);
+    const auto s64 = p64.load_module(id);
+    t.row({hw::component_for(id, 32).name,
+           s32.ok ? report::fmt_int(s32.config_bytes / 1024)
+                  : std::string("-"),
+           report::fmt_int(s64.config_bytes / 1024),
+           s32.ok ? report::fmt_ms(s32.duration()) : std::string("does not fit"),
+           s64.ok ? report::fmt_ms(s64.duration()) : std::string("-")});
+  }
+  t.print();
+
+  // Differential vs complete: assemble brightness assuming fade is loaded.
+  {
+    Platform32 p;
+    const auto fade = hw::component_for(hw::kFade, 32);
+    const auto bright = hw::component_for(hw::kBrightness, 32);
+    const auto full_fade = p.linker().link_single(fade);
+    RTR_CHECK(full_fade.ok(), "link failed");
+    fabric::ConfigMemory holding_fade{p.region().device()};
+    full_fade.config->apply_to(holding_fade);
+
+    bitlinker::LinkJob job;
+    job.parts.push_back({&bright, {}});
+    job.behavior_id = bright.behavior_id;
+    const auto diff = p.linker().link_differential(job, holding_fade);
+    const auto full = p.linker().link(job);
+    RTR_CHECK(diff.ok() && full.ok(), "link failed");
+
+    report::Table d{
+        "Ablation: differential vs complete configuration (fade -> "
+        "brightness, 32-bit region)",
+        {"Flavour", "Frames", "Payload KB", "Safe from any prior state?"}};
+    d.row({"complete (BitLinker)", report::fmt_int(full.stats.frames),
+           report::fmt_int(full.stats.payload_bytes / 1024), "yes"});
+    d.row({"differential", report::fmt_int(diff.stats.frames),
+           report::fmt_int(diff.stats.payload_bytes / 1024),
+           "no (assumes fade loaded)"});
+    d.print();
+  }
+
+  // ICAP-only lower bound: feed the stream at the peripheral's own rate
+  // (no CPU fetch loop), 32-bit system.
+  {
+    Platform32 p;
+    const auto comp = hw::component_for(hw::kBrightness, 32);
+    const auto linked = p.linker().link_single(comp);
+    RTR_CHECK(linked.ok(), "link failed");
+    const auto words = bitstream::serialize(*linked.config);
+
+    // 9 OPB cycles per word through the bus (arb 2 + addr 1 + ICAP 5 +
+    // completion 1) with zero driver overhead.
+    const auto icap_only =
+        sim::SimTime{static_cast<std::int64_t>(words.size()) * 9 * 20000};
+    const auto driven = p.load_module(hw::kBrightness);
+    RTR_CHECK(driven.ok, "load failed");
+
+    report::Table l{"Ablation: ICAP throughput bound vs CPU-driven load "
+                    "(brightness, 32-bit system)",
+                    {"Path", "Time (ms)", "Effective MB/s"}};
+    const double mb = static_cast<double>(words.size()) * 4 / (1024.0 * 1024.0);
+    char b1[32], b2[32];
+    std::snprintf(b1, sizeof b1, "%.1f", mb / icap_only.seconds());
+    std::snprintf(b2, sizeof b2, "%.1f", mb / driven.duration().seconds());
+    l.row({"HWICAP back-to-back bound", report::fmt_ms(icap_only), b1});
+    l.row({"CPU fetch + store loop (measured)", report::fmt_ms(driven.duration()), b2});
+    l.print();
+    std::printf("\nThe CPU-driven loop pays a memory fetch per word; the "
+                "HWICAP bound is what a configuration DMA would approach.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Host-performance microbenchmarks (google-benchmark): how fast the
+// simulator itself executes its primitives. These guard against
+// performance regressions in the simulation substrate -- the table benches
+// above measure *simulated* time, this binary measures *host* time.
+#include <benchmark/benchmark.h>
+
+#include "apps/memio.hpp"
+#include "bench/common.hpp"
+#include "bitstream/partial_config.hpp"
+#include "rtr/platform.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace rtr;
+
+static void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(sim::SimTime::from_ns(i), [&](sim::SimTime) { ++sink; });
+    }
+    q.drain();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void BM_OpbTransaction(benchmark::State& state) {
+  Platform32 p;
+  sim::SimTime t;
+  for (auto _ : state) {
+    t = p.cpu().plb().write(Platform32::kSramRange.base, 42, 4, t);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpbTransaction);
+
+static void BM_CpuUncachedLoad(benchmark::State& state) {
+  Platform32 p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.cpu().load32(Platform32::kSramRange.base));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpuUncachedLoad);
+
+static void BM_IcapFeedWord(benchmark::State& state) {
+  Platform32 p;
+  const auto comp = hw::component_for(hw::kBrightness, 32);
+  const auto linked = p.linker().link_single(comp);
+  const auto words = bitstream::serialize(*linked.config);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    p.icap_ctl().feed_word(words[i % words.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IcapFeedWord);
+
+static void BM_BitLinkerAssembly(benchmark::State& state) {
+  Platform32 p;
+  const auto comp = hw::component_for(hw::kBrightness, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.linker().link_single(comp));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitLinkerAssembly);
+
+static void BM_DmaBlock(benchmark::State& state) {
+  Platform64 p;
+  bench::must_load(p, hw::kSink);
+  sim::SimTime t;
+  const dma::DmaDescriptor d{bench::kA64, Platform64::dock_stream(), 2048,
+                             true, false};
+  for (auto _ : state) {
+    t = p.dma().run_one(d, t);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DmaBlock);
+
+BENCHMARK_MAIN();

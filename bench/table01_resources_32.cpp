@@ -1,0 +1,49 @@
+// Table 1: resource usage of the 32-bit system (section 3.1).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+using namespace rtr;
+
+int main() {
+  Platform32 p;
+  const fabric::Device& dev = p.region().device();
+
+  report::Table t{
+      "Table 1: Resource usage (32-bit system, " + dev.name() + ")",
+      {"Module", "Slices", "LUTs", "FFs", "BRAMs", "% slices"}};
+
+  fabric::Resources total;
+  for (const auto& row : p.resource_table()) {
+    total += row.res;
+    t.row({row.module + (row.hard_block ? " [hard]" : ""),
+           report::fmt_int(row.res.slices), report::fmt_int(row.res.luts),
+           report::fmt_int(row.res.flip_flops),
+           report::fmt_int(row.res.bram_blocks),
+           report::fmt_pct(fabric::percent_of(row.res.slices,
+                                              dev.total_slices()))});
+  }
+  t.row({"-- static total --", report::fmt_int(total.slices),
+         report::fmt_int(total.luts), report::fmt_int(total.flip_flops),
+         report::fmt_int(total.bram_blocks),
+         report::fmt_pct(fabric::percent_of(total.slices, dev.total_slices()))});
+  const auto dyn = p.region().resources();
+  t.row({"Dynamic area (reserved)", report::fmt_int(dyn.slices),
+         report::fmt_int(dyn.luts), report::fmt_int(dyn.flip_flops),
+         report::fmt_int(dyn.bram_blocks),
+         report::fmt_pct(p.region().slice_percent())});
+  t.row({"Device available", report::fmt_int(dev.total_slices()),
+         report::fmt_int(dev.total_clbs() * fabric::kLutsPerClb),
+         report::fmt_int(dev.total_clbs() * fabric::kFlipFlopsPerClb),
+         report::fmt_int(dev.total_brams()), "100.0%"});
+  t.print();
+
+  std::printf("\n%s\n", p.topology().c_str());
+  std::printf("CPU 200 MHz; PLB and OPB 50 MHz. Dynamic area %dx%d CLBs "
+              "(%d CLBs, %d slices, %.1f%% of the device), %d BRAMs.\n",
+              p.region().rect().cols, p.region().rect().rows,
+              p.region().clbs(), p.region().slices(),
+              p.region().slice_percent(), p.region().bram_blocks());
+  return 0;
+}

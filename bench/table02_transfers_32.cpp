@@ -1,0 +1,42 @@
+// Table 2: measured times for data transfers between the dynamic region and
+// external memory, 32-bit system (section 3.2). Transfers "use the data bus
+// twice, since data is fetched from the origin to the CPU and then from the
+// CPU to the destination"; times include the controlling software.
+#include <cstdio>
+
+#include "apps/drivers.hpp"
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+using namespace rtr;
+
+int main() {
+  Platform32 p;
+  bench::must_load(p, hw::kLoopback);
+  const auto data = bench::random_bytes(4 * 4096);
+  apps::store_bytes(p.cpu().plb(), bench::kA32, data);
+
+  report::Table t{
+      "Table 2: 32-bit transfers dynamic region <-> external memory "
+      "(CPU controlled, 32-bit system)",
+      {"Operation", "Transfers", "Total (us)", "Avg per transfer (us)"}};
+
+  for (int n : {1024, 4096}) {
+    const auto w = apps::pio_write_seq(p.kernel(), bench::kA32,
+                                       Platform32::dock_data(), n);
+    t.row({"write (mem -> dyn region)", report::fmt_int(n), report::fmt_us(w),
+           report::fmt_us(sim::SimTime{w.ps() / n})});
+    const auto r = apps::pio_read_seq(p.kernel(), bench::kOut32,
+                                      Platform32::dock_data(), n);
+    t.row({"read (dyn region -> mem)", report::fmt_int(n), report::fmt_us(r),
+           report::fmt_us(sim::SimTime{r.ps() / n})});
+    const auto i = apps::pio_interleaved_seq(p.kernel(), bench::kA32,
+                                             Platform32::dock_data(), n);
+    t.row({"interleaved write/read", report::fmt_int(n), report::fmt_us(i),
+           report::fmt_us(sim::SimTime{i.ps() / n})});
+  }
+  t.print();
+  std::printf("\nLower bound for using the dynamic area from software "
+              "(paper section 3.2).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 10: Jenkins hash on the 64-bit system (section 4.2): the unmodified
+// 32-bit implementation with CPU-controlled transfers; "the hash value
+// calculation task ... shows only a slightly better speedup for the hardware
+// implementation".
+#include <cstdio>
+
+#include "apps/drivers.hpp"
+#include "apps/sw_kernels.hpp"
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+using namespace rtr;
+
+int main() {
+  report::Table t{
+      "Table 10: Hash function (Jenkins lookup2, 64-bit system, "
+      "CPU-controlled transfers)",
+      {"Key bytes", "SW (us)", "HW/SW (us)", "Speedup", "Speedup on 32-bit"}};
+
+  Platform64 sw_p;
+  Platform64 hw_p;
+  bench::must_load(hw_p, hw::kJenkinsHash);
+  Platform32 ref_sw;
+  Platform32 ref_hw;
+  bench::must_load(ref_hw, hw::kJenkinsHash);
+
+  for (std::uint32_t len : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    const auto key = bench::random_bytes(len, 100 + len);
+    apps::store_bytes(sw_p.cpu().plb(), bench::kA64, key);
+    apps::store_bytes(hw_p.cpu().plb(), bench::kA64, key);
+    apps::store_bytes(ref_sw.cpu().plb(), bench::kA32, key);
+    apps::store_bytes(ref_hw.cpu().plb(), bench::kA32, key);
+
+    const auto t0 = sw_p.kernel().now();
+    const auto sw_hash = apps::sw_jenkins(sw_p.kernel(), bench::kA64, len);
+    const auto sw64 = sw_p.kernel().now() - t0;
+
+    const auto t1 = hw_p.kernel().now();
+    const auto hw_hash = apps::hw_jenkins_pio(
+        hw_p.kernel(), Platform64::dock_data(), bench::kA64, len);
+    const auto hw64 = hw_p.kernel().now() - t1;
+    RTR_CHECK(sw_hash == hw_hash, "SW and HW hashes disagree");
+
+    const auto t2 = ref_sw.kernel().now();
+    apps::sw_jenkins(ref_sw.kernel(), bench::kA32, len);
+    const auto sw32 = ref_sw.kernel().now() - t2;
+    const auto t3 = ref_hw.kernel().now();
+    apps::hw_jenkins_pio(ref_hw.kernel(), Platform32::dock_data(), bench::kA32,
+                         len);
+    const auto hw32 = ref_hw.kernel().now() - t3;
+
+    t.row({report::fmt_int(len), report::fmt_us(sw64), report::fmt_us(hw64),
+           report::fmt_x(static_cast<double>(sw64.ps()) /
+                         static_cast<double>(hw64.ps())),
+           report::fmt_x(static_cast<double>(sw32.ps()) /
+                         static_cast<double>(hw32.ps()))});
+  }
+  t.print();
+  return 0;
+}

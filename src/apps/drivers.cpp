@@ -1,0 +1,409 @@
+#include "apps/drivers.hpp"
+
+#include <algorithm>
+
+#include "dma/dma.hpp"
+#include "sim/check.hpp"
+
+namespace rtr::apps {
+
+using bus::Addr;
+using cpu::Kernel;
+using sim::SimTime;
+
+namespace {
+/// Control register: same offset relative to the data register on both
+/// docks (see dock::OpbDock::kControlReg / dock::PlbDock::kControl).
+constexpr Addr ctrl_of(Addr dock_data) { return (dock_data & ~0x3Full) + 0x20; }
+}  // namespace
+
+// --- raw transfer loops -----------------------------------------------------------
+
+SimTime pio_write_seq(Kernel& k, Addr mem, Addr dock, int n) {
+  const SimTime t0 = k.now();
+  k.call();
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t v = k.lw(mem + static_cast<Addr>(i) * 4);
+    k.sw(dock, v);
+    k.op(2);
+    k.branch();
+  }
+  return k.now() - t0;
+}
+
+SimTime pio_read_seq(Kernel& k, Addr mem, Addr dock, int n) {
+  const SimTime t0 = k.now();
+  k.call();
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t v = k.lw(dock);
+    k.sw(mem + static_cast<Addr>(i) * 4, v);
+    k.op(2);
+    k.branch();
+  }
+  return k.now() - t0;
+}
+
+SimTime pio_interleaved_seq(Kernel& k, Addr mem, Addr dock, int n) {
+  const SimTime t0 = k.now();
+  k.call();
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t v = k.lw(mem + static_cast<Addr>(i) * 4);
+    k.sw(dock, v);
+    const std::uint32_t r = k.lw(dock);
+    k.sw(mem + static_cast<Addr>(n + i) * 4, r);
+    k.op(2);
+    k.branch();
+  }
+  return k.now() - t0;
+}
+
+// --- DMA flows ------------------------------------------------------------------------
+
+namespace {
+/// CPU-side cost of building and kicking one descriptor chain, then the
+/// chain itself; the CPU sleeps until the dock's completion interrupt.
+SimTime run_dma_chain(Platform64& p, std::span<const dma::DmaDescriptor> chain) {
+  cpu::Kernel& k = p.kernel();
+  // Program the dock's scatter-gather registers: src/dst/len/flags per
+  // descriptor plus the go bit -- real (uncached) bus writes.
+  const Addr dma_regs = Platform64::kDockRange.base + dock::PlbDock::kDmaRegs;
+  for (std::size_t d = 0; d < chain.size(); ++d) {
+    k.op(8);  // marshal one descriptor
+    for (int r = 0; r < 5; ++r) {
+      k.sw(dma_regs + static_cast<Addr>(r) * 4, 0);
+    }
+  }
+  k.sw(dma_regs + 0x1C, 1);  // go
+
+  const SimTime done = p.dma().run_chain(chain, k.now());
+  p.dock().signal_done(done);
+  k.cpu().take_interrupt(p.intc().assertion_time(Platform64::kDockIrq));
+  // Interrupt handler: identify the source and acknowledge it at the OPB
+  // interrupt controller (through the bridge), then return.
+  (void)k.lw(Platform64::kIntcRange.base + cpu::InterruptController::kStatusReg);
+  k.sw(Platform64::kIntcRange.base + cpu::InterruptController::kAckReg,
+       1u << Platform64::kDockIrq);
+  k.op(20);  // handler prologue/epilogue beyond the entry cost
+  p.intc().clear(Platform64::kDockIrq);
+  return done;
+}
+}  // namespace
+
+SimTime dma_write_seq(Platform64& p, Addr mem, int n) {
+  const SimTime t0 = p.kernel().now();
+  const dma::DmaDescriptor feed{mem, Platform64::dock_stream(),
+                                static_cast<std::uint64_t>(n) * 8, true,
+                                false};
+  run_dma_chain(p, {&feed, 1});
+  return p.kernel().now() - t0;
+}
+
+SimTime dma_read_seq(Platform64& p, Addr mem, int n) {
+  const SimTime t0 = p.kernel().now();
+  const dma::DmaDescriptor drain{Platform64::dock_fifo(), mem,
+                                 static_cast<std::uint64_t>(n) * 8, false,
+                                 true};
+  run_dma_chain(p, {&drain, 1});
+  return p.kernel().now() - t0;
+}
+
+SimTime dma_interleaved_seq(Platform64& p, Addr src, Addr dst, int n) {
+  const SimTime t0 = p.kernel().now();
+  const int depth = p.dock().fifo_depth();
+  int done = 0;
+  while (done < n) {
+    const int chunk = std::min(depth, n - done);
+    const dma::DmaDescriptor chain[2] = {
+        {src + static_cast<Addr>(done) * 8, Platform64::dock_stream(),
+         static_cast<std::uint64_t>(chunk) * 8, true, false},
+        {Platform64::dock_fifo(), dst + static_cast<Addr>(done) * 8,
+         static_cast<std::uint64_t>(chunk) * 8, false, true},
+    };
+    run_dma_chain(p, chain);
+    done += chunk;
+  }
+  return p.kernel().now() - t0;
+}
+
+// --- task drivers -------------------------------------------------------------------------
+
+MatchResult hw_pattern_match_pio(Kernel& k, Addr dock, Addr img, int w, int h,
+                                 Addr pat) {
+  k.call();
+  k.sw(ctrl_of(dock), 0);  // re-arm the matcher
+  // Geometry word.
+  k.op(3);
+  k.sw(dock, (static_cast<std::uint32_t>(w) << 16) |
+                 static_cast<std::uint32_t>(h));
+  // Pattern: loaded and bit-packed once by the CPU (64 bytes -> 2 words).
+  std::uint32_t pw[2] = {0, 0};
+  for (int i = 0; i < 64; ++i) {
+    const std::uint8_t b = k.lbz(pat + static_cast<Addr>(i));
+    k.op(3);
+    pw[i / 32] |= static_cast<std::uint32_t>(b != 0) << (i % 32);
+  }
+  k.sw(dock, pw[0]);
+  k.sw(dock, pw[1]);
+  // Image: one word = 4 pixel bytes, straight from memory.
+  const int words = w * h / 4;
+  for (int i = 0; i < words; ++i) {
+    const std::uint32_t v = k.lw(img + static_cast<Addr>(i) * 4);
+    k.sw(dock, v);
+    k.op(2);
+    k.branch();
+  }
+  // Results: one count per window position; the CPU tracks the best.
+  MatchResult best;
+  const int cols = w - 7;
+  const int positions = (h - 7) * cols;
+  for (int i = 0; i < positions; ++i) {
+    const auto count = static_cast<int>(k.lw(dock));
+    k.op(3);
+    k.branch();
+    if (count > best.best_count) {
+      best.best_count = count;
+      best.best_row = i / cols;
+      best.best_col = i % cols;
+    }
+  }
+  return best;
+}
+
+std::uint32_t hw_jenkins_pio(Kernel& k, Addr dock, Addr key,
+                             std::uint32_t len) {
+  k.call();
+  k.sw(ctrl_of(dock), 0);  // re-arm for a new key
+  k.sw(dock, len);
+  const std::uint32_t words = (len + 3) / 4;
+  for (std::uint32_t i = 0; i < words; ++i) {
+    const std::uint32_t v = k.lw(key + static_cast<Addr>(i) * 4);
+    k.sw(dock, v);
+    k.op(2);
+    k.branch();
+  }
+  return k.lw(dock);
+}
+
+std::array<std::uint32_t, 5> hw_sha1_pio(Kernel& k, Addr dock, Addr msg,
+                                         std::uint32_t len) {
+  k.call();
+  k.sw(ctrl_of(dock), 0);  // re-arm for a new key
+  k.sw(dock, len);
+  const std::uint32_t words = (len + 3) / 4;
+  for (std::uint32_t i = 0; i < words; ++i) {
+    const std::uint32_t v = k.lw(msg + static_cast<Addr>(i) * 4);
+    k.sw(dock, v);
+    k.op(2);
+    k.branch();
+  }
+  std::array<std::uint32_t, 5> digest;
+  for (auto& d : digest) d = k.lw(dock);
+  return digest;
+}
+
+void hw_brightness_pio(Kernel& k, Addr dock, Addr src, Addr dst, int n,
+                       int delta) {
+  RTR_CHECK(n % 4 == 0, "pixel count must be a multiple of 4");
+  k.call();
+  k.sw(ctrl_of(dock), static_cast<std::uint16_t>(delta));
+  for (int i = 0; i < n; i += 4) {
+    const std::uint32_t v = k.lw(src + static_cast<Addr>(i));
+    k.sw(dock, v);
+    const std::uint32_t r = k.lw(dock);
+    k.sw(dst + static_cast<Addr>(i), r);
+    k.op(2);
+    k.branch();
+  }
+}
+
+namespace {
+void two_source_pio(Kernel& k, Addr dock, Addr a, Addr b, Addr dst, int n) {
+  RTR_CHECK(n % 4 == 0, "pixel count must be a multiple of 4");
+  for (int i = 0; i < n; i += 4) {
+    // Two writes of [A0 A1 B0 B1]: the CPU combines the two sources
+    // ("this overhead is included in the measured times").
+    for (int half = 0; half < 2; ++half) {
+      const Addr off = static_cast<Addr>(i + 2 * half);
+      const std::uint32_t pa = k.lhz(a + off);
+      const std::uint32_t pb = k.lhz(b + off);
+      k.op(3);  // shift + or + address update
+      k.sw(dock, pa | (pb << 16));
+    }
+    // One packed read of 4 result pixels.
+    const std::uint32_t r = k.lw(dock);
+    k.sw(dst + static_cast<Addr>(i), r);
+    k.op(2);
+    k.branch();
+  }
+}
+}  // namespace
+
+void hw_blend_pio(Kernel& k, Addr dock, Addr a, Addr b, Addr dst, int n) {
+  k.call();
+  k.sw(ctrl_of(dock), 0);  // reset the output packing phase
+  two_source_pio(k, dock, a, b, dst, n);
+}
+
+void hw_fade_pio(Kernel& k, Addr dock, Addr a, Addr b, Addr dst, int n,
+                 int f) {
+  k.call();
+  k.sw(ctrl_of(dock), static_cast<std::uint32_t>(f));
+  two_source_pio(k, dock, a, b, dst, n);
+}
+
+// --- 64-bit DMA task drivers -----------------------------------------------------------------
+
+DmaTaskStats hw_brightness_dma(Platform64& p, Addr src, Addr dst, int n,
+                               int delta) {
+  RTR_CHECK(n % 8 == 0, "pixel count must be a multiple of 8");
+  Kernel& k = p.kernel();
+  const SimTime t0 = k.now();
+  k.call();
+  k.sw(ctrl_of(Platform64::dock_data()), static_cast<std::uint16_t>(delta));
+
+  // "The 64-bit data transfers could be employed without additional work,
+  // since only one image is involved": blocks straight from the source.
+  const int beats = n / 8;
+  const int depth = p.dock().fifo_depth();
+  int done = 0;
+  while (done < beats) {
+    const int chunk = std::min(depth, beats - done);
+    const dma::DmaDescriptor chain[2] = {
+        {src + static_cast<Addr>(done) * 8, Platform64::dock_stream(),
+         static_cast<std::uint64_t>(chunk) * 8, true, false},
+        {Platform64::dock_fifo(), dst + static_cast<Addr>(done) * 8,
+         static_cast<std::uint64_t>(chunk) * 8, false, true},
+    };
+    run_dma_chain(p, chain);
+    done += chunk;
+  }
+  return {SimTime::zero(), k.now() - t0};
+}
+
+namespace {
+DmaTaskStats two_source_dma(Platform64& p, Addr a, Addr b, Addr staging,
+                            Addr dst, int n) {
+  RTR_CHECK(n % 8 == 0, "pixel count must be a multiple of 8");
+  Kernel& k = p.kernel();
+  const SimTime t0 = k.now();
+
+  // Data preparation: interleave the sources into DMA-able beats of
+  // [A0..A3 B0..B3] -- "directly attributable to the constraints of the
+  // DMA transfer mode".
+  const int beats = n / 4;  // one beat per 4 output pixels
+  for (int i = 0; i < beats; ++i) {
+    const std::uint32_t va = k.lw(a + static_cast<Addr>(i) * 4);
+    const std::uint32_t vb = k.lw(b + static_cast<Addr>(i) * 4);
+    k.sw(staging + static_cast<Addr>(i) * 8, va);
+    k.sw(staging + static_cast<Addr>(i) * 8 + 4, vb);
+    k.op(2);
+    k.branch();
+  }
+  const SimTime prep = k.now() - t0;
+
+  // Stream blocks: 2 beats in -> 1 FIFO entry; a feed chunk of 2*depth
+  // beats fills the FIFO exactly.
+  const int depth = p.dock().fifo_depth();
+  int done = 0;
+  while (done < beats) {
+    int chunk = std::min(2 * (depth & ~1), beats - done);
+    if (chunk > 1) chunk &= ~1;  // keep the pair phase aligned
+    const dma::DmaDescriptor chain[2] = {
+        {staging + static_cast<Addr>(done) * 8, Platform64::dock_stream(),
+         static_cast<std::uint64_t>(chunk) * 8, true, false},
+        {Platform64::dock_fifo(), dst + static_cast<Addr>(done) * 4,
+         static_cast<std::uint64_t>(chunk) * 4, false, true},
+    };
+    run_dma_chain(p, chain);
+    done += chunk;
+  }
+  return {prep, k.now() - t0};
+}
+}  // namespace
+
+DmaTaskStats hw_blend_dma(Platform64& p, Addr a, Addr b, Addr staging,
+                          Addr dst, int n) {
+  p.kernel().call();
+  p.kernel().sw(ctrl_of(Platform64::dock_data()), 0);
+  return two_source_dma(p, a, b, staging, dst, n);
+}
+
+DmaTaskStats hw_fade_dma(Platform64& p, Addr a, Addr b, Addr staging,
+                         Addr dst, int n, int f) {
+  Kernel& k = p.kernel();
+  k.call();
+  k.sw(ctrl_of(Platform64::dock_data()), static_cast<std::uint32_t>(f));
+  return two_source_dma(p, a, b, staging, dst, n);
+}
+
+DmaTaskStats hw_blend_dma_overlapped(Platform64& p, Addr a, Addr b,
+                                     Addr staging, Addr dst, int n) {
+  RTR_CHECK(n % 8 == 0, "pixel count must be a multiple of 8");
+  Kernel& k = p.kernel();
+  const SimTime t0 = k.now();
+  k.call();
+  k.sw(ctrl_of(Platform64::dock_data()), 0);
+
+  const int beats = n / 4;  // one beat per 4 output pixels
+  const int depth = p.dock().fifo_depth();
+  const int block = std::min(2 * (depth & ~1), beats);
+  const Addr dma_regs = Platform64::kDockRange.base + dock::PlbDock::kDmaRegs;
+
+  // Prepare one block of [A0..A3 B0..B3] beats into half-buffer `half`.
+  auto prep = [&](int first_beat, int count, int half) {
+    SimTime prep_start = k.now();
+    for (int i = 0; i < count; ++i) {
+      const Addr src_off = static_cast<Addr>(first_beat + i) * 4;
+      const std::uint32_t va = k.lw(a + src_off);
+      const std::uint32_t vb = k.lw(b + src_off);
+      const Addr out =
+          staging + static_cast<Addr>(half) * static_cast<Addr>(block) * 8 +
+          static_cast<Addr>(i) * 8;
+      k.sw(out, va);
+      k.sw(out + 4, vb);
+      k.op(2);
+      k.branch();
+    }
+    return k.now() - prep_start;
+  };
+
+  SimTime prep_total = prep(0, std::min(block, beats), 0);
+  int done = 0;
+  int half = 0;
+  while (done < beats) {
+    const int chunk = std::min(block, beats - done);
+    // The DMA reads staging from memory: write back any cached prep data.
+    k.cpu().flush_dcache_range(
+        staging + static_cast<Addr>(half) * static_cast<Addr>(block) * 8,
+        static_cast<std::uint64_t>(chunk) * 8);
+    // Kick the DMA chain for the prepared block...
+    k.op(8);
+    for (int r = 0; r < 10; ++r) k.sw(dma_regs + (r % 8) * 4, 0);
+    const dma::DmaDescriptor chain[2] = {
+        {staging + static_cast<Addr>(half) * static_cast<Addr>(block) * 8,
+         Platform64::dock_stream(), static_cast<std::uint64_t>(chunk) * 8,
+         true, false},
+        {Platform64::dock_fifo(), dst + static_cast<Addr>(done) * 4,
+         static_cast<std::uint64_t>(chunk) * 4, false, true},
+    };
+    const SimTime dma_done = p.dma().run_chain(chain, k.now());
+    p.dock().signal_done(dma_done);
+
+    // ...and prepare the next block while it runs.
+    const int next = done + chunk;
+    if (next < beats) {
+      prep_total += prep(next, std::min(block, beats - next), 1 - half);
+    }
+    k.cpu().take_interrupt(p.intc().assertion_time(Platform64::kDockIrq));
+    (void)k.lw(Platform64::kIntcRange.base +
+               cpu::InterruptController::kStatusReg);
+    k.sw(Platform64::kIntcRange.base + cpu::InterruptController::kAckReg,
+         1u << Platform64::kDockIrq);
+    p.intc().clear(Platform64::kDockIrq);
+    done = next;
+    half = 1 - half;
+  }
+  return {prep_total, k.now() - t0};
+}
+
+}  // namespace rtr::apps

@@ -1,0 +1,100 @@
+// Hardware/software drivers: the timed CPU-side loops that feed the dynamic
+// area, for programmed I/O (both systems) and for scatter-gather DMA with
+// the output FIFO (64-bit system).
+//
+// PIO drivers take the dock's data-register address and work on either
+// platform -- that is exactly the paper's section 4.2 experiment of moving
+// the 32-bit tasks "without any modifications" to the new system.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "apps/golden.hpp"
+#include "bus/types.hpp"
+#include "cpu/kernel.hpp"
+#include "rtr/platform.hpp"
+
+namespace rtr::apps {
+
+// --- raw transfer loops (tables 2 and 7) --------------------------------------
+
+/// Sequence of `n` writes: each item fetched from memory, stored to the
+/// dock. Returns total time.
+sim::SimTime pio_write_seq(cpu::Kernel& k, bus::Addr mem, bus::Addr dock,
+                           int n);
+/// Sequence of `n` reads: each item read from the dock, stored to memory.
+sim::SimTime pio_read_seq(cpu::Kernel& k, bus::Addr mem, bus::Addr dock,
+                          int n);
+/// Interleaved write/read pairs (n of each).
+sim::SimTime pio_interleaved_seq(cpu::Kernel& k, bus::Addr mem,
+                                 bus::Addr dock, int n);
+
+// --- DMA transfer flows (table 8) -----------------------------------------------
+
+/// DMA a block of `n` 64-bit items memory -> dock stream register.
+sim::SimTime dma_write_seq(Platform64& p, bus::Addr mem, int n);
+/// DMA-drain `n` 64-bit items dock FIFO -> memory (FIFO pre-filled by the
+/// caller).
+sim::SimTime dma_read_seq(Platform64& p, bus::Addr mem, int n);
+/// Block-interleaved write/read through the output FIFO: stream until the
+/// FIFO fills, stop, drain by DMA, repeat (paper section 4.2).
+sim::SimTime dma_interleaved_seq(Platform64& p, bus::Addr src, bus::Addr dst,
+                                 int n);
+
+// --- task drivers (hardware versions) --------------------------------------------
+
+/// Pattern matching: stream geometry, bit-packed pattern, 4 pixels per
+/// write; read one count per window position, tracking the best on the CPU.
+MatchResult hw_pattern_match_pio(cpu::Kernel& k, bus::Addr dock, bus::Addr img,
+                                 int w, int h, bus::Addr pat);
+
+/// Jenkins: stream length + key words; read the hash.
+std::uint32_t hw_jenkins_pio(cpu::Kernel& k, bus::Addr dock, bus::Addr key,
+                             std::uint32_t len);
+
+/// SHA-1: stream length + message words; read the five digest words.
+std::array<std::uint32_t, 5> hw_sha1_pio(cpu::Kernel& k, bus::Addr dock,
+                                         bus::Addr msg, std::uint32_t len);
+
+/// Brightness via PIO, 4 pixels per transfer.
+void hw_brightness_pio(cpu::Kernel& k, bus::Addr dock, bus::Addr src,
+                       bus::Addr dst, int n, int delta);
+/// Additive blending via PIO: 2+2 pixels per write, packed groups of 4 read
+/// back every second write.
+void hw_blend_pio(cpu::Kernel& k, bus::Addr dock, bus::Addr a, bus::Addr b,
+                  bus::Addr dst, int n);
+/// Fade via PIO: control word f, then as blend.
+void hw_fade_pio(cpu::Kernel& k, bus::Addr dock, bus::Addr a, bus::Addr b,
+                 bus::Addr dst, int n, int f);
+
+// --- 64-bit DMA task drivers (table 12) ---------------------------------------------
+
+/// Timing breakdown of a DMA-driven task.
+struct DmaTaskStats {
+  sim::SimTime data_preparation;  // CPU packing of the two sources
+  sim::SimTime total;             // end-to-end, including preparation
+};
+
+/// Brightness with 64-bit DMA: no data preparation needed (one source).
+DmaTaskStats hw_brightness_dma(Platform64& p, bus::Addr src, bus::Addr dst,
+                               int n, int delta);
+/// Blend with 64-bit DMA: the CPU first interleaves the two sources into
+/// `staging` (charged as data preparation), then DMA streams blocks.
+DmaTaskStats hw_blend_dma(Platform64& p, bus::Addr a, bus::Addr b,
+                          bus::Addr staging, bus::Addr dst, int n);
+DmaTaskStats hw_fade_dma(Platform64& p, bus::Addr a, bus::Addr b,
+                         bus::Addr staging, bus::Addr dst, int n, int f);
+
+/// Overlapped variant: "since the CPU is free during DMA transfers, it can
+/// be used for other purposes" (paper section 4.1) -- while the DMA engine
+/// streams block k, the CPU prepares block k+1, then sleeps until the
+/// completion interrupt. The benefit depends on where the CPU's prep
+/// traffic goes: with the D-cache off every prep access contends for the
+/// same PLB the DMA occupies, so overlap gains little; with the cache on
+/// the prep runs genuinely in parallel (see the extension bench).
+/// `staging` must hold 2x the block size (double buffering).
+DmaTaskStats hw_blend_dma_overlapped(Platform64& p, bus::Addr a, bus::Addr b,
+                                     bus::Addr staging, bus::Addr dst, int n);
+
+}  // namespace rtr::apps

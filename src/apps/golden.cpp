@@ -1,0 +1,257 @@
+#include "apps/golden.hpp"
+
+#include <bit>
+
+#include "sim/check.hpp"
+
+namespace rtr::apps {
+
+// --- BinaryImage -------------------------------------------------------------
+
+BinaryImage BinaryImage::make(int width, int height) {
+  RTR_CHECK(width >= 8 && height >= 8, "image smaller than the pattern");
+  BinaryImage img;
+  img.width = width;
+  img.height = height;
+  img.words.assign(static_cast<std::size_t>(img.words_per_row()) *
+                       static_cast<std::size_t>(height),
+                   0);
+  return img;
+}
+
+bool BinaryImage::get(int r, int c) const {
+  const std::size_t w = static_cast<std::size_t>(r) * words_per_row() +
+                        static_cast<std::size_t>(c / 32);
+  return (words[w] >> (c % 32)) & 1u;
+}
+
+void BinaryImage::set(int r, int c, bool v) {
+  const std::size_t w = static_cast<std::size_t>(r) * words_per_row() +
+                        static_cast<std::size_t>(c / 32);
+  if (v) {
+    words[w] |= 1u << (c % 32);
+  } else {
+    words[w] &= ~(1u << (c % 32));
+  }
+}
+
+std::vector<std::uint8_t> pattern_match_counts(const BinaryImage& img,
+                                               const Pattern8x8& pat) {
+  std::vector<std::uint8_t> counts;
+  counts.reserve(static_cast<std::size_t>(img.height - 7) *
+                 static_cast<std::size_t>(img.width - 7));
+  for (int r = 0; r + 8 <= img.height; ++r) {
+    for (int c = 0; c + 8 <= img.width; ++c) {
+      int count = 0;
+      for (int pr = 0; pr < 8; ++pr) {
+        std::uint8_t window = 0;
+        for (int pc = 0; pc < 8; ++pc) {
+          window |= static_cast<std::uint8_t>(img.get(r + pr, c + pc) << pc);
+        }
+        count += std::popcount(
+            static_cast<std::uint8_t>(~(window ^ pat[static_cast<std::size_t>(pr)])));
+      }
+      counts.push_back(static_cast<std::uint8_t>(count));
+    }
+  }
+  return counts;
+}
+
+MatchResult pattern_match(const BinaryImage& img, const Pattern8x8& pat) {
+  const auto counts = pattern_match_counts(img, pat);
+  MatchResult res;
+  const int cols = img.width - 7;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > res.best_count) {
+      res.best_count = counts[i];
+      res.best_row = static_cast<int>(i) / cols;
+      res.best_col = static_cast<int>(i) % cols;
+    }
+  }
+  return res;
+}
+
+std::vector<std::uint8_t> to_bytes(const BinaryImage& img) {
+  std::vector<std::uint8_t> px(static_cast<std::size_t>(img.width) *
+                               static_cast<std::size_t>(img.height));
+  for (int r = 0; r < img.height; ++r) {
+    for (int c = 0; c < img.width; ++c) {
+      px[static_cast<std::size_t>(r) * static_cast<std::size_t>(img.width) +
+         static_cast<std::size_t>(c)] = img.get(r, c) ? 1 : 0;
+    }
+  }
+  return px;
+}
+
+BinaryImage from_bytes(int width, int height,
+                       std::span<const std::uint8_t> px) {
+  BinaryImage img = BinaryImage::make(width, height);
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      img.set(r, c,
+              px[static_cast<std::size_t>(r) * static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(c)] != 0);
+    }
+  }
+  return img;
+}
+
+// --- Jenkins lookup2 ----------------------------------------------------------
+
+namespace {
+constexpr void jenkins_mix(std::uint32_t& a, std::uint32_t& b,
+                           std::uint32_t& c) {
+  a -= b; a -= c; a ^= (c >> 13);
+  b -= c; b -= a; b ^= (a << 8);
+  c -= a; c -= b; c ^= (b >> 13);
+  a -= b; a -= c; a ^= (c >> 12);
+  b -= c; b -= a; b ^= (a << 16);
+  c -= a; c -= b; c ^= (b >> 5);
+  a -= b; a -= c; a ^= (c >> 3);
+  b -= c; b -= a; b ^= (a << 10);
+  c -= a; c -= b; c ^= (b >> 15);
+}
+}  // namespace
+
+std::uint32_t jenkins_hash(std::span<const std::uint8_t> key,
+                           std::uint32_t initval) {
+  std::uint32_t a = 0x9e3779b9u;
+  std::uint32_t b = 0x9e3779b9u;
+  std::uint32_t c = initval;
+  std::size_t len = key.size();
+  const std::uint8_t* k = key.data();
+
+  while (len >= 12) {
+    a += k[0] + (std::uint32_t{k[1]} << 8) + (std::uint32_t{k[2]} << 16) +
+         (std::uint32_t{k[3]} << 24);
+    b += k[4] + (std::uint32_t{k[5]} << 8) + (std::uint32_t{k[6]} << 16) +
+         (std::uint32_t{k[7]} << 24);
+    c += k[8] + (std::uint32_t{k[9]} << 8) + (std::uint32_t{k[10]} << 16) +
+         (std::uint32_t{k[11]} << 24);
+    jenkins_mix(a, b, c);
+    k += 12;
+    len -= 12;
+  }
+
+  c += static_cast<std::uint32_t>(key.size());
+  switch (len) {  // all the case statements fall through, as in the original
+    case 11: c += std::uint32_t{k[10]} << 24; [[fallthrough]];
+    case 10: c += std::uint32_t{k[9]} << 16; [[fallthrough]];
+    case 9: c += std::uint32_t{k[8]} << 8; [[fallthrough]];
+    case 8: b += std::uint32_t{k[7]} << 24; [[fallthrough]];
+    case 7: b += std::uint32_t{k[6]} << 16; [[fallthrough]];
+    case 6: b += std::uint32_t{k[5]} << 8; [[fallthrough]];
+    case 5: b += k[4]; [[fallthrough]];
+    case 4: a += std::uint32_t{k[3]} << 24; [[fallthrough]];
+    case 3: a += std::uint32_t{k[2]} << 16; [[fallthrough]];
+    case 2: a += std::uint32_t{k[1]} << 8; [[fallthrough]];
+    case 1: a += k[0]; break;
+    case 0: break;
+  }
+  jenkins_mix(a, b, c);
+  return c;
+}
+
+// --- SHA-1 (RFC 3174) ----------------------------------------------------------
+
+std::array<std::uint32_t, 5> sha1(std::span<const std::uint8_t> msg) {
+  std::array<std::uint32_t, 5> h = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                    0x10325476u, 0xC3D2E1F0u};
+  // Padded message: msg + 0x80 + zeros + 64-bit big-endian bit length.
+  std::vector<std::uint8_t> padded(msg.begin(), msg.end());
+  padded.push_back(0x80);
+  while (padded.size() % 64 != 56) padded.push_back(0);
+  const std::uint64_t bits = static_cast<std::uint64_t>(msg.size()) * 8;
+  for (int i = 7; i >= 0; --i) {
+    padded.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+
+  auto rol = [](std::uint32_t x, int n) {
+    return (x << n) | (x >> (32 - n));
+  };
+
+  for (std::size_t block = 0; block < padded.size(); block += 64) {
+    std::uint32_t w[80];
+    for (int t = 0; t < 16; ++t) {
+      const std::size_t i = block + static_cast<std::size_t>(t) * 4;
+      w[t] = (std::uint32_t{padded[i]} << 24) |
+             (std::uint32_t{padded[i + 1]} << 16) |
+             (std::uint32_t{padded[i + 2]} << 8) | padded[i + 3];
+    }
+    for (int t = 16; t < 80; ++t) {
+      w[t] = rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int t = 0; t < 80; ++t) {
+      std::uint32_t f, k;
+      if (t < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999u;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const std::uint32_t tmp = rol(a, 5) + f + e + w[t] + k;
+      e = d;
+      d = c;
+      c = rol(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+  return h;
+}
+
+// --- grayscale tasks ------------------------------------------------------------
+
+GrayImage GrayImage::make(int width, int height) {
+  GrayImage img;
+  img.width = width;
+  img.height = height;
+  img.pixels.assign(static_cast<std::size_t>(width) *
+                        static_cast<std::size_t>(height),
+                    0);
+  return img;
+}
+
+GrayImage brightness(const GrayImage& in, int delta) {
+  GrayImage out = GrayImage::make(in.width, in.height);
+  for (std::size_t i = 0; i < in.pixels.size(); ++i) {
+    out.pixels[i] = sat_add(in.pixels[i], delta);
+  }
+  return out;
+}
+
+GrayImage blend_add(const GrayImage& a, const GrayImage& b) {
+  RTR_CHECK(a.width == b.width && a.height == b.height,
+            "blend of differently sized images");
+  GrayImage out = GrayImage::make(a.width, a.height);
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    out.pixels[i] = sat_add(a.pixels[i], b.pixels[i]);
+  }
+  return out;
+}
+
+GrayImage fade(const GrayImage& a, const GrayImage& b, int f) {
+  RTR_CHECK(a.width == b.width && a.height == b.height,
+            "fade of differently sized images");
+  RTR_CHECK(f >= 0 && f <= 256, "fade factor out of range");
+  GrayImage out = GrayImage::make(a.width, a.height);
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    out.pixels[i] = fade_px(a.pixels[i], b.pixels[i], f);
+  }
+  return out;
+}
+
+}  // namespace rtr::apps

@@ -1,0 +1,35 @@
+// Host-side staging of workload data in simulated memory (zero simulated
+// time; the modelled experiments start with their inputs already resident,
+// as the paper's do).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bus/bus.hpp"
+
+namespace rtr::apps {
+
+inline void store_bytes(bus::Bus& b, bus::Addr base,
+                        std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) b.poke(base + i, data[i], 1);
+}
+
+inline std::vector<std::uint8_t> fetch_bytes(bus::Bus& b, bus::Addr base,
+                                             std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(b.peek(base + i, 1));
+  }
+  return out;
+}
+
+inline void store_words(bus::Bus& b, bus::Addr base,
+                        std::span<const std::uint32_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    b.poke(base + i * 4, words[i], 4);
+  }
+}
+
+}  // namespace rtr::apps

@@ -1,0 +1,249 @@
+#include "apps/sw_kernels.hpp"
+
+namespace rtr::apps {
+
+using bus::Addr;
+using cpu::Kernel;
+
+MatchResult sw_pattern_match(Kernel& k, Addr img, int w, int h, Addr pat) {
+  k.call();
+  // Pattern prep: 64 byte loads, thresholded and packed into two registers
+  // (the "cumbersome" bit manipulation, done once).
+  std::uint64_t pbits = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint8_t b = k.lbz(pat + static_cast<Addr>(i));
+    k.op(3);  // compare-to-zero, shift, or
+    pbits |= static_cast<std::uint64_t>(b != 0) << i;
+  }
+
+  MatchResult best;
+  for (int r = 0; r + 8 <= h; ++r) {
+    for (int c = 0; c + 8 <= w; ++c) {
+      // Straightforward C inner loops: one image byte load and a handful of
+      // scalar ops per pattern pixel.
+      int count = 0;
+      for (int pr = 0; pr < 8; ++pr) {
+        const Addr row = img + static_cast<Addr>(r + pr) * static_cast<Addr>(w) +
+                         static_cast<Addr>(c);
+        for (int pc = 0; pc < 8; ++pc) {
+          const std::uint8_t px = k.lbz(row + static_cast<Addr>(pc));
+          k.op(3);  // extract pattern bit, compare, conditional add
+          const bool pbit = (pbits >> (pr * 8 + pc)) & 1;
+          count += (px != 0) == pbit;
+        }
+        k.op(2);  // row address update
+        k.branch();
+      }
+      k.op(3);  // compare with the running best, bookkeeping
+      k.branch();
+      if (count > best.best_count) {
+        best.best_count = count;
+        best.best_row = r;
+        best.best_col = c;
+      }
+    }
+    k.branch();
+  }
+  return best;
+}
+
+std::uint32_t sw_jenkins(Kernel& k, Addr key, std::uint32_t len) {
+  k.call();
+  std::uint32_t a = 0x9e3779b9u, b = 0x9e3779b9u, c = 0;
+  std::uint32_t remaining = len;
+  Addr p = key;
+
+  auto load_word = [&](Addr base) {
+    // k[0] + (k[1]<<8) + (k[2]<<16) + (k[3]<<24): 4 byte loads + 6 ops.
+    std::uint32_t v = k.lbz(base);
+    v |= std::uint32_t{k.lbz(base + 1)} << 8;
+    v |= std::uint32_t{k.lbz(base + 2)} << 16;
+    v |= std::uint32_t{k.lbz(base + 3)} << 24;
+    k.op(6);
+    return v;
+  };
+  auto mix = [&] {
+    // 9 lines of 4 scalar ops each (sub, sub, shift, xor).
+    k.op(36);
+    a -= b; a -= c; a ^= (c >> 13);
+    b -= c; b -= a; b ^= (a << 8);
+    c -= a; c -= b; c ^= (b >> 13);
+    a -= b; a -= c; a ^= (c >> 12);
+    b -= c; b -= a; b ^= (a << 16);
+    c -= a; c -= b; c ^= (b >> 5);
+    a -= b; a -= c; a ^= (c >> 3);
+    b -= c; b -= a; b ^= (a << 10);
+    c -= a; c -= b; c ^= (b >> 15);
+  };
+
+  while (remaining >= 12) {
+    a += load_word(p);
+    b += load_word(p + 4);
+    c += load_word(p + 8);
+    mix();
+    p += 12;
+    remaining -= 12;
+    k.op(2);
+    k.branch();
+  }
+
+  c += len;
+  k.op(1);
+  // Tail: one byte load + shift + add per leftover byte.
+  std::uint8_t tail[11] = {};
+  for (std::uint32_t i = 0; i < remaining; ++i) {
+    tail[i] = k.lbz(p + i);
+    k.op(2);
+  }
+  const std::uint32_t n = remaining;
+  auto at = [&](std::uint32_t i) { return std::uint32_t{tail[i]}; };
+  if (n >= 11) c += at(10) << 24;
+  if (n >= 10) c += at(9) << 16;
+  if (n >= 9) c += at(8) << 8;
+  if (n >= 8) b += at(7) << 24;
+  if (n >= 7) b += at(6) << 16;
+  if (n >= 6) b += at(5) << 8;
+  if (n >= 5) b += at(4);
+  if (n >= 4) a += at(3) << 24;
+  if (n >= 3) a += at(2) << 16;
+  if (n >= 2) a += at(1) << 8;
+  if (n >= 1) a += at(0);
+  mix();
+  return c;
+}
+
+std::array<std::uint32_t, 5> sw_sha1(Kernel& k, Addr msg, std::uint32_t len,
+                                     Addr scratch) {
+  k.call();
+  k.op(30);  // context initialisation (RFC code: SHA1Reset + locals)
+  std::array<std::uint32_t, 5> h = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                    0x10325476u, 0xC3D2E1F0u};
+  const Addr w_base = scratch;          // W[80]
+  const Addr block_base = scratch + 320;  // final padded block(s)
+
+  auto rol = [](std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); };
+
+  auto process = [&](Addr block) {
+    // Schedule: W[0..15] from the block (big-endian assembly: 4 byte loads
+    // + 6 ops), stored to memory.
+    for (int t = 0; t < 16; ++t) {
+      std::uint32_t v = std::uint32_t{k.lbz(block + static_cast<Addr>(t) * 4)} << 24;
+      v |= std::uint32_t{k.lbz(block + static_cast<Addr>(t) * 4 + 1)} << 16;
+      v |= std::uint32_t{k.lbz(block + static_cast<Addr>(t) * 4 + 2)} << 8;
+      v |= std::uint32_t{k.lbz(block + static_cast<Addr>(t) * 4 + 3)};
+      k.op(6);
+      k.sw(w_base + static_cast<Addr>(t) * 4, v);
+    }
+    // W[16..79]: 4 loads, 3 xors, 1 rotate, 1 store each.
+    for (int t = 16; t < 80; ++t) {
+      const std::uint32_t v =
+          rol(k.lw(w_base + static_cast<Addr>(t - 3) * 4) ^
+                  k.lw(w_base + static_cast<Addr>(t - 8) * 4) ^
+                  k.lw(w_base + static_cast<Addr>(t - 14) * 4) ^
+                  k.lw(w_base + static_cast<Addr>(t - 16) * 4),
+              1);
+      k.op(4);
+      k.sw(w_base + static_cast<Addr>(t) * 4, v);
+      k.branch();
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int t = 0; t < 80; ++t) {
+      std::uint32_t f, kc;
+      if (t < 20) {
+        f = (b & c) | ((~b) & d);
+        kc = 0x5A827999u;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        kc = 0x6ED9EBA1u;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        kc = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        kc = 0xCA62C1D6u;
+      }
+      const std::uint32_t tmp = rol(a, 5) + f + e + k.lw(w_base + static_cast<Addr>(t) * 4) + kc;
+      e = d;
+      d = c;
+      c = rol(b, 30);
+      b = a;
+      a = tmp;
+      k.op(10);  // f, adds, rotates, register shuffle
+      k.branch();
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    k.op(5);
+  };
+
+  // Whole blocks straight from the message.
+  std::uint32_t off = 0;
+  while (off + 64 <= len) {
+    process(msg + off);
+    off += 64;
+    k.op(2);
+    k.branch();
+  }
+  // Tail block(s): copy the remainder into the scratch buffer, pad, append
+  // the bit length (byte stores, as in the RFC code's message block).
+  std::uint32_t fill = 0;
+  for (; off < len; ++off, ++fill) {
+    k.stb(block_base + fill, k.lbz(msg + off));
+    k.op(2);
+  }
+  k.stb(block_base + fill, 0x80);
+  ++fill;
+  const bool two_blocks = fill > 56;
+  const std::uint32_t pad_end = two_blocks ? 128 : 64;
+  for (; fill < pad_end - 8; ++fill) {
+    k.stb(block_base + fill, 0);
+    k.op(1);
+  }
+  const std::uint64_t bits = std::uint64_t{len} * 8;
+  for (int i = 7; i >= 0; --i) {
+    k.stb(block_base + fill++, static_cast<std::uint8_t>(bits >> (8 * i)));
+    k.op(1);
+  }
+  process(block_base);
+  if (two_blocks) process(block_base + 64);
+  return h;
+}
+
+void sw_brightness(Kernel& k, Addr src, Addr dst, int n, int delta) {
+  k.call();
+  for (int i = 0; i < n; ++i) {
+    const std::uint8_t px = k.lbz(src + static_cast<Addr>(i));
+    k.op(4);  // add, clamp-low, clamp-high, address update
+    k.stb(dst + static_cast<Addr>(i), sat_add(px, delta));
+    k.branch();
+  }
+}
+
+void sw_blend(Kernel& k, Addr a, Addr b, Addr dst, int n) {
+  k.call();
+  for (int i = 0; i < n; ++i) {
+    const std::uint8_t pa = k.lbz(a + static_cast<Addr>(i));
+    const std::uint8_t pb = k.lbz(b + static_cast<Addr>(i));
+    k.op(4);
+    k.stb(dst + static_cast<Addr>(i), sat_add(pa, pb));
+    k.branch();
+  }
+}
+
+void sw_fade(Kernel& k, Addr a, Addr b, Addr dst, int n, int f) {
+  k.call();
+  for (int i = 0; i < n; ++i) {
+    const std::uint8_t pa = k.lbz(a + static_cast<Addr>(i));
+    const std::uint8_t pb = k.lbz(b + static_cast<Addr>(i));
+    k.op(3);  // subtract, shift, add
+    k.mul();  // (a - b) * f
+    k.op(3);  // clamp + address update
+    k.stb(dst + static_cast<Addr>(i), fade_px(pa, pb, f));
+    k.branch();
+  }
+}
+
+}  // namespace rtr::apps

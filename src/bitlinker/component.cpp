@@ -1,0 +1,44 @@
+#include "bitlinker/component.hpp"
+
+#include "fabric/device.hpp"
+#include "sim/random.hpp"
+
+namespace rtr::bitlinker {
+
+std::uint64_t ComponentDescriptor::identity_hash() const {
+  // FNV-1a 64 over the identity-defining fields.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto feed = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xFF)) * 1099511628211ULL;
+    }
+  };
+  for (char c : name) h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ULL;
+  feed(static_cast<std::uint64_t>(behavior_id));
+  feed(revision);
+  feed(static_cast<std::uint64_t>(rows));
+  feed(static_cast<std::uint64_t>(cols));
+  return h;
+}
+
+std::vector<std::uint32_t> ComponentDescriptor::config_words() const {
+  const std::size_t n = static_cast<std::size_t>(cols) *
+                        fabric::kFramesPerClbColumn *
+                        static_cast<std::size_t>(rows);
+  std::vector<std::uint32_t> words(n);
+  sim::Rng rng{identity_hash()};
+  for (auto& w : words) w = rng.next_u32();
+  return words;
+}
+
+std::vector<std::uint32_t> ComponentDescriptor::bram_words(
+    int words_per_block) const {
+  std::vector<std::uint32_t> words(
+      static_cast<std::size_t>(bram_blocks) *
+      static_cast<std::size_t>(words_per_block));
+  sim::Rng rng{identity_hash() ^ 0xB4A4'0000'0000'0001ULL};
+  for (auto& w : words) w = rng.next_u32();
+  return words;
+}
+
+}  // namespace rtr::bitlinker

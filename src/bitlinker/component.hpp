@@ -1,0 +1,63 @@
+// Component configurations: the reusable building blocks the BitLinker
+// assembles into partial bitstreams.
+//
+// A component is a hardware circuit that went through the regular design
+// flow once (synthesis/place/route constrained to a rectangle plus bus
+// macros) and whose configuration bits were extracted for reuse. Assembling
+// components at the bitstream level avoids re-running the high-level flow
+// for every combination (paper section 2.2, [12]).
+//
+// In this model a component's "configuration bits" are a deterministic
+// pseudo-random function of its identity, which preserves every property
+// the paper's flow depends on (frames change when and only when the
+// component changes; relocation moves the same bits to other columns)
+// without a synthesis tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "busmacro/bus_macro.hpp"
+#include "fabric/resources.hpp"
+
+namespace rtr::bitlinker {
+
+struct ComponentDescriptor {
+  std::string name;
+  /// Identifies the behavioural model that the configured circuit
+  /// implements (resolved through hw::BehaviorRegistry once loaded).
+  int behavior_id = 0;
+  /// CLB footprint (the rectangle the circuit was constrained to).
+  int rows = 0;
+  int cols = 0;
+  /// Block RAMs required from the dynamic region's allocation.
+  int bram_blocks = 0;
+  /// Logic actually consumed (for the resource reports; must fit the
+  /// footprint).
+  fabric::Resources logic;
+  /// Interface terminals, anchored component-relative.
+  std::vector<busmacro::BusMacro> macros;
+  /// Bumped when the circuit is re-implemented; configurations of
+  /// different revisions differ.
+  std::uint32_t revision = 1;
+
+  [[nodiscard]] fabric::ClbRect footprint_at(int row_off, int col_off) const {
+    return fabric::ClbRect{row_off, col_off, rows, cols};
+  }
+
+  /// Configuration payload: for each of the `cols` columns, for each of the
+  /// kFramesPerClbColumn minor frames, `rows` words -- the bits that land in
+  /// the region rows of the corresponding device frames. Deterministic in
+  /// (name, behavior_id, revision, footprint).
+  [[nodiscard]] std::vector<std::uint32_t> config_words() const;
+
+  /// Deterministic initial content for the component's `bram_blocks` RAMs,
+  /// `words_per_block` words each.
+  [[nodiscard]] std::vector<std::uint32_t> bram_words(int words_per_block) const;
+
+  /// Stable 64-bit identity hash (seeds the payload generators).
+  [[nodiscard]] std::uint64_t identity_hash() const;
+};
+
+}  // namespace rtr::bitlinker

@@ -1,0 +1,107 @@
+#include "bitstream/bitfile.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sim/check.hpp"
+
+namespace rtr::bitstream {
+
+namespace {
+// The fixed preamble real tools emit before the first tagged field.
+constexpr std::uint8_t kPreamble[] = {0x00, 0x09, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F,
+                                      0xF0, 0x0F, 0xF0, 0x00, 0x00, 0x01};
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_field(std::vector<std::uint8_t>& out, char tag, const std::string& s) {
+  out.push_back(static_cast<std::uint8_t>(tag));
+  put16(out, static_cast<std::uint16_t>(s.size() + 1));
+  out.insert(out.end(), s.begin(), s.end());
+  out.push_back(0);
+}
+
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  std::uint8_t u8() {
+    RTR_CHECK(pos < bytes.size(), "truncated .bit file");
+    return bytes[pos++];
+  }
+  std::uint16_t u16() { return static_cast<std::uint16_t>((u8() << 8) | u8()); }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+    return v;
+  }
+  std::string field(char expected_tag) {
+    const char tag = static_cast<char>(u8());
+    RTR_CHECK(tag == expected_tag, "unexpected .bit field tag");
+    const std::uint16_t len = u16();
+    RTR_CHECK(len >= 1 && pos + len <= bytes.size(), "bad .bit field length");
+    std::string s(reinterpret_cast<const char*>(bytes.data() + pos), len - 1);
+    pos += len;
+    return s;
+  }
+};
+}  // namespace
+
+std::vector<std::uint8_t> write_bitfile(const BitFile& f) {
+  std::vector<std::uint8_t> out(std::begin(kPreamble), std::end(kPreamble));
+  put_field(out, 'a', f.design);
+  put_field(out, 'b', f.part);
+  put_field(out, 'c', f.date);
+  put_field(out, 'd', f.time);
+  out.push_back('e');
+  put32(out, static_cast<std::uint32_t>(f.words.size() * 4));
+  for (std::uint32_t w : f.words) put32(out, w);
+  return out;
+}
+
+BitFile parse_bitfile(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  for (std::uint8_t expected : kPreamble) {
+    RTR_CHECK(r.u8() == expected, "bad .bit preamble");
+  }
+  BitFile f;
+  f.design = r.field('a');
+  f.part = r.field('b');
+  f.date = r.field('c');
+  f.time = r.field('d');
+  RTR_CHECK(r.u8() == 'e', "missing .bit payload field");
+  const std::uint32_t len = r.u32();
+  RTR_CHECK(len % 4 == 0 && r.pos + len <= bytes.size(),
+            ".bit payload length invalid");
+  f.words.resize(len / 4);
+  for (auto& w : f.words) w = r.u32();
+  RTR_CHECK(r.pos == bytes.size(), "trailing bytes after .bit payload");
+  return f;
+}
+
+std::string part_string(const std::string& device_name) {
+  // "XC2VP7-FG456-6" -> "2vp7fg456": lower-case <device><package>, dropping
+  // the XC prefix and the trailing speed grade.
+  std::vector<std::string> tokens(1);
+  for (char c : device_name) {
+    if (c == '-') {
+      tokens.emplace_back();
+    } else {
+      tokens.back().push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  std::string s = tokens[0];
+  if (s.rfind("xc", 0) == 0) s.erase(0, 2);
+  if (tokens.size() >= 2) s += tokens[1];
+  return s;
+}
+
+}  // namespace rtr::bitstream

@@ -1,0 +1,41 @@
+// .bit file container.
+//
+// Real partial-reconfiguration flows exchange configurations as Xilinx
+// .bit files: a tagged header (design name, part, date, time) followed by
+// the raw configuration words. This module writes and parses that
+// container so linked configurations can be stored, inspected and
+// exchanged like the BitLinker's real outputs.
+//
+// Layout (after the fixed 13-byte preamble of the original format):
+//   'a' <len16> <design name NUL> 'b' <len16> <part NUL>
+//   'c' <len16> <date NUL> 'd' <len16> <time NUL> 'e' <len32> <payload>
+// Multi-byte integers are big-endian, as in the original tools' output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rtr::bitstream {
+
+struct BitFile {
+  std::string design;  // e.g. "fade32.ncd;UserID=0xFFFFFFFF"
+  std::string part;    // e.g. "2vp7fg456"
+  std::string date;    // "2026/07/05"
+  std::string time;    // "12:00:00"
+  std::vector<std::uint32_t> words;  // the configuration stream
+};
+
+/// Serialise to the container byte layout.
+std::vector<std::uint8_t> write_bitfile(const BitFile& f);
+
+/// Parse a container. Aborts (RTR_CHECK) on malformed input -- files come
+/// from this library's own writer or from a trusted flow.
+BitFile parse_bitfile(std::span<const std::uint8_t> bytes);
+
+/// Convenience: the canonical part string of a catalog device name
+/// ("XC2VP7-FG456-6" -> "2vp7fg456").
+std::string part_string(const std::string& device_name);
+
+}  // namespace rtr::bitstream

@@ -1,0 +1,25 @@
+#include "bitstream/crc.hpp"
+
+#include <array>
+
+namespace rtr::bitstream {
+
+namespace {
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+}  // namespace
+
+std::uint32_t Crc32::table(std::uint8_t i) { return kTable[i]; }
+
+}  // namespace rtr::bitstream

@@ -1,0 +1,50 @@
+// CRC-32 over configuration words.
+//
+// The configuration logic accumulates a CRC over every (register, word)
+// write and compares it against the value supplied by the bitstream's CRC
+// packet; a mismatch aborts configuration. We use the IEEE 802.3
+// polynomial (table-driven, reflected).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rtr::bitstream {
+
+class Crc32 {
+ public:
+  /// Feed one 32-bit word (little-endian byte order).
+  void update_word(std::uint32_t w) {
+    update_byte(static_cast<std::uint8_t>(w));
+    update_byte(static_cast<std::uint8_t>(w >> 8));
+    update_byte(static_cast<std::uint8_t>(w >> 16));
+    update_byte(static_cast<std::uint8_t>(w >> 24));
+  }
+
+  /// Feed a register write: the register address participates in the CRC so
+  /// that data words cannot be replayed to a different register undetected.
+  void update_register_write(std::uint32_t reg_addr, std::uint32_t word) {
+    update_word(reg_addr);
+    update_word(word);
+  }
+
+  void update_byte(std::uint8_t b) {
+    state_ = table(static_cast<std::uint8_t>(state_ ^ b)) ^ (state_ >> 8);
+  }
+
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+  /// One-shot helper over a word span.
+  static std::uint32_t of_words(std::span<const std::uint32_t> words) {
+    Crc32 c;
+    for (std::uint32_t w : words) c.update_word(w);
+    return c.value();
+  }
+
+ private:
+  static std::uint32_t table(std::uint8_t i);
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace rtr::bitstream

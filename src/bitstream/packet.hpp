@@ -1,0 +1,86 @@
+// Configuration packet format.
+//
+// A bitstream is a sequence of 32-bit words addressed to the configuration
+// logic's register file, in the style of the Virtex-II family:
+//
+//   DUMMY* SYNC  { type-1 / type-2 packets }  DESYNC DUMMY*
+//
+// Type-1 packet header:  [31:29]=001  [28:27]=opcode  [26:13]=register
+//                        [12:11]=00   [10:0]=word count
+// Type-2 packet header:  [31:29]=010  [28:27]=opcode  [26:0]=word count
+//   (type-2 extends the *previous* type-1's register with a long payload)
+#pragma once
+
+#include <cstdint>
+
+namespace rtr::bitstream {
+
+inline constexpr std::uint32_t kDummyWord = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kSyncWord = 0xAA995566u;
+
+/// Configuration registers (subset sufficient for partial reconfiguration
+/// and readback).
+enum class ConfigReg : std::uint32_t {
+  kCrc = 0,     // CRC check value
+  kFar = 1,     // frame address register
+  kFdri = 2,    // frame data input (write-through to config memory)
+  kFdro = 3,    // frame data output (readback)
+  kCmd = 4,     // command register
+  kIdcode = 12, // device id check
+};
+
+/// CMD register values.
+enum class Command : std::uint32_t {
+  kNull = 0,
+  kWcfg = 1,    // enable config-memory writes via FDRI
+  kLfrm = 3,    // last frame: flush write pipeline
+  kRcfg = 4,    // enable config-memory readback via FDRO
+  kRcrc = 7,    // reset CRC accumulator
+  kDesync = 13, // leave configuration mode
+};
+
+enum class Opcode : std::uint32_t { kNop = 0, kRead = 1, kWrite = 2 };
+
+struct PacketHeader {
+  enum class Type { kType1, kType2, kNotAHeader } type = Type::kNotAHeader;
+  Opcode op = Opcode::kNop;
+  ConfigReg reg = ConfigReg::kCrc;  // type-1 only
+  std::uint32_t word_count = 0;
+};
+
+/// Build a type-1 header word.
+constexpr std::uint32_t make_type1(Opcode op, ConfigReg reg,
+                                   std::uint32_t word_count) {
+  return (0b001u << 29) | (static_cast<std::uint32_t>(op) << 27) |
+         ((static_cast<std::uint32_t>(reg) & 0x3FFFu) << 13) |
+         (word_count & 0x7FFu);
+}
+
+/// Build a type-2 header word (payload for the preceding type-1 register).
+constexpr std::uint32_t make_type2(Opcode op, std::uint32_t word_count) {
+  return (0b010u << 29) | (static_cast<std::uint32_t>(op) << 27) |
+         (word_count & 0x07FFFFFFu);
+}
+
+/// Decode a header word.
+constexpr PacketHeader decode_header(std::uint32_t w) {
+  PacketHeader h;
+  const std::uint32_t type = w >> 29;
+  if (type == 0b001) {
+    h.type = PacketHeader::Type::kType1;
+    h.op = static_cast<Opcode>((w >> 27) & 0x3u);
+    h.reg = static_cast<ConfigReg>((w >> 13) & 0x3FFFu);
+    h.word_count = w & 0x7FFu;
+  } else if (type == 0b010) {
+    h.type = PacketHeader::Type::kType2;
+    h.op = static_cast<Opcode>((w >> 27) & 0x3u);
+    h.word_count = w & 0x07FFFFFFu;
+  }
+  return h;
+}
+
+/// Model IDCODEs for the catalog devices.
+inline constexpr std::uint32_t kIdcodeXc2vp7 = 0x0123'8093u;
+inline constexpr std::uint32_t kIdcodeXc2vp30 = 0x0127'E093u;
+
+}  // namespace rtr::bitstream

@@ -1,0 +1,256 @@
+#include "bitstream/partial_config.hpp"
+
+#include <algorithm>
+
+#include "bitstream/crc.hpp"
+#include "bitstream/packet.hpp"
+#include "sim/check.hpp"
+
+namespace rtr::bitstream {
+
+using fabric::ColumnType;
+using fabric::ConfigMemory;
+using fabric::Device;
+using fabric::DynamicRegion;
+using fabric::FrameAddress;
+
+void PartialConfig::add_run(FrameRun run) {
+  RTR_CHECK(run.frame_count > 0, "empty frame run");
+  RTR_CHECK(static_cast<int>(run.words.size()) ==
+                run.frame_count * dev_->words_per_frame(),
+            "frame run word count mismatch");
+  FrameAddress a = run.start;
+  for (int i = 0; i < run.frame_count; ++i) {
+    RTR_CHECK(a.valid_for(*dev_), "frame run leaves the device");
+    a = a.next_in(*dev_);
+  }
+  runs_.push_back(std::move(run));
+}
+
+int PartialConfig::total_frames() const {
+  int n = 0;
+  for (const auto& r : runs_) n += r.frame_count;
+  return n;
+}
+
+bool PartialConfig::is_complete_for(const DynamicRegion& region) const {
+  // Collect the linear indices present.
+  ConfigMemory probe{*dev_};  // only used for linear_index()
+  std::vector<char> present(static_cast<std::size_t>(probe.total_frames()), 0);
+  for (const auto& r : runs_) {
+    FrameAddress a = r.start;
+    for (int i = 0; i < r.frame_count; ++i) {
+      present[static_cast<std::size_t>(probe.linear_index(a))] = 1;
+      a = a.next_in(*dev_);
+    }
+  }
+  FrameAddress a{ColumnType::kClb, 0, 0};
+  while (a.valid_for(*dev_)) {
+    if (region.covers(a) && !present[static_cast<std::size_t>(probe.linear_index(a))])
+      return false;
+    a = a.next_in(*dev_);
+  }
+  return true;
+}
+
+bool PartialConfig::confined_to(const DynamicRegion& region) const {
+  for (const auto& r : runs_) {
+    FrameAddress a = r.start;
+    for (int i = 0; i < r.frame_count; ++i) {
+      if (!region.covers(a)) return false;
+      a = a.next_in(*dev_);
+    }
+  }
+  return true;
+}
+
+void PartialConfig::apply_to(ConfigMemory& cm) const {
+  const int wpf = dev_->words_per_frame();
+  for (const auto& r : runs_) {
+    FrameAddress a = r.start;
+    for (int i = 0; i < r.frame_count; ++i) {
+      cm.write_frame(a, std::span<const std::uint32_t>{
+                            r.words.data() + static_cast<std::size_t>(i) * wpf,
+                            static_cast<std::size_t>(wpf)});
+      a = a.next_in(*dev_);
+    }
+  }
+}
+
+PartialConfig PartialConfig::diff(const ConfigMemory& base,
+                                  const ConfigMemory& target) {
+  RTR_CHECK(&base.device() == &target.device(), "diff across devices");
+  const Device& dev = base.device();
+  PartialConfig out{dev};
+  const int wpf = dev.words_per_frame();
+
+  FrameAddress a{ColumnType::kClb, 0, 0};
+  FrameRun run;
+  bool open = false;
+  FrameAddress expected_next{};
+  while (a.valid_for(dev)) {
+    const auto fb = base.frame(a);
+    const auto ft = target.frame(a);
+    const bool differs = !std::equal(fb.begin(), fb.end(), ft.begin());
+    if (differs) {
+      if (open && a == expected_next) {
+        ++run.frame_count;
+      } else {
+        if (open) out.runs_.push_back(std::move(run));
+        run = FrameRun{a, 1, {}};
+        run.words.reserve(static_cast<std::size_t>(wpf));
+        open = true;
+      }
+      run.words.insert(run.words.end(), ft.begin(), ft.end());
+      expected_next = a.next_in(dev);
+    }
+    a = a.next_in(dev);
+  }
+  if (open) out.runs_.push_back(std::move(run));
+  return out;
+}
+
+PartialConfig PartialConfig::full_region(const ConfigMemory& state,
+                                         const DynamicRegion& region) {
+  const Device& dev = state.device();
+  PartialConfig out{dev};
+  const int wpf = dev.words_per_frame();
+
+  FrameAddress a{ColumnType::kClb, 0, 0};
+  FrameRun run;
+  bool open = false;
+  FrameAddress expected_next{};
+  while (a.valid_for(dev)) {
+    if (region.covers(a)) {
+      const auto f = state.frame(a);
+      if (open && a == expected_next) {
+        ++run.frame_count;
+      } else {
+        if (open) out.runs_.push_back(std::move(run));
+        run = FrameRun{a, 1, {}};
+        run.words.reserve(static_cast<std::size_t>(wpf));
+        open = true;
+      }
+      run.words.insert(run.words.end(), f.begin(), f.end());
+      expected_next = a.next_in(dev);
+    }
+    a = a.next_in(dev);
+  }
+  if (open) out.runs_.push_back(std::move(run));
+  return out;
+}
+
+std::uint32_t idcode_for(const Device& dev) {
+  if (&dev == &Device::xc2vp7()) return kIdcodeXc2vp7;
+  if (&dev == &Device::xc2vp30()) return kIdcodeXc2vp30;
+  // Unknown devices get a stable hash-derived idcode.
+  std::uint32_t h = 2166136261u;
+  for (char c : dev.name()) h = (h ^ static_cast<std::uint8_t>(c)) * 16777619u;
+  return h;
+}
+
+std::vector<std::uint32_t> serialize(const PartialConfig& cfg, bool with_crc) {
+  std::vector<std::uint32_t> out;
+  Crc32 crc;
+  auto reg_write = [&](ConfigReg reg, std::uint32_t value) {
+    out.push_back(make_type1(Opcode::kWrite, reg, 1));
+    out.push_back(value);
+    crc.update_register_write(static_cast<std::uint32_t>(reg), value);
+  };
+
+  out.push_back(kDummyWord);
+  out.push_back(kSyncWord);
+  reg_write(ConfigReg::kIdcode, idcode_for(cfg.device()));
+  reg_write(ConfigReg::kCmd, static_cast<std::uint32_t>(Command::kRcrc));
+  crc.reset();
+
+  for (const FrameRun& r : cfg.runs()) {
+    reg_write(ConfigReg::kFar, r.start.pack());
+    reg_write(ConfigReg::kCmd, static_cast<std::uint32_t>(Command::kWcfg));
+    // Type-1 FDRI with zero count followed by a type-2 long payload.
+    out.push_back(make_type1(Opcode::kWrite, ConfigReg::kFdri, 0));
+    out.push_back(make_type2(Opcode::kWrite,
+                             static_cast<std::uint32_t>(r.words.size())));
+    for (std::uint32_t w : r.words) {
+      out.push_back(w);
+      crc.update_register_write(static_cast<std::uint32_t>(ConfigReg::kFdri), w);
+    }
+  }
+
+  reg_write(ConfigReg::kCmd, static_cast<std::uint32_t>(Command::kLfrm));
+  if (with_crc) {
+    // The CRC register write checks the accumulated value; compute before
+    // appending (the check value itself does not participate).
+    const std::uint32_t check = crc.value();
+    out.push_back(make_type1(Opcode::kWrite, ConfigReg::kCrc, 1));
+    out.push_back(check);
+  } else {
+    reg_write(ConfigReg::kCmd, static_cast<std::uint32_t>(Command::kRcrc));
+  }
+  reg_write(ConfigReg::kCmd, static_cast<std::uint32_t>(Command::kDesync));
+  out.push_back(kDummyWord);
+  return out;
+}
+
+PartialConfig parse(std::span<const std::uint32_t> words, const Device& dev) {
+  PartialConfig out{dev};
+  const int wpf = dev.words_per_frame();
+  std::size_t i = 0;
+  // Skip dummies until SYNC.
+  while (i < words.size() && words[i] != kSyncWord) {
+    RTR_CHECK(words[i] == kDummyWord, "garbage before SYNC");
+    ++i;
+  }
+  RTR_CHECK(i < words.size(), "no SYNC word");
+  ++i;
+
+  FrameAddress far{};
+  bool far_valid = false;
+  bool desynced = false;
+  while (i < words.size() && !desynced) {
+    const PacketHeader h = decode_header(words[i]);
+    RTR_CHECK(h.type == PacketHeader::Type::kType1, "expected type-1 header");
+    ++i;
+    std::uint32_t count = h.word_count;
+    ConfigReg reg = h.reg;
+    if (reg == ConfigReg::kFdri && count == 0) {
+      // Long-form payload.
+      const PacketHeader h2 = decode_header(words[i]);
+      RTR_CHECK(h2.type == PacketHeader::Type::kType2, "expected type-2 payload");
+      count = h2.word_count;
+      ++i;
+    }
+    RTR_CHECK(i + count <= words.size(), "packet payload truncated");
+    switch (reg) {
+      case ConfigReg::kFar:
+        RTR_CHECK(count == 1, "FAR write must be one word");
+        far = FrameAddress::unpack(words[i]);
+        far_valid = true;
+        break;
+      case ConfigReg::kFdri: {
+        RTR_CHECK(far_valid, "FDRI before FAR");
+        RTR_CHECK(count % static_cast<std::uint32_t>(wpf) == 0,
+                  "FDRI payload not a whole number of frames");
+        FrameRun run{far, static_cast<int>(count) / wpf, {}};
+        run.words.assign(words.begin() + static_cast<std::ptrdiff_t>(i),
+                         words.begin() + static_cast<std::ptrdiff_t>(i + count));
+        out.add_run(std::move(run));
+        break;
+      }
+      case ConfigReg::kCmd:
+        if (static_cast<Command>(words[i]) == Command::kDesync) desynced = true;
+        break;
+      case ConfigReg::kIdcode:
+        RTR_CHECK(words[i] == idcode_for(dev), "IDCODE mismatch");
+        break;
+      case ConfigReg::kCrc:
+      case ConfigReg::kFdro:
+        break;  // CRC checked by the ICAP model; FDRO is read-only
+    }
+    i += count;
+  }
+  RTR_CHECK(desynced, "stream ended without DESYNC");
+  return out;
+}
+
+}  // namespace rtr::bitstream

@@ -1,0 +1,30 @@
+#include "bus/bridge.hpp"
+
+#include "sim/check.hpp"
+
+namespace rtr::bus {
+
+using sim::SimTime;
+
+SlaveResult PlbOpbBridge::read(Addr addr, int bytes, SimTime start) {
+  // A 64-bit PLB beat is split into two 32-bit OPB transfers (the OPB is a
+  // 32-bit bus); this is what makes cache line fills from bridged memory
+  // expensive in the 32-bit system.
+  if (bytes == 8) {
+    const SlaveResult lo = opb_->read(addr, 4, forwarded(start));
+    const SlaveResult hi = opb_->read(addr + 4, 4, lo.done);
+    return SlaveResult{(hi.data << 32) | (lo.data & 0xFFFFFFFFu), hi.done};
+  }
+  return opb_->read(addr, bytes, forwarded(start));
+}
+
+SimTime PlbOpbBridge::write(Addr addr, std::uint64_t data, int bytes,
+                            SimTime start) {
+  if (bytes == 8) {
+    const SimTime t = opb_->write(addr, data & 0xFFFFFFFFu, 4, forwarded(start));
+    return opb_->write(addr + 4, data >> 32, 4, t);
+  }
+  return opb_->write(addr, data, bytes, forwarded(start));
+}
+
+}  // namespace rtr::bus

@@ -1,0 +1,158 @@
+#include "bus/bus.hpp"
+
+#include "sim/check.hpp"
+
+namespace rtr::bus {
+
+using sim::SimTime;
+
+SlaveResult Slave::burst_read(Addr addr, std::span<std::uint64_t> out,
+                              SimTime start, bool increment) {
+  SlaveResult last{0, start};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    last = read(increment ? addr + i * 8 : addr, 8, last.done);
+    out[i] = last.data;
+  }
+  return last;
+}
+
+SimTime Slave::burst_write(Addr addr, std::span<const std::uint64_t> data,
+                           SimTime start, bool increment) {
+  SimTime t = start;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    t = write(increment ? addr + i * 8 : addr, data[i], 8, t);
+  }
+  return t;
+}
+
+std::uint64_t Slave::peek(Addr, int) const {
+  RTR_CHECK(false, "peek on a slave without backdoor access");
+  __builtin_unreachable();
+}
+
+void Slave::poke(Addr, std::uint64_t, int) {
+  RTR_CHECK(false, "poke on a slave without backdoor access");
+}
+
+Bus::Bus(std::string name, sim::Simulation& sim, sim::Clock& clock,
+         BusProtocol protocol)
+    : name_(std::move(name)),
+      sim_(&sim),
+      clock_(&clock),
+      protocol_(protocol),
+      transactions_(&sim.stats().counter(name_ + ".transactions")),
+      beats_(&sim.stats().counter(name_ + ".beats")),
+      busy_stat_(&sim.stats().busy(name_ + ".busy")) {}
+
+void Bus::attach(AddressRange range, Slave& slave) {
+  RTR_CHECK(range.size > 0, "empty slave range");
+  for (const Attachment& a : map_) {
+    RTR_CHECK(!a.range.overlaps(range), "overlapping slave address ranges");
+  }
+  map_.push_back(Attachment{range, &slave});
+}
+
+bool Bus::decodes(Addr addr) const {
+  for (const Attachment& a : map_) {
+    if (a.range.contains(addr)) return true;
+  }
+  return false;
+}
+
+Slave& Bus::slave_at(Addr addr, std::uint64_t len) const {
+  for (const Attachment& a : map_) {
+    if (a.range.contains(addr)) {
+      RTR_CHECK(a.range.contains(addr, len),
+                "access crosses a slave boundary");
+      return *a.slave;
+    }
+  }
+  RTR_CHECK(false, "access to unmapped bus address");
+  __builtin_unreachable();
+}
+
+void Bus::check_beat(Addr addr, int bytes) const {
+  RTR_CHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8,
+            "beat size must be a power of two");
+  RTR_CHECK(bytes <= protocol_.max_beat_bytes, "beat wider than the bus");
+  RTR_CHECK(aligned(addr, bytes), "unaligned bus access");
+}
+
+SimTime Bus::begin_transaction(SimTime start, bool burst) {
+  if (burst) {
+    RTR_CHECK(protocol_.supports_burst, "burst on a non-burst bus");
+  }
+  SimTime t = clock_->next_edge(start);
+  if (busy_until_ > t) t = clock_->next_edge(busy_until_);
+  const int setup = protocol_.arbitration_cycles + protocol_.address_cycles +
+                    (burst ? protocol_.burst_setup_cycles : 0);
+  return t + clock_->cycles(setup);
+}
+
+SimTime Bus::end_transaction(SimTime data_done, SimTime started) {
+  const SimTime done =
+      clock_->next_edge(data_done) + clock_->cycles(protocol_.completion_cycles);
+  busy_until_ = done;
+  busy_stat_->add(started, done);
+  transactions_->add();
+  sim_->observe(done);
+  return done;
+}
+
+SlaveResult Bus::read(Addr addr, int bytes, SimTime start) {
+  check_beat(addr, bytes);
+  const SimTime data_start = begin_transaction(start, /*burst=*/false);
+  Slave& s = slave_at(addr, static_cast<std::uint64_t>(bytes));
+  const SlaveResult r = s.read(addr, bytes, data_start);
+  beats_->add();
+  const SimTime done = end_transaction(r.done, start);
+  if (sim_->logger().enabled(sim::LogLevel::kTrace)) {
+    sim_->logger().logf(sim::LogLevel::kTrace, done, name_,
+                        "rd %d @%08llx -> %llx (%s)", bytes,
+                        static_cast<unsigned long long>(addr),
+                        static_cast<unsigned long long>(r.data),
+                        s.name().c_str());
+  }
+  return SlaveResult{r.data, done};
+}
+
+SimTime Bus::write(Addr addr, std::uint64_t data, int bytes, SimTime start) {
+  check_beat(addr, bytes);
+  const SimTime data_start = begin_transaction(start, /*burst=*/false);
+  Slave& s = slave_at(addr, static_cast<std::uint64_t>(bytes));
+  const SimTime slave_done = s.write(addr, data, bytes, data_start);
+  beats_->add();
+  const SimTime done = end_transaction(slave_done, start);
+  if (sim_->logger().enabled(sim::LogLevel::kTrace)) {
+    sim_->logger().logf(sim::LogLevel::kTrace, done, name_,
+                        "wr %d @%08llx <- %llx (%s)", bytes,
+                        static_cast<unsigned long long>(addr),
+                        static_cast<unsigned long long>(data),
+                        s.name().c_str());
+  }
+  return done;
+}
+
+SlaveResult Bus::burst_read(Addr addr, std::span<std::uint64_t> out,
+                            SimTime start, bool increment) {
+  RTR_CHECK(!out.empty(), "empty burst");
+  RTR_CHECK(aligned(addr, 8), "bursts must be 8-byte aligned");
+  const SimTime data_start = begin_transaction(start, /*burst=*/true);
+  Slave& s = slave_at(addr, increment ? out.size() * 8 : 8);
+  const SlaveResult r = s.burst_read(addr, out, data_start, increment);
+  beats_->add(static_cast<std::int64_t>(out.size()));
+  return SlaveResult{r.data, end_transaction(r.done, start)};
+}
+
+SimTime Bus::burst_write(Addr addr, std::span<const std::uint64_t> data,
+                         SimTime start, bool increment) {
+  RTR_CHECK(!data.empty(), "empty burst");
+  RTR_CHECK(aligned(addr, 8), "bursts must be 8-byte aligned");
+  const SimTime data_start = begin_transaction(start, /*burst=*/true);
+  Slave& s = slave_at(addr, increment ? data.size() * 8 : 8);
+  const SimTime done = s.burst_write(addr, data, data_start, increment);
+  beats_->add(static_cast<std::int64_t>(data.size()));
+  return end_transaction(done, start);
+}
+
+}  // namespace rtr::bus

@@ -1,0 +1,33 @@
+// Bus address types.
+#pragma once
+
+#include <cstdint>
+
+namespace rtr::bus {
+
+/// Physical byte address on the on-chip interconnect.
+using Addr = std::uint64_t;
+
+/// A half-open address range [base, base+size).
+struct AddressRange {
+  Addr base = 0;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] constexpr Addr end() const { return base + size; }
+  [[nodiscard]] constexpr bool contains(Addr a) const {
+    return a >= base && a < end();
+  }
+  [[nodiscard]] constexpr bool contains(Addr a, std::uint64_t len) const {
+    return a >= base && len <= size && a + len <= end();
+  }
+  [[nodiscard]] constexpr bool overlaps(const AddressRange& o) const {
+    return base < o.end() && o.base < end();
+  }
+};
+
+/// True when `addr` is naturally aligned for an access of `bytes`.
+[[nodiscard]] constexpr bool aligned(Addr addr, int bytes) {
+  return (addr & static_cast<Addr>(bytes - 1)) == 0;
+}
+
+}  // namespace rtr::bus

@@ -1,0 +1,90 @@
+// OPB interrupt controller (added to the 64-bit system so the CPU need not
+// poll the PLB dock for DMA completion -- paper section 4.1).
+//
+// Devices assert lines with the simulated time of the assertion; the CPU
+// either polls the status register (a bus read) or sleeps until a line's
+// assertion time (wait_for), paying its interrupt entry cost on wakeup.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bus/slave.hpp"
+#include "fabric/resources.hpp"
+#include "sim/check.hpp"
+#include "sim/clock.hpp"
+
+namespace rtr::cpu {
+
+class InterruptController : public bus::Slave {
+ public:
+  static constexpr int kLines = 8;
+  static constexpr bus::Addr kStatusReg = 0x0;  // read: pending mask
+  static constexpr bus::Addr kAckReg = 0x4;     // write: clear mask
+
+  InterruptController(sim::Clock& clock, bus::AddressRange range)
+      : clock_(&clock), range_(range) {
+    pending_.fill(sim::SimTime::infinity());
+  }
+
+  [[nodiscard]] std::string name() const override { return "OPB INTC"; }
+  [[nodiscard]] bus::AddressRange range() const { return range_; }
+  [[nodiscard]] fabric::Resources controller_cost() const {
+    return fabric::Resources{60, 90, 80, 0};
+  }
+
+  /// Device side: assert `line` at simulated time `at` (may be in the
+  /// caller's future -- completion times are computed analytically).
+  void raise(int line, sim::SimTime at) {
+    RTR_CHECK(line >= 0 && line < kLines, "interrupt line out of range");
+    if (at < pending_[static_cast<std::size_t>(line)])
+      pending_[static_cast<std::size_t>(line)] = at;
+  }
+
+  /// CPU side: the time `line` is (or will be) asserted. Aborts when the
+  /// line was never raised -- sleeping on it would hang the real system.
+  [[nodiscard]] sim::SimTime assertion_time(int line) const {
+    RTR_CHECK(line >= 0 && line < kLines, "interrupt line out of range");
+    const sim::SimTime t = pending_[static_cast<std::size_t>(line)];
+    RTR_CHECK(t < sim::SimTime::infinity(),
+              "waiting on an interrupt nobody will raise");
+    return t;
+  }
+
+  void clear(int line) {
+    pending_[static_cast<std::size_t>(line)] = sim::SimTime::infinity();
+  }
+
+  [[nodiscard]] bool is_pending(int line, sim::SimTime now) const {
+    return pending_[static_cast<std::size_t>(line)] <= now;
+  }
+
+  // --- bus interface (status polling / acknowledge) ----------------------
+  bus::SlaveResult read(bus::Addr addr, int bytes,
+                        sim::SimTime start) override {
+    RTR_CHECK(bytes == 4 && addr - range_.base == kStatusReg,
+              "INTC supports 32-bit status reads");
+    std::uint32_t mask = 0;
+    for (int i = 0; i < kLines; ++i) {
+      if (is_pending(i, start)) mask |= 1u << i;
+    }
+    return {mask, clock_->after_cycles(start, 2)};
+  }
+
+  sim::SimTime write(bus::Addr addr, std::uint64_t data, int bytes,
+                     sim::SimTime start) override {
+    RTR_CHECK(bytes == 4 && addr - range_.base == kAckReg,
+              "INTC supports 32-bit ack writes");
+    for (int i = 0; i < kLines; ++i) {
+      if (data & (1u << i)) clear(i);
+    }
+    return clock_->after_cycles(start, 1);
+  }
+
+ private:
+  sim::Clock* clock_;
+  bus::AddressRange range_;
+  std::array<sim::SimTime, kLines> pending_;
+};
+
+}  // namespace rtr::cpu

@@ -1,0 +1,57 @@
+// Scatter-gather DMA engine (part of the PLB dock, paper section 4.1).
+//
+// "In order to use the full bus width, the PLB dock includes a
+// scatter-gather DMA controller that supports 64-bit transfers." The engine
+// is a PLB master that walks a descriptor chain, moving data in pipelined
+// bursts; the CPU is free while it runs and is notified by interrupt.
+//
+// Descriptors address either memory (incrementing) or a dock register
+// (fixed address: the stream input or the FIFO output).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bus/bus.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtr::dma {
+
+struct DmaDescriptor {
+  bus::Addr src = 0;
+  bus::Addr dst = 0;
+  std::uint64_t bytes = 0;     // must be a multiple of 8
+  bool src_increment = true;   // false: FIFO-style fixed register
+  bool dst_increment = true;
+};
+
+struct DmaParams {
+  int burst_beats = 16;             // 64-bit beats per bus tenure
+  int descriptor_setup_cycles = 10; // fetch + decode of one descriptor
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(sim::Simulation& sim, bus::PlbBus& plb, DmaParams params = {});
+
+  [[nodiscard]] const DmaParams& params() const { return params_; }
+
+  /// Execute a descriptor chain starting at `start`; returns the completion
+  /// time. Purely bus-driven: the caller (driver model) decides whether the
+  /// CPU waits on the completion interrupt or keeps computing.
+  sim::SimTime run_chain(std::span<const DmaDescriptor> chain,
+                         sim::SimTime start);
+
+  sim::SimTime run_one(const DmaDescriptor& d, sim::SimTime start) {
+    return run_chain({&d, 1}, start);
+  }
+
+ private:
+  sim::Simulation* sim_;
+  bus::PlbBus* plb_;
+  DmaParams params_;
+  sim::Counter* bytes_moved_;
+  sim::Counter* descriptors_;
+};
+
+}  // namespace rtr::dma

@@ -1,0 +1,69 @@
+// Configuration memory model.
+//
+// Holds the current configuration state of every frame of a device. The key
+// geometric property modelled here is that one frame word corresponds to one
+// CLB row (plus two pad words per frame), so partial-height reconfiguration
+// is a read-modify-write of a word range within full-column frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "fabric/frame_address.hpp"
+
+namespace rtr::fabric {
+
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(const Device& dev);
+
+  [[nodiscard]] const Device& device() const { return *dev_; }
+  [[nodiscard]] int words_per_frame() const { return wpf_; }
+
+  /// First frame word carrying CLB-row data. Word 0 and the last word of
+  /// every frame are pad words.
+  static constexpr int kRowWordBase = 1;
+  /// Frame word index that carries configuration for CLB row `row`.
+  [[nodiscard]] static constexpr int word_for_row(int row) {
+    return kRowWordBase + row;
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> frame(FrameAddress a) const;
+  [[nodiscard]] std::span<std::uint32_t> frame_mut(FrameAddress a);
+
+  /// Overwrite a whole frame. `data.size()` must equal words_per_frame().
+  void write_frame(FrameAddress a, std::span<const std::uint32_t> data);
+
+  /// Overwrite a word range within a frame (read-modify-write of the rest).
+  void write_words(FrameAddress a, int first_word,
+                   std::span<const std::uint32_t> data);
+
+  /// Number of frames whose content differs between two memories of the
+  /// same device. Used to verify differential-configuration generation.
+  [[nodiscard]] static int diff_frames(const ConfigMemory& a, const ConfigMemory& b);
+
+  /// Copy of the full state, for baselines/diffs.
+  [[nodiscard]] std::vector<std::uint32_t> snapshot() const { return words_; }
+  void restore(std::span<const std::uint32_t> snap);
+
+  /// Zero every frame (power-on state).
+  void clear();
+
+  /// Total number of frames.
+  [[nodiscard]] int total_frames() const { return total_frames_; }
+
+  /// Linear index of a frame in storage; also the canonical frame ordering.
+  [[nodiscard]] int linear_index(FrameAddress a) const;
+
+ private:
+  const Device* dev_;
+  int wpf_;
+  int total_frames_;
+  int clb_frames_;
+  int bram_ic_frames_;
+  std::vector<std::uint32_t> words_;  // total_frames_ * wpf_
+};
+
+}  // namespace rtr::fabric

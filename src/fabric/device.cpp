@@ -1,0 +1,104 @@
+#include "sim/check.hpp"
+#include "fabric/device.hpp"
+
+
+namespace rtr::fabric {
+
+Device::Device(std::string name, int clb_rows, int clb_cols,
+               std::vector<ClbRect> ppc_holes,
+               std::vector<BramColumn> bram_columns, int speed_grade)
+    : name_(std::move(name)),
+      clb_rows_(clb_rows),
+      clb_cols_(clb_cols),
+      ppc_holes_(std::move(ppc_holes)),
+      bram_columns_(std::move(bram_columns)),
+      speed_grade_(speed_grade) {
+  const ClbRect whole{0, 0, clb_rows_, clb_cols_};
+  int holes = 0;
+  for (const auto& h : ppc_holes_) {
+    RTR_CHECK(whole.contains(h), "PPC hole outside device");
+    holes += h.area();
+  }
+  total_clbs_ = clb_rows_ * clb_cols_ - holes;
+  for (const auto& b : bram_columns_) total_brams_ += b.blocks;
+}
+
+int Device::clbs_in(const ClbRect& rect) const {
+  int n = rect.intersection(ClbRect{0, 0, clb_rows_, clb_cols_}).area();
+  for (const auto& h : ppc_holes_) n -= rect.intersection(h).area();
+  return n;
+}
+
+bool Device::is_usable(ClbCoord c) const {
+  if (c.row < 0 || c.row >= clb_rows_ || c.col < 0 || c.col >= clb_cols_)
+    return false;
+  for (const auto& h : ppc_holes_) {
+    if (h.contains(c)) return false;
+  }
+  return true;
+}
+
+int Device::frames_in_column(ColumnType t) {
+  switch (t) {
+    case ColumnType::kClb:
+      return kFramesPerClbColumn;
+    case ColumnType::kBramInterconnect:
+      return kFramesPerBramInterconnect;
+    case ColumnType::kBramContent:
+      return kFramesPerBramContent;
+  }
+  return 0;
+}
+
+int Device::columns_of(ColumnType t) const {
+  switch (t) {
+    case ColumnType::kClb:
+      return clb_cols_;
+    case ColumnType::kBramInterconnect:
+    case ColumnType::kBramContent:
+      return static_cast<int>(bram_columns_.size());
+  }
+  return 0;
+}
+
+int Device::total_frames() const {
+  return columns_of(ColumnType::kClb) * kFramesPerClbColumn +
+         columns_of(ColumnType::kBramInterconnect) * kFramesPerBramInterconnect +
+         columns_of(ColumnType::kBramContent) * kFramesPerBramContent;
+}
+
+const Device& Device::xc2vp7() {
+  // 40x34 CLB array, one PPC405 core hole (16x8, centred-left as in the
+  // floorplan of figure 3), 44 BRAMs in 4 columns of 11.
+  static const Device d{
+      "XC2VP7-FG456-6",
+      /*clb_rows=*/40,
+      /*clb_cols=*/34,
+      /*ppc_holes=*/{ClbRect{12, 4, 16, 8}},
+      /*bram_columns=*/
+      {BramColumn{3, 11}, BramColumn{13, 11}, BramColumn{20, 11},
+       BramColumn{30, 11}},
+      /*speed_grade=*/6};
+  RTR_CHECK(d.total_slices() == 4928, "invariant");
+  RTR_CHECK(d.total_brams() == 44, "invariant");
+  return d;
+}
+
+const Device& Device::xc2vp30() {
+  // 80x46 CLB array, two PPC405 core holes, 136 BRAMs in 8 columns of 17.
+  static const Device d{
+      "XC2VP30-FF896-7",
+      /*clb_rows=*/80,
+      /*clb_cols=*/46,
+      /*ppc_holes=*/{ClbRect{20, 8, 16, 8}, ClbRect{40, 30, 16, 8}},
+      /*bram_columns=*/
+      {BramColumn{2, 17}, BramColumn{7, 17}, BramColumn{17, 17},
+       BramColumn{22, 17}, BramColumn{27, 17}, BramColumn{33, 17},
+       BramColumn{39, 17}, BramColumn{44, 17}},
+      /*speed_grade=*/7};
+  RTR_CHECK(d.total_slices() == 13696, "invariant");
+  RTR_CHECK(d.total_brams() == 136, "invariant");
+  return d;
+}
+
+}  // namespace rtr::fabric

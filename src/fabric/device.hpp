@@ -1,0 +1,122 @@
+// Virtex-II Pro device models.
+//
+// The device catalog captures the geometry facts the paper's two systems
+// rest on:
+//   XC2VP7  : CLB array 40 rows x 34 cols, one PPC405 hole of 16x8 CLBs
+//             => 1360 - 128 = 1232 usable CLBs = 4928 slices; 44 BRAMs.
+//   XC2VP30 : CLB array 80 rows x 46 cols, two PPC405 holes of 16x8 CLBs
+//             => 3680 - 256 = 3424 usable CLBs = 13696 slices; 136 BRAMs.
+//
+// Configuration is organised by *frames*: a frame is the atom of
+// (re)configuration and spans a full column of the device (every row). A CLB
+// column is controlled by kFramesPerClbColumn frames; BRAM columns have
+// separate interconnect and content frames. This full-column property is
+// what makes partial-height dynamic regions interesting: every frame of the
+// region also carries configuration for the static rows above/below it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/geometry.hpp"
+#include "fabric/resources.hpp"
+
+namespace rtr::fabric {
+
+/// Kinds of configuration columns (block types in frame addressing).
+enum class ColumnType : std::uint8_t {
+  kClb = 0,        // CLB logic + routing
+  kBramInterconnect = 1,
+  kBramContent = 2,
+};
+
+/// Number of frames controlling one column, by type (Virtex-II family).
+inline constexpr int kFramesPerClbColumn = 22;
+inline constexpr int kFramesPerBramInterconnect = 22;
+inline constexpr int kFramesPerBramContent = 64;
+
+inline constexpr int kSlicesPerClb = 4;
+inline constexpr int kLutsPerClb = 8;
+inline constexpr int kFlipFlopsPerClb = 8;
+inline constexpr int kBramKbits = 18;
+
+/// A BRAM column: a vertical strip of block RAMs at a fixed CLB column
+/// position. `blocks` RAM blocks are evenly spread over the device height.
+struct BramColumn {
+  int clb_col = 0;  // CLB column immediately to the left of the strip
+  int blocks = 0;
+};
+
+/// Static geometry of one device.
+class Device {
+ public:
+  Device(std::string name, int clb_rows, int clb_cols,
+         std::vector<ClbRect> ppc_holes, std::vector<BramColumn> bram_columns,
+         int speed_grade);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int clb_rows() const { return clb_rows_; }
+  [[nodiscard]] int clb_cols() const { return clb_cols_; }
+  [[nodiscard]] int speed_grade() const { return speed_grade_; }
+  [[nodiscard]] const std::vector<ClbRect>& ppc_holes() const { return ppc_holes_; }
+  [[nodiscard]] const std::vector<BramColumn>& bram_columns() const {
+    return bram_columns_;
+  }
+
+  /// Usable CLBs: grid area minus PPC holes.
+  [[nodiscard]] int total_clbs() const { return total_clbs_; }
+  [[nodiscard]] int total_slices() const { return total_clbs_ * kSlicesPerClb; }
+  [[nodiscard]] int total_brams() const { return total_brams_; }
+  [[nodiscard]] Resources total_resources() const {
+    return Resources::from_clbs(total_clbs_, total_brams_);
+  }
+
+  /// Usable CLBs inside `rect` (excluding any PPC hole overlap).
+  [[nodiscard]] int clbs_in(const ClbRect& rect) const;
+
+  /// True when `c` is a usable CLB tile (in bounds and not inside a hole).
+  [[nodiscard]] bool is_usable(ClbCoord c) const;
+
+  /// Number of embedded PPC405 cores.
+  [[nodiscard]] int ppc_cores() const { return static_cast<int>(ppc_holes_.size()); }
+
+  // --- frame geometry -------------------------------------------------
+  /// Words (32-bit) in one frame: one word per CLB row plus two pad words
+  /// (the hardware pads frames to the configuration logic's pipeline; the
+  /// exact constant is a model choice, the row-per-word granularity is the
+  /// property the read-modify-write logic relies on).
+  [[nodiscard]] int words_per_frame() const { return clb_rows_ + 2; }
+
+  /// Frames in a column of the given type.
+  [[nodiscard]] static int frames_in_column(ColumnType t);
+
+  /// Number of columns of each type.
+  [[nodiscard]] int columns_of(ColumnType t) const;
+
+  /// Total number of frames in the device's configuration memory.
+  [[nodiscard]] int total_frames() const;
+
+  /// Size in bytes of a full (non-partial) configuration.
+  [[nodiscard]] std::int64_t full_bitstream_bytes() const {
+    return static_cast<std::int64_t>(total_frames()) * words_per_frame() * 4;
+  }
+
+  // --- catalog ---------------------------------------------------------
+  /// XC2VP7-FG456: device of the paper's 32-bit system (section 3).
+  static const Device& xc2vp7();
+  /// XC2VP30-FF896: device of the paper's 64-bit system (section 4).
+  static const Device& xc2vp30();
+
+ private:
+  std::string name_;
+  int clb_rows_;
+  int clb_cols_;
+  std::vector<ClbRect> ppc_holes_;
+  std::vector<BramColumn> bram_columns_;
+  int speed_grade_;
+  int total_clbs_ = 0;
+  int total_brams_ = 0;
+};
+
+}  // namespace rtr::fabric

@@ -1,0 +1,115 @@
+// Dynamic region: the floorplanned rectangle reserved for run-time
+// reconfiguration.
+//
+// A dynamic region never spans the full device height (section 2.2 of the
+// paper: a full-height region would cut left-right routing, and board-level
+// pin constraints forbid it), so every configuration frame that carries the
+// region also carries static rows above/below -- the partial configurations
+// loaded at run time must preserve those rows.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "fabric/config_memory.hpp"
+#include "fabric/device.hpp"
+#include "fabric/geometry.hpp"
+#include "fabric/resources.hpp"
+
+namespace rtr::fabric {
+
+/// Block RAMs granted to the dynamic region from one BRAM column.
+struct BramAllocation {
+  int column_index = 0;  // index into Device::bram_columns()
+  int first_block = 0;
+  int blocks = 0;
+};
+
+class DynamicRegion {
+ public:
+  /// Validates the floorplan: the rectangle must lie inside the device, not
+  /// overlap a PPC hole, and every BRAM allocation must come from a column
+  /// within the region's horizontal extent with blocks reaching its rows.
+  DynamicRegion(std::string name, const Device& dev, ClbRect rect,
+                std::vector<BramAllocation> brams);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Device& device() const { return *dev_; }
+  [[nodiscard]] const ClbRect& rect() const { return rect_; }
+  [[nodiscard]] const std::vector<BramAllocation>& brams() const { return brams_; }
+
+  [[nodiscard]] int clbs() const { return rect_.area(); }
+  [[nodiscard]] int slices() const { return clbs() * kSlicesPerClb; }
+  [[nodiscard]] int bram_blocks() const;
+  [[nodiscard]] Resources resources() const {
+    return Resources::from_clbs(clbs(), bram_blocks());
+  }
+  /// Fraction of the device's slices inside the region (the paper quotes
+  /// 25 % for the 32-bit system and 22.4 % for the 64-bit one).
+  [[nodiscard]] double slice_percent() const {
+    return percent_of(slices(), dev_->total_slices());
+  }
+
+  // --- frame geometry ---------------------------------------------------
+  /// CLB columns (major addresses) covered by the region.
+  [[nodiscard]] std::vector<int> clb_columns() const;
+  /// First frame word carrying region rows; the words [first_word,
+  /// first_word + rect().rows) of each covered frame belong to the region.
+  [[nodiscard]] int first_word() const {
+    return ConfigMemory::word_for_row(rect_.row0);
+  }
+  [[nodiscard]] int word_count() const { return rect_.rows; }
+
+  /// True when frame `a` carries any configuration of this region.
+  [[nodiscard]] bool covers(FrameAddress a) const;
+
+  /// Number of frames that carry region configuration (all frames of every
+  /// covered column, CLB and BRAM planes).
+  [[nodiscard]] int covered_frames() const;
+
+  // --- module signature -------------------------------------------------
+  // A loaded module advertises itself through a 4-word signature placed at
+  // a fixed, region-relative location (the model equivalent of the dock
+  // recognising a configured circuit). The words are: magic, module id,
+  // bitwise-complement of the id, and a payload revision.
+  static constexpr int kSignatureWords = 4;
+  static constexpr std::uint32_t kSignatureMagic = 0xD0C4'B175;
+
+  /// Frame that carries the signature: the last minor frame of the region's
+  /// first CLB column.
+  [[nodiscard]] FrameAddress signature_frame() const {
+    return FrameAddress{ColumnType::kClb, rect_.col0, kFramesPerClbColumn - 1};
+  }
+  /// Word offset of the signature inside the signature frame.
+  [[nodiscard]] int signature_word() const { return first_word(); }
+
+  /// Scan `cm` for a valid signature; returns the module id, or -1 when no
+  /// coherent signature is present (e.g. mid-reconfiguration).
+  [[nodiscard]] int scan_signature(const ConfigMemory& cm) const;
+
+  // --- floorplans of the paper's two systems -----------------------------
+  /// 28x11 CLBs (308 CLBs, 25 % of slices) + 6 BRAMs on XC2VP7 (section 3).
+  static DynamicRegion xc2vp7_region();
+  /// 32x24 CLBs (768 CLBs, 3072 slices, 22.4 %) + 22 BRAMs on XC2VP30
+  /// (section 4).
+  static DynamicRegion xc2vp30_region();
+
+  /// Extension (section 4.1 suggests "having two separate dynamic areas" to
+  /// use the slices the second PPC core fragments): a second region on the
+  /// XC2VP30, column-disjoint from xc2vp30_region() so the two can be
+  /// reconfigured independently -- full-column frames make column-sharing
+  /// regions overwrite each other.
+  static DynamicRegion xc2vp30_region_b();
+
+  /// True when no configuration frame carries both regions.
+  [[nodiscard]] bool column_disjoint_with(const DynamicRegion& other) const;
+
+ private:
+  std::string name_;
+  const Device* dev_;
+  ClbRect rect_;
+  std::vector<BramAllocation> brams_;
+};
+
+}  // namespace rtr::fabric

@@ -1,0 +1,54 @@
+// Fabric coordinate types.
+//
+// The reconfigurable fabric is a grid of CLB tiles (row 0 at the bottom,
+// column 0 at the left, as in Xilinx floorplans). Dynamic regions, PPC holes
+// and component placements are axis-aligned rectangles on this grid.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rtr::fabric {
+
+/// A CLB tile coordinate.
+struct ClbCoord {
+  int row = 0;
+  int col = 0;
+  friend constexpr bool operator==(ClbCoord, ClbCoord) = default;
+};
+
+/// A half-open rectangle of CLB tiles: rows [row0, row0+rows),
+/// columns [col0, col0+cols).
+struct ClbRect {
+  int row0 = 0;
+  int col0 = 0;
+  int rows = 0;
+  int cols = 0;
+
+  [[nodiscard]] constexpr int row_end() const { return row0 + rows; }
+  [[nodiscard]] constexpr int col_end() const { return col0 + cols; }
+  [[nodiscard]] constexpr int area() const { return rows * cols; }
+  [[nodiscard]] constexpr bool empty() const { return rows <= 0 || cols <= 0; }
+
+  [[nodiscard]] constexpr bool contains(ClbCoord c) const {
+    return c.row >= row0 && c.row < row_end() && c.col >= col0 && c.col < col_end();
+  }
+  [[nodiscard]] constexpr bool contains(const ClbRect& o) const {
+    return o.row0 >= row0 && o.row_end() <= row_end() && o.col0 >= col0 &&
+           o.col_end() <= col_end();
+  }
+  [[nodiscard]] constexpr bool intersects(const ClbRect& o) const {
+    return !(o.col0 >= col_end() || o.col_end() <= col0 || o.row0 >= row_end() ||
+             o.row_end() <= row0);
+  }
+  [[nodiscard]] ClbRect intersection(const ClbRect& o) const {
+    const int r0 = std::max(row0, o.row0);
+    const int c0 = std::max(col0, o.col0);
+    const int r1 = std::min(row_end(), o.row_end());
+    const int c1 = std::min(col_end(), o.col_end());
+    return ClbRect{r0, c0, std::max(0, r1 - r0), std::max(0, c1 - c0)};
+  }
+  friend constexpr bool operator==(const ClbRect&, const ClbRect&) = default;
+};
+
+}  // namespace rtr::fabric

@@ -1,0 +1,55 @@
+// Resource accounting for fabric area reports (paper Tables 1 and 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rtr::fabric {
+
+/// Virtex-II Pro resource bundle. One CLB = 4 slices; one slice = two
+/// 4-input LUTs + two flip-flops; BRAM blocks hold 18 kbit each.
+struct Resources {
+  int slices = 0;
+  int luts = 0;
+  int flip_flops = 0;
+  int bram_blocks = 0;
+
+  /// A bundle with fully used CLBs (all LUTs/FFs of each slice).
+  static constexpr Resources from_clbs(int clbs, int brams = 0) {
+    return Resources{clbs * 4, clbs * 8, clbs * 8, brams};
+  }
+
+  constexpr Resources& operator+=(const Resources& o) {
+    slices += o.slices;
+    luts += o.luts;
+    flip_flops += o.flip_flops;
+    bram_blocks += o.bram_blocks;
+    return *this;
+  }
+  friend constexpr Resources operator+(Resources a, const Resources& b) {
+    a += b;
+    return a;
+  }
+  friend constexpr Resources operator-(Resources a, const Resources& b) {
+    a.slices -= b.slices;
+    a.luts -= b.luts;
+    a.flip_flops -= b.flip_flops;
+    a.bram_blocks -= b.bram_blocks;
+    return a;
+  }
+  friend constexpr bool operator==(const Resources&, const Resources&) = default;
+
+  /// True when this bundle fits inside `budget` component-wise.
+  [[nodiscard]] constexpr bool fits_in(const Resources& budget) const {
+    return slices <= budget.slices && luts <= budget.luts &&
+           flip_flops <= budget.flip_flops && bram_blocks <= budget.bram_blocks;
+  }
+};
+
+/// Percentage of `part` against `whole`, safe for zero denominators.
+[[nodiscard]] constexpr double percent_of(int part, int whole) {
+  return whole > 0 ? 100.0 * static_cast<double>(part) / static_cast<double>(whole)
+                   : 0.0;
+}
+
+}  // namespace rtr::fabric

@@ -1,0 +1,66 @@
+#include "hw/image_units.hpp"
+
+#include "apps/golden.hpp"
+
+namespace rtr::hw {
+
+// --- BrightnessModule ------------------------------------------------------------
+
+void BrightnessModule::reset() {
+  delta_ = 0;
+  out_ = 0;
+  fresh_ = false;
+}
+
+void BrightnessModule::write_word(std::uint64_t data, int width_bits) {
+  const int n = width_bits / 8;
+  std::uint64_t out = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto px = static_cast<std::uint8_t>(data >> (8 * i));
+    out |= static_cast<std::uint64_t>(apps::sat_add(px, delta_)) << (8 * i);
+  }
+  out_ = out;
+  fresh_ = true;
+}
+
+// --- TwoSourceModule ----------------------------------------------------------------
+
+void TwoSourceModule::reset() {
+  set_control(0);
+  half_ = 0;
+  phase_ = 0;
+  out_ = 0;
+  fresh_ = false;
+}
+
+void TwoSourceModule::write_word(std::uint64_t data, int width_bits) {
+  // A strobe carries n pixels of A in the low bytes and n of B above them.
+  const int n = width_bits / 16;
+  std::uint64_t res = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::uint8_t>(data >> (8 * i));
+    const auto b = static_cast<std::uint8_t>(data >> (8 * (n + i)));
+    res |= static_cast<std::uint64_t>(combine(a, b)) << (8 * i);
+  }
+  if (phase_ == 0) {
+    half_ = res;
+    phase_ = 1;
+    fresh_ = false;
+  } else {
+    // Pack the previous strobe's pixels in the low half, this strobe's in
+    // the high half: a full-width word per two strobes.
+    out_ = half_ | (res << (8 * n));
+    phase_ = 0;
+    fresh_ = true;
+  }
+}
+
+std::uint8_t BlendAddModule::combine(std::uint8_t a, std::uint8_t b) const {
+  return apps::sat_add(a, b);
+}
+
+std::uint8_t FadeModule::combine(std::uint8_t a, std::uint8_t b) const {
+  return apps::fade_px(a, b, f_);
+}
+
+}  // namespace rtr::hw

@@ -1,0 +1,111 @@
+#include "hw/pattern_matcher.hpp"
+
+#include <bit>
+
+namespace rtr::hw {
+
+void PatternMatcherModule::reset() {
+  state_ = State::kGeometry;
+  capacity_error_ = false;
+  width_ = height_ = 0;
+  pixels_expected_ = pixels_received_ = 0;
+  bits_.clear();
+  for (auto& p : pattern_) p = 0;
+  counts_.clear();
+  read_index_ = 0;
+}
+
+void PatternMatcherModule::write_word(std::uint64_t data, int width_bits) {
+  accept32(static_cast<std::uint32_t>(data));
+  if (width_bits == 64) accept32(static_cast<std::uint32_t>(data >> 32));
+}
+
+void PatternMatcherModule::accept32(std::uint32_t w) {
+  switch (state_) {
+    case State::kGeometry: {
+      width_ = static_cast<int>(w >> 16);
+      height_ = static_cast<int>(w & 0xFFFF);
+      pixels_expected_ = static_cast<std::size_t>(width_) *
+                         static_cast<std::size_t>(height_);
+      if (static_cast<std::int64_t>(pixels_expected_) > capacity_bits_ ||
+          width_ < 8 || height_ < 8 || width_ % 4 != 0) {
+        capacity_error_ = true;
+      }
+      pixels_received_ = 0;
+      bits_.clear();
+      if (!capacity_error_) bits_.assign(pixels_expected_, 0);
+      state_ = State::kPatternLo;
+      break;
+    }
+    case State::kPatternLo:
+      for (int i = 0; i < 4; ++i) {
+        pattern_[i] = static_cast<std::uint8_t>(w >> (8 * i));
+      }
+      state_ = State::kPatternHi;
+      break;
+    case State::kPatternHi:
+      for (int i = 0; i < 4; ++i) {
+        pattern_[4 + i] = static_cast<std::uint8_t>(w >> (8 * i));
+      }
+      state_ = State::kImage;
+      break;
+    case State::kImage:
+      // Four pixel bytes per word, thresholded to bits on entry.
+      for (int i = 0; i < 4 && pixels_received_ < pixels_expected_; ++i) {
+        const std::uint8_t px = static_cast<std::uint8_t>(w >> (8 * i));
+        if (!capacity_error_) bits_[pixels_received_] = px != 0;
+        ++pixels_received_;
+      }
+      if (pixels_received_ == pixels_expected_) finish();
+      break;
+    case State::kDone:
+      break;  // trailing pad strobes are ignored; control() re-arms
+  }
+}
+
+void PatternMatcherModule::finish() {
+  state_ = State::kDone;
+  if (capacity_error_) return;
+
+  // The eight-stage pipeline: stage pr compares pattern row pr against the
+  // 8 thresholded image bits starting at (r+pr, c); the stage sums feed the
+  // final adder. Counts stream out in window scan order.
+  auto row_bits8 = [&](int r, int c) {
+    const std::size_t base = static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(width_) +
+                             static_cast<std::size_t>(c);
+    std::uint8_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint8_t>(bits_[base + static_cast<std::size_t>(i)] << i);
+    }
+    return v;
+  };
+
+  counts_.reserve(static_cast<std::size_t>(height_ - 7) *
+                  static_cast<std::size_t>(width_ - 7));
+  for (int r = 0; r + 8 <= height_; ++r) {
+    for (int c = 0; c + 8 <= width_; ++c) {
+      int count = 0;
+      for (int pr = 0; pr < 8; ++pr) {
+        count += std::popcount(static_cast<std::uint8_t>(
+            ~(row_bits8(r + pr, c) ^ pattern_[pr])));
+      }
+      counts_.push_back(static_cast<std::uint8_t>(count));
+    }
+  }
+}
+
+std::uint64_t PatternMatcherModule::read_word(int width_bits) {
+  auto next32 = [&]() -> std::uint32_t {
+    if (state_ != State::kDone || capacity_error_ || read_index_ >= counts_.size())
+      return 0xFFFFFFFFu;
+    return counts_[read_index_++];
+  };
+  if (width_bits == 64) {
+    const std::uint64_t lo = next32();
+    return lo | (static_cast<std::uint64_t>(next32()) << 32);
+  }
+  return next32();
+}
+
+}  // namespace rtr::hw

@@ -1,0 +1,131 @@
+// Memory controllers: SRAM (OPB), DDR (PLB) and on-chip BRAM (PLB).
+//
+// One generic slave parameterised by wait-state timing covers all three;
+// the presets encode the systems of the paper:
+//   * 32 MB static RAM behind the small OPB controller (32-bit system) --
+//     "using the OPB instead of the PLB to access external memory requires
+//     a much smaller controller";
+//   * 512 MB DDR on the PLB (64-bit system), burst-capable;
+//   * on-chip BRAM, single-cycle.
+#pragma once
+
+#include <string>
+
+#include "bus/slave.hpp"
+#include "fabric/resources.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/check.hpp"
+#include "sim/clock.hpp"
+
+namespace rtr::mem {
+
+/// Wait states in the controller's bus clock.
+struct MemTiming {
+  int read_wait = 0;         // cycles before a single-beat read's data
+  int write_wait = 0;        // cycles to accept a single-beat write
+  int burst_first_wait = 0;  // cycles before the first beat of a burst
+  int burst_beat_cycles = 1; // cycles per subsequent beat
+};
+
+class MemorySlave : public bus::Slave {
+ public:
+  MemorySlave(std::string name, bus::AddressRange range, sim::Clock& clock,
+              MemTiming timing, fabric::Resources controller_cost)
+      : name_(std::move(name)),
+        range_(range),
+        clock_(&clock),
+        timing_(timing),
+        cost_(controller_cost),
+        store_(range.size) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bus::AddressRange range() const { return range_; }
+  [[nodiscard]] const MemTiming& timing() const { return timing_; }
+  /// Fabric cost of the controller IP (for the resource-usage tables).
+  [[nodiscard]] fabric::Resources controller_cost() const { return cost_; }
+
+  /// Zero-simulated-time host access for workload setup and verification.
+  [[nodiscard]] SparseMemory& storage() { return store_; }
+  [[nodiscard]] const SparseMemory& storage() const { return store_; }
+
+  bus::SlaveResult read(bus::Addr addr, int bytes,
+                        sim::SimTime start) override {
+    const std::uint64_t off = addr - range_.base;
+    return {store_.read(off, bytes),
+            clock_->after_cycles(start, timing_.read_wait + 1)};
+  }
+
+  sim::SimTime write(bus::Addr addr, std::uint64_t data, int bytes,
+                     sim::SimTime start) override {
+    store_.write(addr - range_.base, data, bytes);
+    return clock_->after_cycles(start, timing_.write_wait + 1);
+  }
+
+  bus::SlaveResult burst_read(bus::Addr addr, std::span<std::uint64_t> out,
+                              sim::SimTime start, bool increment) override {
+    RTR_CHECK(increment, "fixed-address bursts target registers, not memory");
+    sim::SimTime t = clock_->after_cycles(start, timing_.burst_first_wait + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = store_.read(addr - range_.base + i * 8, 8);
+      if (i > 0) t = t + clock_->cycles(timing_.burst_beat_cycles);
+    }
+    return {out.empty() ? 0 : out.back(), t};
+  }
+
+  sim::SimTime burst_write(bus::Addr addr,
+                           std::span<const std::uint64_t> data,
+                           sim::SimTime start, bool increment) override {
+    RTR_CHECK(increment, "fixed-address bursts target registers, not memory");
+    sim::SimTime t = clock_->after_cycles(start, timing_.burst_first_wait + 1);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      store_.write(addr - range_.base + i * 8, data[i], 8);
+      if (i > 0) t = t + clock_->cycles(timing_.burst_beat_cycles);
+    }
+    return t;
+  }
+
+  [[nodiscard]] std::uint64_t peek(bus::Addr addr, int bytes) const override {
+    return store_.read(addr - range_.base, bytes);
+  }
+  void poke(bus::Addr addr, std::uint64_t data, int bytes) override {
+    store_.write(addr - range_.base, data, bytes);
+  }
+
+  // --- presets ----------------------------------------------------------
+  /// External SRAM on the OPB (32-bit system): modest wait states, small
+  /// controller.
+  static MemorySlave sram_on_opb(bus::AddressRange range, sim::Clock& opb) {
+    return MemorySlave{"ext-sram", range, opb,
+                       MemTiming{.read_wait = 5, .write_wait = 3,
+                                 .burst_first_wait = 5, .burst_beat_cycles = 2},
+                       fabric::Resources{120, 180, 140, 0}};
+  }
+
+  /// External DDR on the PLB (64-bit system): higher first-access latency,
+  /// fast pipelined bursts, a much larger controller.
+  static MemorySlave ddr_on_plb(bus::AddressRange range, sim::Clock& plb) {
+    return MemorySlave{"ddr", range, plb,
+                       MemTiming{.read_wait = 4, .write_wait = 2,
+                                 .burst_first_wait = 4, .burst_beat_cycles = 1},
+                       fabric::Resources{720, 1100, 980, 0}};
+  }
+
+  /// On-chip BRAM controller on the PLB.
+  static MemorySlave bram_on_plb(bus::AddressRange range, sim::Clock& plb,
+                                 int bram_blocks) {
+    return MemorySlave{"ocm-bram", range, plb,
+                       MemTiming{.read_wait = 0, .write_wait = 0,
+                                 .burst_first_wait = 0, .burst_beat_cycles = 1},
+                       fabric::Resources{90, 130, 110, bram_blocks}};
+  }
+
+ private:
+  std::string name_;
+  bus::AddressRange range_;
+  sim::Clock* clock_;
+  MemTiming timing_;
+  fabric::Resources cost_;
+  SparseMemory store_;
+};
+
+}  // namespace rtr::mem

@@ -1,0 +1,83 @@
+// Sparse backing store for modelled memories.
+//
+// The 64-bit system's DDR is 512 MB; allocating it eagerly per simulation
+// would be wasteful, so storage is paged in 64 KB chunks on first touch.
+// All multi-byte accesses are little-endian (a consistent internal
+// convention; the modelled software and hardware agree on it end to end).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/check.hpp"
+
+namespace rtr::mem {
+
+class SparseMemory {
+ public:
+  explicit SparseMemory(std::uint64_t size) : size_(size) {}
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  [[nodiscard]] std::uint8_t read8(std::uint64_t off) const {
+    RTR_CHECK(off < size_, "memory read out of range");
+    const Page* p = find_page(off);
+    return p ? (*p)[off & kPageMask] : 0;
+  }
+
+  void write8(std::uint64_t off, std::uint8_t v) {
+    RTR_CHECK(off < size_, "memory write out of range");
+    touch_page(off)[off & kPageMask] = v;
+  }
+
+  /// Little-endian read of 1..8 bytes.
+  [[nodiscard]] std::uint64_t read(std::uint64_t off, int bytes) const {
+    std::uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i) {
+      v = (v << 8) | read8(off + static_cast<std::uint64_t>(i));
+    }
+    return v;
+  }
+
+  /// Little-endian write of 1..8 bytes.
+  void write(std::uint64_t off, std::uint64_t value, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      write8(off + static_cast<std::uint64_t>(i),
+             static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void write_block(std::uint64_t off, std::span<const std::uint8_t> data) {
+    for (std::size_t i = 0; i < data.size(); ++i) write8(off + i, data[i]);
+  }
+  void read_block(std::uint64_t off, std::span<std::uint8_t> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = read8(off + i);
+  }
+
+  /// Pages currently materialised (observability for tests).
+  [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  static constexpr std::uint64_t kPageBytes = 64 * 1024;
+  static constexpr std::uint64_t kPageMask = kPageBytes - 1;
+  using Page = std::vector<std::uint8_t>;
+
+  [[nodiscard]] const Page* find_page(std::uint64_t off) const {
+    auto it = pages_.find(off / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+  Page& touch_page(std::uint64_t off) {
+    auto& slot = pages_[off / kPageBytes];
+    if (!slot) slot = std::make_unique<Page>(kPageBytes, 0);
+    return *slot;
+  }
+
+  std::uint64_t size_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace rtr::mem

@@ -1,0 +1,62 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+
+namespace rtr::report {
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 3;
+
+  os << '\n' << title_ << '\n' << std::string(total, '=') << '\n';
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << headers_[i] << std::string(width[i] - headers_[i].size() + 3, ' ');
+  }
+  os << '\n' << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << r[i] << std::string(width[i] - r[i].size() + 3, ' ');
+    }
+    os << '\n';
+  }
+  os << std::string(total, '=') << '\n';
+}
+
+std::string fmt_us(sim::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", t.us());
+  return buf;
+}
+
+std::string fmt_ms(sim::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", t.ms());
+  return buf;
+}
+
+std::string fmt_x(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", factor);
+  return buf;
+}
+
+std::string fmt_int(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string fmt_pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v);
+  return buf;
+}
+
+}  // namespace rtr::report

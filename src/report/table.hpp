@@ -1,0 +1,41 @@
+// Fixed-width table rendering for the bench harness: each bench binary
+// prints the rows of the paper table it regenerates.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rtr::report {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers)
+      : title_(std::move(title)), headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Microseconds with 3 decimals ("1.234").
+[[nodiscard]] std::string fmt_us(sim::SimTime t);
+/// Milliseconds with 3 decimals.
+[[nodiscard]] std::string fmt_ms(sim::SimTime t);
+/// Speedup factor ("12.3x").
+[[nodiscard]] std::string fmt_x(double factor);
+[[nodiscard]] std::string fmt_int(std::int64_t v);
+[[nodiscard]] std::string fmt_pct(double v);
+
+}  // namespace rtr::report

@@ -1,0 +1,124 @@
+// ModuleManager: on-demand module residency with *safe differential
+// reconfiguration*.
+//
+// The paper (section 2.2) rules differential configurations out because
+// "the dynamic area is used for multiple configurations in an order that is
+// unknown at the time the partial configurations are produced". At run time
+// the order IS known: the manager tracks the fabric state it last
+// established, generates a differential configuration against it (typically
+// 3-4x smaller than the complete one), and relies on the runtime's
+// signature + payload-hash gate to catch any stale-state assumption -- on
+// a validation failure it falls back to the always-safe complete
+// configuration. Fast in the common case, never less safe than the
+// BitLinker flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/partial_config.hpp"
+#include "fabric/config_memory.hpp"
+#include "hw/library.hpp"
+#include "rtr/platform.hpp"
+
+namespace rtr {
+
+struct EnsureStats {
+  bool ok = false;
+  bool already_resident = false;  // no reconfiguration needed
+  bool used_differential = false; // loaded the small differential config
+  bool fell_back = false;         // differential failed, complete retried
+  std::string error;
+  sim::SimTime time;              // total simulated time spent
+  std::int64_t stream_words = 0;  // words pushed through the HWICAP
+};
+
+/// Works with any platform exposing linker()/kernel()/fabric_state()/
+/// load_module()/load_config()/active_module() (Platform32, Platform64).
+template <typename Platform>
+class ModuleManager {
+ public:
+  explicit ModuleManager(Platform& p, bool enable_differential = true)
+      : p_(&p), differential_(enable_differential) {}
+
+  /// Make `id` the resident module (no-op when it already is).
+  EnsureStats ensure(hw::BehaviorId id, int dock_width) {
+    EnsureStats res;
+    const sim::SimTime t0 = p_->kernel().now();
+
+    if (resident_ == id && p_->active_module() != nullptr) {
+      res.ok = true;
+      res.already_resident = true;
+      res.time = p_->kernel().now() - t0;
+      return res;
+    }
+
+    if (differential_ && have_snapshot_) {
+      // Target state: the current (assumed) fabric with the complete
+      // configuration applied -- then ship only the difference.
+      const auto comp = hw::component_for(id, dock_width);
+      const auto linked = p_->linker().link_single(comp);
+      if (!linked.ok()) {
+        res.error = linked.errors.front();
+        res.time = p_->kernel().now() - t0;
+        return res;
+      }
+      fabric::ConfigMemory assumed{p_->region().device()};
+      assumed.restore(snapshot_);
+      fabric::ConfigMemory target{p_->region().device()};
+      target.restore(snapshot_);
+      linked.config->apply_to(target);
+      const auto diff = bitstream::PartialConfig::diff(assumed, target);
+
+      const ReconfigStats s = p_->load_config(diff);
+      res.stream_words += s.stream_words;
+      if (s.ok) {
+        res.ok = true;
+        res.used_differential = true;
+        finish(id, res, t0);
+        return res;
+      }
+      // Stale assumption (or corruption): the validation gate refused to
+      // bind. Fall back to the complete configuration.
+      res.fell_back = true;
+    }
+
+    const ReconfigStats s = p_->load_module(id);
+    res.stream_words += s.stream_words;
+    res.ok = s.ok;
+    res.error = s.error;
+    if (s.ok) {
+      finish(id, res, t0);
+    } else {
+      resident_ = -1;
+      have_snapshot_ = false;
+      res.time = p_->kernel().now() - t0;
+    }
+    return res;
+  }
+
+  [[nodiscard]] int resident() const { return resident_; }
+
+  /// Drop the manager's state assumption (e.g. after an external event
+  /// touched the fabric); the next ensure() uses the complete path.
+  void invalidate() {
+    have_snapshot_ = false;
+    resident_ = -1;
+  }
+
+ private:
+  void finish(int id, EnsureStats& res, sim::SimTime t0) {
+    resident_ = id;
+    snapshot_ = p_->fabric_state().snapshot();
+    have_snapshot_ = true;
+    res.time = p_->kernel().now() - t0;
+  }
+
+  Platform* p_;
+  bool differential_;
+  int resident_ = -1;
+  bool have_snapshot_ = false;
+  std::vector<std::uint32_t> snapshot_;
+};
+
+}  // namespace rtr

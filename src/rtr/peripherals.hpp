@@ -1,0 +1,107 @@
+// Small static peripherals of the two systems: UART (external communication
+// unit), GPIO (LEDs/push buttons, 32-bit system only), the reset block and
+// the JTAGPPC connection (paper section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/slave.hpp"
+#include "fabric/resources.hpp"
+#include "sim/clock.hpp"
+
+namespace rtr {
+
+/// Serial port model: transmitted bytes are collected for host inspection;
+/// the status register always reports ready (the model has no baud-rate
+/// backpressure -- the tasks of the paper never block on the UART).
+class Uart : public bus::Slave {
+ public:
+  static constexpr bus::Addr kTxReg = 0x0;
+  static constexpr bus::Addr kStatusReg = 0x4;
+  static constexpr std::uint32_t kStatusTxReady = 1;
+
+  Uart(sim::Clock& clock, bus::AddressRange range)
+      : clock_(&clock), range_(range) {}
+
+  [[nodiscard]] std::string name() const override { return "UART"; }
+  [[nodiscard]] bus::AddressRange range() const { return range_; }
+  [[nodiscard]] fabric::Resources cost() const {
+    return fabric::Resources{100, 160, 130, 0};
+  }
+  [[nodiscard]] const std::string& transmitted() const { return tx_; }
+
+  bus::SlaveResult read(bus::Addr addr, int, sim::SimTime start) override {
+    const std::uint32_t v =
+        (addr - range_.base == kStatusReg) ? kStatusTxReady : 0;
+    return {v, clock_->after_cycles(start, 2)};
+  }
+  sim::SimTime write(bus::Addr addr, std::uint64_t data, int,
+                     sim::SimTime start) override {
+    if (addr - range_.base == kTxReg) {
+      tx_.push_back(static_cast<char>(data & 0xFF));
+    }
+    return clock_->after_cycles(start, 2);
+  }
+
+ private:
+  sim::Clock* clock_;
+  bus::AddressRange range_;
+  std::string tx_;
+};
+
+/// General-purpose I/O: an output latch (LEDs) and a host-settable input
+/// word (push buttons).
+class Gpio : public bus::Slave {
+ public:
+  static constexpr bus::Addr kOutReg = 0x0;
+  static constexpr bus::Addr kInReg = 0x4;
+
+  Gpio(sim::Clock& clock, bus::AddressRange range)
+      : clock_(&clock), range_(range) {}
+
+  [[nodiscard]] std::string name() const override { return "GPIO"; }
+  [[nodiscard]] bus::AddressRange range() const { return range_; }
+  [[nodiscard]] fabric::Resources cost() const {
+    return fabric::Resources{50, 80, 60, 0};
+  }
+
+  [[nodiscard]] std::uint32_t leds() const { return out_; }
+  void set_buttons(std::uint32_t v) { in_ = v; }
+
+  bus::SlaveResult read(bus::Addr addr, int, sim::SimTime start) override {
+    const std::uint32_t v = (addr - range_.base == kInReg) ? in_ : out_;
+    return {v, clock_->after_cycles(start, 2)};
+  }
+  sim::SimTime write(bus::Addr addr, std::uint64_t data, int,
+                     sim::SimTime start) override {
+    if (addr - range_.base == kOutReg) out_ = static_cast<std::uint32_t>(data);
+    return clock_->after_cycles(start, 2);
+  }
+
+ private:
+  sim::Clock* clock_;
+  bus::AddressRange range_;
+  std::uint32_t out_ = 0;
+  std::uint32_t in_ = 0;
+};
+
+/// The reset block "can be used to externally reset the CPU and peripherals
+/// without affecting the fabric configuration" -- pure control logic, no bus
+/// interface.
+struct ResetBlock {
+  [[nodiscard]] fabric::Resources cost() const {
+    return fabric::Resources{20, 30, 25, 0};
+  }
+};
+
+/// JTAGPPC: the dedicated block connecting the JTAG port to the PowerPC for
+/// "data transfers and debugging". A hard block -- no fabric cost; in this
+/// model its role (host-side data injection) is played by the memory
+/// backdoor.
+struct JtagPpc {
+  [[nodiscard]] fabric::Resources cost() const { return fabric::Resources{}; }
+};
+
+}  // namespace rtr

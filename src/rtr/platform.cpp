@@ -1,0 +1,435 @@
+#include "rtr/platform.hpp"
+
+#include <sstream>
+
+#include "bitstream/partial_config.hpp"
+#include "busmacro/bus_macro.hpp"
+#include "sim/check.hpp"
+
+namespace rtr {
+
+using bus::Addr;
+using sim::Frequency;
+using sim::SimTime;
+
+namespace detail {
+
+void icap_load_loop(cpu::Kernel& k, Addr staging, std::int64_t words,
+                    Addr icap_data) {
+  // for (i = 0; i < n; ++i) { w = cfg[i]; HWICAP_DATA = w; }
+  k.call();
+  for (std::int64_t i = 0; i < words; ++i) {
+    const std::uint32_t w = k.lw(staging + static_cast<Addr>(i) * 4);
+    k.sw(icap_data, w);
+    k.op(2);  // index increment + compare
+    k.branch();
+  }
+}
+
+bool region_validates(const fabric::ConfigMemory& cm,
+                      const fabric::DynamicRegion& region, int* behavior_id) {
+  const int id = region.scan_signature(cm);
+  if (id < 0) return false;
+  const auto f = cm.frame(region.signature_frame());
+  const std::uint32_t stored =
+      f[static_cast<std::size_t>(region.signature_word() + 3)];
+  if (stored != bitlinker::region_payload_hash(cm, region)) return false;
+  *behavior_id = id;
+  return true;
+}
+
+/// Stage a serialised stream in memory, drive it through the HWICAP with
+/// the CPU, validate the region and bind the behaviour. Shared by the
+/// component loads and the raw-configuration loads.
+template <typename Dock>
+void stream_and_bind(std::vector<std::uint32_t> words, bus::Bus& mem_bus,
+                     Addr staging, Addr icap_data, Addr icap_control,
+                     Addr icap_status, cpu::Kernel& kernel,
+                     const fabric::ConfigMemory& fabric_state,
+                     const fabric::DynamicRegion& region,
+                     const hw::BehaviorRegistry& registry, Dock& dock,
+                     std::unique_ptr<hw::HwModule>& slot,
+                     std::int64_t corrupt_word, ReconfigStats& stats) {
+  stats.stream_words = static_cast<std::int64_t>(words.size());
+  if (corrupt_word >= 0 &&
+      corrupt_word < static_cast<std::int64_t>(words.size())) {
+    words[static_cast<std::size_t>(corrupt_word)] ^= 0x0100;  // fault injection
+  }
+
+  // Configurations are prepared offline and already resident in external
+  // memory (as in the paper's flow); staging them is a host operation.
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    mem_bus.poke(staging + i * 4, words[i], 4);
+  }
+
+  // Unbind before touching the fabric: the circuit is about to disappear.
+  dock.unbind();
+  slot.reset();
+
+  cpu::Ppc405& cpu = kernel.cpu();
+  cpu.store32(icap_control, 1);  // reset the ICAP state machine
+  icap_load_loop(kernel, staging, stats.stream_words, icap_data);
+  const std::uint32_t status = cpu.load32(icap_status);
+  stats.finished = kernel.now();
+
+  if (!(status & icap::IcapController::kStatusDone)) {
+    stats.error = "ICAP did not complete (CRC or protocol error)";
+    return;
+  }
+  int bound_id = -1;
+  if (!region_validates(fabric_state, region, &bound_id)) {
+    stats.error = "region signature/payload validation failed";
+    return;
+  }
+  auto module = registry.create(bound_id);
+  if (!module) {
+    stats.error = "no behavioural model registered for id " +
+                  std::to_string(bound_id);
+    return;
+  }
+  slot = std::move(module);
+  dock.bind(slot.get());
+  stats.ok = true;
+}
+
+/// Shared implementation of the timed component load for both platforms.
+template <typename Dock>
+ReconfigStats do_load(hw::BehaviorId id, int dock_width,
+                      bitlinker::BitLinker& linker, bus::Bus& mem_bus,
+                      Addr staging, Addr icap_data, Addr icap_control,
+                      Addr icap_status, cpu::Kernel& kernel,
+                      const fabric::ConfigMemory& fabric_state,
+                      const fabric::DynamicRegion& region,
+                      const hw::BehaviorRegistry& registry, Dock& dock,
+                      std::unique_ptr<hw::HwModule>& slot,
+                      std::int64_t corrupt_word) {
+  ReconfigStats stats;
+  stats.started = kernel.now();
+
+  const auto comp = hw::component_for(id, dock_width);
+  const auto linked = linker.link_single(comp);
+  if (!linked.ok()) {
+    stats.error = linked.errors.front();
+    stats.finished = kernel.now();
+    return stats;
+  }
+  stats.config_bytes = linked.stats.payload_bytes;
+  stream_and_bind(bitstream::serialize(*linked.config), mem_bus, staging,
+                  icap_data, icap_control, icap_status, kernel, fabric_state,
+                  region, registry, dock, slot, corrupt_word, stats);
+  return stats;
+}
+
+/// Shared implementation of the raw-configuration load.
+template <typename Dock>
+ReconfigStats do_load_config(const bitstream::PartialConfig& cfg,
+                             bus::Bus& mem_bus, Addr staging, Addr icap_data,
+                             Addr icap_control, Addr icap_status,
+                             cpu::Kernel& kernel,
+                             const fabric::ConfigMemory& fabric_state,
+                             const fabric::DynamicRegion& region,
+                             const hw::BehaviorRegistry& registry, Dock& dock,
+                             std::unique_ptr<hw::HwModule>& slot,
+                             std::int64_t corrupt_word) {
+  ReconfigStats stats;
+  stats.started = kernel.now();
+  stats.config_bytes = cfg.payload_bytes();
+  stream_and_bind(bitstream::serialize(cfg), mem_bus, staging, icap_data,
+                  icap_control, icap_status, kernel, fabric_state, region,
+                  registry, dock, slot, corrupt_word, stats);
+  return stats;
+}
+
+}  // namespace detail
+
+// --- Platform32 ----------------------------------------------------------------
+
+Platform32::Platform32(PlatformOptions opts)
+    : opts_(opts),
+      cpu_clk_(sim_.add_clock("cpu", Frequency::from_mhz(200))),
+      bus_clk_(sim_.add_clock("bus", Frequency::from_mhz(50))),
+      plb_(sim_, bus_clk_),
+      opb_(sim_, bus_clk_),
+      region_(fabric::DynamicRegion::xc2vp7_region()),
+      fabric_(region_.device()),
+      baseline_(region_.device()),
+      registry_(hw::standard_registry(hw::bram_bits(region_.bram_blocks()))) {
+  bridge_ = std::make_unique<bus::PlbOpbBridge>(opb_);
+  bram_ = std::make_unique<mem::MemorySlave>(
+      mem::MemorySlave::bram_on_plb(kBramRange, bus_clk_, 8));
+  sram_ = std::make_unique<mem::MemorySlave>(
+      mem::MemorySlave::sram_on_opb(kSramRange, bus_clk_));
+  uart_ = std::make_unique<Uart>(bus_clk_, kUartRange);
+  gpio_ = std::make_unique<Gpio>(bus_clk_, kGpioRange);
+  icap_ = std::make_unique<icap::IcapController>(sim_, bus_clk_, kIcapRange,
+                                                 fabric_);
+  dock_ = std::make_unique<dock::OpbDock>(sim_, bus_clk_, kDockRange);
+  linker_ = std::make_unique<bitlinker::BitLinker>(
+      region_, busmacro::ConnectionInterface::for_width(32), baseline_);
+
+  plb_.attach(kBramRange, *bram_);
+  plb_.attach(kBridgeWindow, *bridge_);
+  opb_.attach(kSramRange, *sram_);
+  opb_.attach(kUartRange, *uart_);
+  opb_.attach(kGpioRange, *gpio_);
+  opb_.attach(kIcapRange, *icap_);
+  opb_.attach(kDockRange, *dock_);
+
+  std::vector<bus::AddressRange> cacheable;
+  if (opts_.enable_dcache) cacheable.push_back(kSramRange);
+  cpu_ = std::make_unique<cpu::Ppc405>(
+      sim_, cpu_clk_, plb_, std::move(cacheable),
+      cpu::Ppc405Params{.freq = Frequency::from_mhz(200)});
+  kernel_ = std::make_unique<cpu::Kernel>(*cpu_);
+}
+
+ReconfigStats Platform32::load_module(hw::BehaviorId id) {
+  return detail::do_load(id, 32, *linker_, opb_, kConfigStaging,
+                         kIcapRange.base + icap::IcapController::kDataReg,
+                         kIcapRange.base + icap::IcapController::kControlReg,
+                         kIcapRange.base + icap::IcapController::kStatusReg,
+                         *kernel_, fabric_, region_, registry_, *dock_,
+                         module_, opts_.corrupt_config_word);
+}
+
+ReconfigStats Platform32::load_config(const bitstream::PartialConfig& cfg) {
+  return detail::do_load_config(
+      cfg, opb_, kConfigStaging,
+      kIcapRange.base + icap::IcapController::kDataReg,
+      kIcapRange.base + icap::IcapController::kControlReg,
+      kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
+      region_, registry_, *dock_, module_, opts_.corrupt_config_word);
+}
+
+void Platform32::unload() {
+  dock_->unbind();
+  module_.reset();
+}
+
+void Platform32::external_reset() {
+  // Fabric configuration untouched: the configured circuit survives, its
+  // flip-flop state restarts.
+  icap_->reset();
+  if (module_) module_->reset();
+}
+
+std::vector<ResourceRow> Platform32::resource_table() const {
+  const auto dock_if = busmacro::ConnectionInterface::for_width(32);
+  return {
+      {"PPC405 core", {}, /*hard_block=*/true},
+      {"JTAGPPC", jtag_.cost(), /*hard_block=*/true},
+      {"PLB (64-bit) + arbiter", fabric::Resources{150, 230, 200, 0}, false},
+      {"OPB (32-bit) + arbiter", fabric::Resources{80, 120, 100, 0}, false},
+      {"PLB-OPB bridge", fabric::Resources{110, 170, 150, 0}, false},
+      {"BRAM memory controller (PLB)", bram_->controller_cost(), false},
+      {"External SRAM controller (OPB)", sram_->controller_cost(), false},
+      {"UART", uart_->cost(), false},
+      {"GPIO", gpio_->cost(), false},
+      {"Reset block", reset_block_.cost(), false},
+      {"OPB HWICAP", icap_->controller_cost(), false},
+      {"OPB Dock (incl. bus macros)", dock_->cost() + dock_if.resources(),
+       false},
+  };
+}
+
+std::string Platform32::topology() const {
+  std::ostringstream os;
+  os << "32-bit system (XC2VP7-FG456-6), figure 3\n"
+     << "  PPC405 @ 200 MHz\n"
+     << "  PLB @ 50 MHz\n"
+     << "    |- BRAM controller          " << std::hex << kBramRange.base
+     << "\n"
+     << "    |- PLB-OPB bridge\n"
+     << "  OPB @ 50 MHz\n"
+     << "    |- ext. SRAM (32 MB)        " << kSramRange.base << "\n"
+     << "    |- UART                     " << kUartRange.base << "\n"
+     << "    |- GPIO (LEDs/buttons)      " << kGpioRange.base << "\n"
+     << "    |- OPB HWICAP -> ICAP       " << kIcapRange.base << "\n"
+     << "    |- OPB Dock                 " << kDockRange.base << std::dec
+     << "\n"
+     << "  dynamic area: " << region_.rect().cols << "x" << region_.rect().rows
+     << " CLBs, " << region_.bram_blocks() << " BRAMs ("
+     << region_.slice_percent() << "% of slices)\n"
+     << "  reset block, JTAGPPC\n";
+  return os.str();
+}
+
+// --- Platform64 -----------------------------------------------------------------
+
+Platform64::Platform64(PlatformOptions opts)
+    : opts_(opts),
+      cpu_clk_(sim_.add_clock("cpu", Frequency::from_mhz(300))),
+      bus_clk_(sim_.add_clock("bus", Frequency::from_mhz(100))),
+      plb_(sim_, bus_clk_),
+      opb_(sim_, bus_clk_),
+      region_(fabric::DynamicRegion::xc2vp30_region()),
+      fabric_(region_.device()),
+      baseline_(region_.device()),
+      // Task components own at most the 6 BRAMs they were designed with on
+      // the 32-bit system -- they are reused unmodified (section 4.2).
+      registry_(hw::standard_registry(hw::bram_bits(6))) {
+  bridge_ = std::make_unique<bus::PlbOpbBridge>(opb_);
+  bram_ = std::make_unique<mem::MemorySlave>(
+      mem::MemorySlave::bram_on_plb(kBramRange, bus_clk_, 8));
+  ddr_ = std::make_unique<mem::MemorySlave>(
+      mem::MemorySlave::ddr_on_plb(kDdrRange, bus_clk_));
+  uart_ = std::make_unique<Uart>(bus_clk_, kUartRange);
+  icap_ = std::make_unique<icap::IcapController>(sim_, bus_clk_, kIcapRange,
+                                                 fabric_);
+  intc_ = std::make_unique<cpu::InterruptController>(bus_clk_, kIntcRange);
+  dock_ = std::make_unique<dock::PlbDock>(sim_, bus_clk_, kDockRange,
+                                          opts_.fifo_depth);
+  dock_->set_irq(intc_.get(), kDockIrq);
+  dma_ = std::make_unique<dma::DmaEngine>(sim_, plb_);
+  linker_ = std::make_unique<bitlinker::BitLinker>(
+      region_, busmacro::ConnectionInterface::for_width(64), baseline_);
+
+  plb_.attach(kDdrRange, *ddr_);
+  plb_.attach(kBramRange, *bram_);
+  plb_.attach(kDockRange, *dock_);
+  plb_.attach(kBridgeWindow, *bridge_);
+  opb_.attach(kUartRange, *uart_);
+  opb_.attach(kIcapRange, *icap_);
+  opb_.attach(kIntcRange, *intc_);
+
+  std::vector<bus::AddressRange> cacheable;
+  if (opts_.enable_dcache) cacheable.push_back(kDdrRange);
+  cpu_ = std::make_unique<cpu::Ppc405>(
+      sim_, cpu_clk_, plb_, std::move(cacheable),
+      cpu::Ppc405Params{.freq = Frequency::from_mhz(300)});
+  kernel_ = std::make_unique<cpu::Kernel>(*cpu_);
+}
+
+ReconfigStats Platform64::load_module(hw::BehaviorId id) {
+  return detail::do_load(id, 64, *linker_, plb_, kConfigStaging,
+                         kIcapRange.base + icap::IcapController::kDataReg,
+                         kIcapRange.base + icap::IcapController::kControlReg,
+                         kIcapRange.base + icap::IcapController::kStatusReg,
+                         *kernel_, fabric_, region_, registry_, *dock_,
+                         module_, opts_.corrupt_config_word);
+}
+
+ReconfigStats Platform64::load_config(const bitstream::PartialConfig& cfg) {
+  return detail::do_load_config(
+      cfg, plb_, kConfigStaging,
+      kIcapRange.base + icap::IcapController::kDataReg,
+      kIcapRange.base + icap::IcapController::kControlReg,
+      kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
+      region_, registry_, *dock_, module_, opts_.corrupt_config_word);
+}
+
+ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
+  ReconfigStats stats;
+  stats.started = kernel_->now();
+
+  const auto comp = hw::component_for(id, 64);
+  const auto linked = linker_->link_single(comp);
+  if (!linked.ok()) {
+    stats.error = linked.errors.front();
+    stats.finished = kernel_->now();
+    return stats;
+  }
+  auto words = bitstream::serialize(*linked.config);
+  if (words.size() % 2 != 0) words.push_back(bitstream::kDummyWord);
+  stats.stream_words = static_cast<std::int64_t>(words.size());
+  stats.config_bytes = linked.stats.payload_bytes;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    plb_.poke(kConfigStaging + i * 4, words[i], 4);
+  }
+
+  dock_->unbind();
+  module_.reset();
+
+  cpu_->store32(kIcapRange.base + icap::IcapController::kControlReg, 1);
+  // One scatter-gather descriptor: staging -> HWICAP data window (fixed
+  // destination; the bridge splits each 64-bit beat into two data words).
+  kernel_->op(30);  // descriptor setup
+  const dma::DmaDescriptor d{kConfigStaging,
+                             kIcapRange.base + icap::IcapController::kDataReg,
+                             static_cast<std::uint64_t>(words.size()) * 4,
+                             true, false};
+  const sim::SimTime done = dma_->run_one(d, kernel_->now());
+  dock_->signal_done(done);
+  cpu_->take_interrupt(intc_->assertion_time(kDockIrq));
+  (void)cpu_->load32(kIntcRange.base + cpu::InterruptController::kStatusReg);
+  cpu_->store32(kIntcRange.base + cpu::InterruptController::kAckReg,
+                1u << kDockIrq);
+  intc_->clear(kDockIrq);
+
+  const std::uint32_t status =
+      cpu_->load32(kIcapRange.base + icap::IcapController::kStatusReg);
+  stats.finished = kernel_->now();
+  if (!(status & icap::IcapController::kStatusDone)) {
+    stats.error = "ICAP did not complete (CRC or protocol error)";
+    return stats;
+  }
+  int bound_id = -1;
+  if (!detail::region_validates(fabric_, region_, &bound_id)) {
+    stats.error = "region signature/payload validation failed";
+    return stats;
+  }
+  auto module = registry_.create(bound_id);
+  if (!module) {
+    stats.error = "no behavioural model registered for id " +
+                  std::to_string(bound_id);
+    return stats;
+  }
+  module_ = std::move(module);
+  dock_->bind(module_.get());
+  stats.ok = true;
+  return stats;
+}
+
+void Platform64::unload() {
+  dock_->unbind();
+  module_.reset();
+}
+
+void Platform64::external_reset() {
+  icap_->reset();
+  if (module_) module_->reset();
+}
+
+std::vector<ResourceRow> Platform64::resource_table() const {
+  const auto dock_if = busmacro::ConnectionInterface::for_width(64);
+  return {
+      {"PPC405 core 0 (used)", {}, /*hard_block=*/true},
+      {"PPC405 core 1 (unused)", {}, /*hard_block=*/true},
+      {"JTAGPPC", jtag_.cost(), /*hard_block=*/true},
+      {"PLB (64-bit) + arbiter", fabric::Resources{170, 260, 220, 0}, false},
+      {"OPB (32-bit) + arbiter", fabric::Resources{80, 120, 100, 0}, false},
+      {"PLB-OPB bridge", fabric::Resources{110, 170, 150, 0}, false},
+      {"BRAM memory controller (PLB)", bram_->controller_cost(), false},
+      {"DDR controller (PLB)", ddr_->controller_cost(), false},
+      {"UART", uart_->cost(), false},
+      {"Interrupt controller (OPB)", intc_->controller_cost(), false},
+      {"Reset block", reset_block_.cost(), false},
+      {"OPB HWICAP", icap_->controller_cost(), false},
+      {"PLB Dock (DMA + FIFO + irq, incl. bus macros)",
+       dock_->cost() + dock_if.resources(), false},
+  };
+}
+
+std::string Platform64::topology() const {
+  std::ostringstream os;
+  os << "64-bit system (XC2VP30-FF896-7), figure 4\n"
+     << "  PPC405 @ 300 MHz (second core unused)\n"
+     << "  PLB @ 100 MHz\n"
+     << "    |- DDR (512 MB)             " << std::hex << kDdrRange.base
+     << "\n"
+     << "    |- BRAM controller          " << kBramRange.base << "\n"
+     << "    |- PLB Dock (DMA+FIFO+irq)  " << kDockRange.base << "\n"
+     << "    |- PLB-OPB bridge\n"
+     << "  OPB @ 100 MHz\n"
+     << "    |- UART                     " << kUartRange.base << "\n"
+     << "    |- OPB HWICAP -> ICAP       " << kIcapRange.base << "\n"
+     << "    |- interrupt controller     " << kIntcRange.base << std::dec
+     << "\n"
+     << "  dynamic area: " << region_.rect().cols << "x" << region_.rect().rows
+     << " CLBs, " << region_.bram_blocks() << " BRAMs ("
+     << region_.slice_percent() << "% of slices)\n"
+     << "  reset block, JTAGPPC\n";
+  return os.str();
+}
+
+}  // namespace rtr

@@ -1,0 +1,251 @@
+// The public platform API: the paper's two systems, fully assembled.
+//
+//   Platform32 -- section 3: XC2VP7, CPU 200 MHz, PLB+OPB at 50 MHz,
+//                 32 MB SRAM and the dock on the OPB (behind the bridge),
+//                 OPB Dock, UART, GPIO, HWICAP, reset block, JTAGPPC.
+//   Platform64 -- section 4: XC2VP30, CPU 300 MHz, buses at 100 MHz,
+//                 512 MB DDR and the PLB Dock (DMA + output FIFO +
+//                 interrupt generator) on the PLB; UART, HWICAP and the
+//                 interrupt controller on the OPB; no GPIO.
+//
+// A platform owns the whole simulation and exposes the developer-facing
+// operations: timed module loading through the ICAP (with signature and
+// payload-hash validation before any behaviour is bound), the dock
+// addresses for programmed I/O, the DMA engine (64-bit system), resource
+// reports (tables 1 and 6) and topology dumps (figures 1/3/4).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitlinker/bitlinker.hpp"
+#include "bus/bridge.hpp"
+#include "bus/bus.hpp"
+#include "cpu/intc.hpp"
+#include "cpu/kernel.hpp"
+#include "cpu/ppc405.hpp"
+#include "dma/dma.hpp"
+#include "dock/opb_dock.hpp"
+#include "dock/plb_dock.hpp"
+#include "fabric/dynamic_region.hpp"
+#include "hw/library.hpp"
+#include "icap/icap.hpp"
+#include "mem/memory_slave.hpp"
+#include "rtr/peripherals.hpp"
+
+namespace rtr {
+
+/// Outcome of a timed module load.
+struct ReconfigStats {
+  bool ok = false;
+  std::string error;
+  sim::SimTime started;
+  sim::SimTime finished;
+  std::int64_t stream_words = 0;  // bitstream words pushed through HWICAP
+  std::int64_t config_bytes = 0;  // frame payload bytes
+
+  [[nodiscard]] sim::SimTime duration() const { return finished - started; }
+};
+
+/// One line of a resource-usage report (tables 1 and 6).
+struct ResourceRow {
+  std::string module;
+  fabric::Resources res;
+  bool hard_block = false;  // PPC405 / JTAGPPC: no fabric resources
+};
+
+struct PlatformOptions {
+  /// The embedded software of the modelled systems runs with the data cache
+  /// disabled (the measured trends of the paper -- "the results follow the
+  /// trends observed for the transfer times" -- require every software data
+  /// access to pay the bus). Enable for the cache ablation study.
+  bool enable_dcache = false;
+  /// Output FIFO depth of the PLB dock (64-bit system only).
+  int fifo_depth = dock::PlbDock::kDefaultFifoDepth;
+  /// Fault injection for tests: when >= 0, the staged configuration's word
+  /// at this index gets a bit flipped before every load (modelling storage
+  /// corruption; the ICAP's CRC must catch it).
+  std::int64_t corrupt_config_word = -1;
+};
+
+namespace detail {
+/// Timed inner loop of the reconfiguration driver: the CPU fetches each
+/// bitstream word from memory and stores it to the HWICAP data register.
+void icap_load_loop(cpu::Kernel& k, bus::Addr staging, std::int64_t words,
+                    bus::Addr icap_data);
+/// Signature + payload-hash validation (runs after the ICAP reports done).
+bool region_validates(const fabric::ConfigMemory& cm,
+                      const fabric::DynamicRegion& region, int* behavior_id);
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+
+class Platform32 {
+ public:
+  // Memory map.
+  static constexpr bus::AddressRange kBramRange{0x0000'0000, 16 << 10};
+  static constexpr bus::AddressRange kBridgeWindow{0x2000'0000, 0x3000'0000};
+  static constexpr bus::AddressRange kSramRange{0x2000'0000, 32u << 20};
+  static constexpr bus::AddressRange kUartRange{0x4060'0000, 0x100};
+  static constexpr bus::AddressRange kGpioRange{0x4080'0000, 0x100};
+  static constexpr bus::AddressRange kIcapRange{0x4100'0000, 0x1000};
+  static constexpr bus::AddressRange kDockRange{0x4200'0000, 0x1'0000};
+  /// Where prepared configurations live in external memory.
+  static constexpr bus::Addr kConfigStaging = kSramRange.base + (24u << 20);
+
+  explicit Platform32(PlatformOptions opts = {});
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] cpu::Ppc405& cpu() { return *cpu_; }
+  [[nodiscard]] cpu::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] dock::OpbDock& dock() { return *dock_; }
+  [[nodiscard]] mem::MemorySlave& ext_mem() { return *sram_; }
+  [[nodiscard]] Uart& uart() { return *uart_; }
+  [[nodiscard]] Gpio& gpio() { return *gpio_; }
+  [[nodiscard]] icap::IcapController& icap_ctl() { return *icap_; }
+  [[nodiscard]] const fabric::DynamicRegion& region() const { return region_; }
+  [[nodiscard]] bitlinker::BitLinker& linker() { return *linker_; }
+  [[nodiscard]] const fabric::ConfigMemory& fabric_state() const { return fabric_; }
+
+  /// Dock data register address (32-bit programmed I/O).
+  [[nodiscard]] static constexpr bus::Addr dock_data() {
+    return kDockRange.base + dock::OpbDock::kDataReg;
+  }
+
+  /// Link `id`'s component, stage its bitstream in external memory, stream
+  /// it through the HWICAP with the CPU (timed), validate, and bind the
+  /// behaviour to the dock.
+  ReconfigStats load_module(hw::BehaviorId id);
+
+  /// Load a raw partial configuration (e.g. a differential one prepared by
+  /// the ModuleManager). The same validation gate applies: the behaviour is
+  /// bound only when the resulting region carries a coherent signature and
+  /// payload hash.
+  ReconfigStats load_config(const bitstream::PartialConfig& cfg);
+
+  void unload();
+  [[nodiscard]] hw::HwModule* active_module() { return module_.get(); }
+
+  /// External reset: CPU and peripherals restart; the fabric configuration
+  /// -- and thus the loaded module's circuit -- is untouched.
+  void external_reset();
+
+  [[nodiscard]] std::vector<ResourceRow> resource_table() const;
+  [[nodiscard]] std::string topology() const;
+
+ private:
+  PlatformOptions opts_;
+  sim::Simulation sim_;
+  sim::Clock& cpu_clk_;
+  sim::Clock& bus_clk_;
+  bus::PlbBus plb_;
+  bus::OpbBus opb_;
+  std::unique_ptr<bus::PlbOpbBridge> bridge_;
+  std::unique_ptr<mem::MemorySlave> bram_;
+  std::unique_ptr<mem::MemorySlave> sram_;
+  std::unique_ptr<Uart> uart_;
+  std::unique_ptr<Gpio> gpio_;
+  fabric::DynamicRegion region_;
+  fabric::ConfigMemory fabric_;
+  fabric::ConfigMemory baseline_;
+  std::unique_ptr<icap::IcapController> icap_;
+  std::unique_ptr<dock::OpbDock> dock_;
+  std::unique_ptr<bitlinker::BitLinker> linker_;
+  hw::BehaviorRegistry registry_;
+  std::unique_ptr<cpu::Ppc405> cpu_;
+  std::unique_ptr<cpu::Kernel> kernel_;
+  std::unique_ptr<hw::HwModule> module_;
+  ResetBlock reset_block_;
+  JtagPpc jtag_;
+};
+
+// ---------------------------------------------------------------------------
+
+class Platform64 {
+ public:
+  // Memory map.
+  static constexpr bus::AddressRange kDdrRange{0x0000'0000, 512u << 20};
+  static constexpr bus::AddressRange kBramRange{0x6000'0000, 16 << 10};
+  static constexpr bus::AddressRange kDockRange{0x7400'0000, 0x1'0000};
+  static constexpr bus::AddressRange kBridgeWindow{0x4000'0000, 0x0200'0000};
+  static constexpr bus::AddressRange kUartRange{0x4060'0000, 0x100};
+  static constexpr bus::AddressRange kIcapRange{0x4100'0000, 0x1000};
+  static constexpr bus::AddressRange kIntcRange{0x4120'0000, 0x1000};
+  static constexpr bus::Addr kConfigStaging = kDdrRange.base + (256u << 20);
+  /// Interrupt line of the PLB dock / DMA completion.
+  static constexpr int kDockIrq = 2;
+
+  explicit Platform64(PlatformOptions opts = {});
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] cpu::Ppc405& cpu() { return *cpu_; }
+  [[nodiscard]] cpu::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] dock::PlbDock& dock() { return *dock_; }
+  [[nodiscard]] mem::MemorySlave& ext_mem() { return *ddr_; }
+  [[nodiscard]] Uart& uart() { return *uart_; }
+  [[nodiscard]] icap::IcapController& icap_ctl() { return *icap_; }
+  [[nodiscard]] cpu::InterruptController& intc() { return *intc_; }
+  [[nodiscard]] dma::DmaEngine& dma() { return *dma_; }
+  [[nodiscard]] const fabric::DynamicRegion& region() const { return region_; }
+  [[nodiscard]] bitlinker::BitLinker& linker() { return *linker_; }
+  [[nodiscard]] const fabric::ConfigMemory& fabric_state() const { return fabric_; }
+
+  [[nodiscard]] static constexpr bus::Addr dock_data() {
+    return kDockRange.base + dock::PlbDock::kPioData;
+  }
+  [[nodiscard]] static constexpr bus::Addr dock_stream() {
+    return kDockRange.base + dock::PlbDock::kStream;
+  }
+  [[nodiscard]] static constexpr bus::Addr dock_fifo() {
+    return kDockRange.base + dock::PlbDock::kFifoPop;
+  }
+
+  ReconfigStats load_module(hw::BehaviorId id);
+
+  /// See Platform32::load_config.
+  ReconfigStats load_config(const bitstream::PartialConfig& cfg);
+
+  /// Extension: DMA-driven reconfiguration. The scatter-gather engine
+  /// streams the staged bitstream straight into the HWICAP data window
+  /// (64-bit beats split by the bridge), freeing the CPU; completion is
+  /// signalled by interrupt. Approaches the ICAP throughput bound.
+  ReconfigStats load_module_dma(hw::BehaviorId id);
+
+  void unload();
+  [[nodiscard]] hw::HwModule* active_module() { return module_.get(); }
+
+  void external_reset();
+
+  [[nodiscard]] std::vector<ResourceRow> resource_table() const;
+  [[nodiscard]] std::string topology() const;
+
+ private:
+  PlatformOptions opts_;
+  sim::Simulation sim_;
+  sim::Clock& cpu_clk_;
+  sim::Clock& bus_clk_;
+  bus::PlbBus plb_;
+  bus::OpbBus opb_;
+  std::unique_ptr<bus::PlbOpbBridge> bridge_;
+  std::unique_ptr<mem::MemorySlave> bram_;
+  std::unique_ptr<mem::MemorySlave> ddr_;
+  std::unique_ptr<Uart> uart_;
+  fabric::DynamicRegion region_;
+  fabric::ConfigMemory fabric_;
+  fabric::ConfigMemory baseline_;
+  std::unique_ptr<icap::IcapController> icap_;
+  std::unique_ptr<cpu::InterruptController> intc_;
+  std::unique_ptr<dock::PlbDock> dock_;
+  std::unique_ptr<dma::DmaEngine> dma_;
+  std::unique_ptr<bitlinker::BitLinker> linker_;
+  hw::BehaviorRegistry registry_;
+  std::unique_ptr<cpu::Ppc405> cpu_;
+  std::unique_ptr<cpu::Kernel> kernel_;
+  std::unique_ptr<hw::HwModule> module_;
+  ResetBlock reset_block_;
+  JtagPpc jtag_;
+};
+
+}  // namespace rtr

@@ -1,0 +1,24 @@
+// Always-on invariant checking.
+//
+// Model invariants (floorplan validity, frame bounds, protocol state) must
+// hold in Release builds too -- a silently out-of-range frame write would
+// invalidate every measurement downstream. RTR_CHECK stays active under
+// NDEBUG; use plain assert() only in per-word inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtr::sim::detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "rtrsim check failed: %s\n  at %s:%d\n  %s\n", cond,
+               file, line, msg);
+  std::abort();
+}
+}  // namespace rtr::sim::detail
+
+#define RTR_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) ::rtr::sim::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,62 @@
+// Clock-domain arithmetic.
+//
+// Every timed component in rtrsim belongs to a clock domain (CPU clock, PLB
+// clock, OPB clock, ICAP clock). A Clock converts between cycle counts and
+// simulated time, and aligns arbitrary times to the domain's next edge --
+// the fundamental operation when a transaction initiated in one domain is
+// serviced in another (e.g. a CPU store crossing onto the OPB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rtr::sim {
+
+/// A named clock domain with a fixed frequency.
+class Clock {
+ public:
+  Clock(std::string name, Frequency freq)
+      : name_(std::move(name)), freq_(freq), period_(freq.period()) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Frequency frequency() const { return freq_; }
+  [[nodiscard]] SimTime period() const { return period_; }
+
+  /// Duration of `n` whole cycles in this domain.
+  [[nodiscard]] SimTime cycles(std::int64_t n) const {
+    return SimTime{period_.ps() * n};
+  }
+
+  /// Number of complete cycles elapsed at time `t` (floor).
+  [[nodiscard]] std::int64_t cycles_at(SimTime t) const {
+    return t.ps() / period_.ps();
+  }
+
+  /// Smallest domain edge at or after `t`. Transactions entering this
+  /// domain are sampled at edges, so arrival times must be aligned up.
+  [[nodiscard]] SimTime next_edge(SimTime t) const {
+    const std::int64_t p = period_.ps();
+    const std::int64_t q = (t.ps() + p - 1) / p;
+    return SimTime{q * p};
+  }
+
+  /// Edge strictly after `t`.
+  [[nodiscard]] SimTime edge_after(SimTime t) const {
+    const std::int64_t p = period_.ps();
+    return SimTime{(t.ps() / p + 1) * p};
+  }
+
+  /// Convenience: align `t` to an edge, then advance `n` cycles.
+  [[nodiscard]] SimTime after_cycles(SimTime t, std::int64_t n) const {
+    return next_edge(t) + cycles(n);
+  }
+
+ private:
+  std::string name_;
+  Frequency freq_;
+  SimTime period_;
+};
+
+}  // namespace rtr::sim

@@ -1,0 +1,70 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rtr::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const EventId id = slots_.size();
+  slots_.push_back(Slot{std::move(cb), /*live=*/true});
+  heap_.push(Entry{at, next_seq_++, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= slots_.size() || !slots_[id].live) return false;
+  slots_[id].live = false;
+  slots_[id].cb = nullptr;
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && !slots_[heap_.top().id].live) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  // const access: copy-free scan is not possible with std::priority_queue,
+  // so keep a mutable view via const_cast-free approach: top() after lazily
+  // popping dead entries requires mutation; do it in the non-const callers.
+  // Here, walk without mutation: top may be dead, so conservatively report
+  // it only when live; callers that need exactness use run paths.
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_dead();
+  if (heap_.empty()) return SimTime::infinity();
+  return heap_.top().at;
+}
+
+SimTime EventQueue::run_one() {
+  skip_dead();
+  assert(!heap_.empty() && "run_one on empty EventQueue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  Callback cb = std::move(slots_[e.id].cb);
+  slots_[e.id].live = false;
+  --live_;
+  cb(e.at);
+  return e.at;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!empty() && next_time() <= until) {
+    run_one();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t EventQueue::drain() {
+  std::size_t n = 0;
+  while (!empty()) {
+    run_one();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rtr::sim

@@ -1,0 +1,81 @@
+// Discrete-event scheduling.
+//
+// rtrsim is primarily a transaction-level simulator: most component calls
+// take a start time and return a completion time. The event queue covers the
+// genuinely asynchronous parts -- DMA engines running while the CPU computes,
+// interrupt delivery, and module activity that is not driven by a bus access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rtr::sim {
+
+/// Identifier of a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// A time-ordered queue of callbacks. Events at equal times fire in
+/// scheduling order (FIFO), which makes simulations deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime fire_time)>;
+
+  /// Schedule `cb` to fire at absolute time `at`. Returns an id that can be
+  /// passed to `cancel`.
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancel a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live (pending, uncancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; SimTime::infinity() when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and run the earliest event. Returns its fire time.
+  /// Precondition: !empty().
+  SimTime run_one();
+
+  /// Run all events with fire time <= `until`. Returns the number run.
+  std::size_t run_until(SimTime until);
+
+  /// Run every remaining event (events may schedule further events).
+  /// Returns the number run.
+  std::size_t drain();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tiebreaker: FIFO among equal times
+    EventId id;
+    // ordering for a max-heap turned min-heap
+    bool operator<(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  // Callback + liveness, keyed by id. Cancelled entries stay in the heap
+  // and are skipped lazily.
+  struct Slot {
+    Callback cb;
+    bool live = false;
+  };
+  std::vector<Slot> slots_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+
+  void skip_dead();
+};
+
+}  // namespace rtr::sim

@@ -1,0 +1,76 @@
+// Simulation context.
+//
+// A Simulation owns the shared services every timed component needs: the
+// event queue, the statistics registry, the logger, and the set of clock
+// domains. rtrsim uses loosely-timed transaction modelling: component calls
+// take a start time and return a completion time; the event queue handles
+// concurrent activity (DMA, interrupts).
+#pragma once
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace rtr::sim {
+
+/// Shared simulation services. Non-copyable; components hold a reference.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Create (or fetch) the clock domain `name` at `freq`. Re-registering an
+  /// existing name with a different frequency is a programming error.
+  Clock& add_clock(const std::string& name, Frequency freq) {
+    auto it = clocks_.find(name);
+    if (it != clocks_.end()) {
+      assert(it->second->frequency() == freq && "clock re-registered with new frequency");
+      return *it->second;
+    }
+    auto [pos, inserted] =
+        clocks_.emplace(name, std::make_unique<Clock>(name, freq));
+    return *pos->second;
+  }
+
+  /// Fetch an existing clock domain. Aborts if absent.
+  [[nodiscard]] Clock& clock(const std::string& name) {
+    auto it = clocks_.find(name);
+    assert(it != clocks_.end() && "unknown clock domain");
+    return *it->second;
+  }
+
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] StatRegistry& stats() { return stats_; }
+  [[nodiscard]] Logger& logger() { return logger_; }
+
+  /// Advance the simulation's notion of "latest observed time". Components
+  /// report completion times here so that utilisation statistics have a
+  /// horizon and so tests can assert on the global clock.
+  void observe(SimTime t) {
+    if (t > horizon_) horizon_ = t;
+  }
+  [[nodiscard]] SimTime horizon() const { return horizon_; }
+
+  /// Fire all events scheduled at or before `t`, then observe `t`.
+  void settle(SimTime t) {
+    events_.run_until(t);
+    observe(t);
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Clock>> clocks_;
+  EventQueue events_;
+  StatRegistry stats_;
+  Logger logger_;
+  SimTime horizon_;
+};
+
+}  // namespace rtr::sim

@@ -1,0 +1,27 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace rtr::sim {
+
+void Logger::logf(LogLevel lvl, SimTime at, const std::string& tag,
+                  const char* fmt, ...) const {
+  if (!enabled(lvl)) return;
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  sink_(lvl, at, tag, buf);
+}
+
+Logger::Sink Logger::stderr_sink() {
+  return [](LogLevel lvl, SimTime at, const std::string& tag,
+            const std::string& msg) {
+    static const char* names[] = {"ERROR", "WARN", "INFO", "TRACE"};
+    std::fprintf(stderr, "[%14s] %-5s %-12s %s\n", at.to_string().c_str(),
+                 names[static_cast<int>(lvl)], tag.c_str(), msg.c_str());
+  };
+}
+
+}  // namespace rtr::sim

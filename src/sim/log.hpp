@@ -1,0 +1,54 @@
+// Component-tagged trace logging.
+//
+// Tracing is off by default (benchmarks must not pay for string formatting);
+// tests and the examples enable it to observe transaction interleavings.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rtr::sim {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kTrace = 3 };
+
+/// A log sink shared by all components of a simulation instance.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, SimTime, const std::string& tag,
+                                  const std::string& message)>;
+
+  /// Default-constructed loggers discard everything.
+  Logger() = default;
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Install a sink; pass nullptr to discard. A convenience stderr sink is
+  /// available via `stderr_sink()`.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool enabled(LogLevel lvl) const {
+    return sink_ && static_cast<int>(lvl) <= static_cast<int>(level_);
+  }
+
+  void log(LogLevel lvl, SimTime at, const std::string& tag,
+           const std::string& message) const {
+    if (enabled(lvl)) sink_(lvl, at, tag, message);
+  }
+
+  /// printf-style convenience.
+  void logf(LogLevel lvl, SimTime at, const std::string& tag, const char* fmt,
+            ...) const __attribute__((format(printf, 5, 6)));
+
+  /// A sink that writes "[time] tag: message" lines to stderr.
+  static Sink stderr_sink();
+
+ private:
+  Sink sink_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+}  // namespace rtr::sim

@@ -1,0 +1,24 @@
+#include "sim/stats.hpp"
+
+namespace rtr::sim {
+
+void StatRegistry::reset_all() {
+  for (auto& [k, v] : counters_) v.reset();
+  for (auto& [k, v] : accs_) v.reset();
+  for (auto& [k, v] : busy_) v.reset();
+}
+
+void StatRegistry::print(std::ostream& os) const {
+  for (const auto& [k, v] : counters_) {
+    os << k << " = " << v.value() << '\n';
+  }
+  for (const auto& [k, v] : accs_) {
+    os << k << " : n=" << v.count() << " mean=" << v.mean()
+       << " min=" << v.min() << " max=" << v.max() << '\n';
+  }
+  for (const auto& [k, v] : busy_) {
+    os << k << " busy=" << v.total().to_string() << '\n';
+  }
+}
+
+}  // namespace rtr::sim

@@ -1,0 +1,95 @@
+// Simulation statistics.
+//
+// Components register named counters and accumulators with a StatRegistry so
+// the bench harness can dump a uniform report (bus beats, cache hits, DMA
+// bursts, reconfiguration bytes, ...).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rtr::sim {
+
+/// A monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Accumulates samples: count / sum / min / max / mean.
+class Accumulator {
+ public:
+  void sample(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Accumulates busy time of a shared resource so utilisation can be
+/// reported against total simulated time.
+class BusyTime {
+ public:
+  void add(SimTime from, SimTime to) {
+    if (to > from) busy_ += (to - from);
+  }
+  [[nodiscard]] SimTime total() const { return busy_; }
+  [[nodiscard]] double utilisation(SimTime horizon) const {
+    if (horizon.ps() <= 0) return 0.0;
+    return static_cast<double>(busy_.ps()) / static_cast<double>(horizon.ps());
+  }
+  void reset() { busy_ = SimTime::zero(); }
+
+ private:
+  SimTime busy_;
+};
+
+/// Flat registry of named statistics. Names use "component.stat" dotted
+/// paths. Registration returns stable references owned by the registry.
+class StatRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Accumulator& accumulator(const std::string& name) { return accs_[name]; }
+  BusyTime& busy(const std::string& name) { return busy_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Accumulator>& accumulators() const { return accs_; }
+  [[nodiscard]] const std::map<std::string, BusyTime>& busy_times() const { return busy_; }
+
+  void reset_all();
+  /// Dump all statistics, one per line, sorted by name.
+  void print(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Accumulator> accs_;
+  std::map<std::string, BusyTime> busy_;
+};
+
+}  // namespace rtr::sim

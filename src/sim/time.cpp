@@ -1,0 +1,25 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace rtr::sim {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  const std::int64_t v = ps_;
+  if (v == INT64_MAX) return "inf";
+  if (v < 1000) {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(v));
+  } else if (v < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", ns());
+  } else if (v < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3f us", us());
+  } else if (v < 1'000'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ms());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6f s", seconds());
+  }
+  return buf;
+}
+
+}  // namespace rtr::sim

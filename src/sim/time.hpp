@@ -1,0 +1,81 @@
+// Simulated time primitives.
+//
+// All simulated time in rtrsim is kept in integer picoseconds so that clock
+// domains with non-commensurable periods (e.g. a 300 MHz CPU against a
+// 100 MHz bus) can be mixed without rounding drift.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace rtr::sim {
+
+/// A point in simulated time, in picoseconds since simulation start.
+///
+/// SimTime is an explicit strong type (not a bare integer) so that cycle
+/// counts, byte counts and times cannot be accidentally mixed.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t picoseconds) : ps_(picoseconds) {}
+
+  /// Zero time; the simulation epoch.
+  static constexpr SimTime zero() { return SimTime{0}; }
+  /// A value later than any reachable simulation time.
+  static constexpr SimTime infinity() { return SimTime{INT64_MAX}; }
+
+  static constexpr SimTime from_ps(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime from_ns(std::int64_t v) { return SimTime{v * 1000}; }
+  static constexpr SimTime from_us(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  static constexpr SimTime from_ms(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) / 1e3; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) / 1e9; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ps_) / 1e12; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimTime d) { ps_ += d.ps_; return *this; }
+  constexpr SimTime& operator-=(SimTime d) { ps_ -= d.ps_; return *this; }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ps_ + b.ps_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ps_ - b.ps_}; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ps_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ps_ * k}; }
+
+  /// Human-readable rendering with an auto-selected unit ("1.234 us").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+/// A clock frequency, stored in hertz.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(std::int64_t hertz) : hz_(hertz) {}
+
+  static constexpr Frequency from_hz(std::int64_t v) { return Frequency{v}; }
+  static constexpr Frequency from_khz(std::int64_t v) { return Frequency{v * 1000}; }
+  static constexpr Frequency from_mhz(std::int64_t v) { return Frequency{v * 1'000'000}; }
+
+  [[nodiscard]] constexpr std::int64_t hz() const { return hz_; }
+  [[nodiscard]] constexpr double mhz() const { return static_cast<double>(hz_) / 1e6; }
+
+  /// Period of one cycle at this frequency. Rounds down to whole picoseconds;
+  /// exact for every frequency that divides 1 THz (all frequencies used by
+  /// the modelled systems: 50, 100, 200, 300 MHz ... all divide evenly).
+  [[nodiscard]] constexpr SimTime period() const {
+    return SimTime{1'000'000'000'000LL / hz_};
+  }
+
+  friend constexpr auto operator<=>(Frequency, Frequency) = default;
+
+ private:
+  std::int64_t hz_ = 1;
+};
+
+}  // namespace rtr::sim

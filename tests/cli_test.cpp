@@ -1,0 +1,78 @@
+// End-to-end tests of the rtrsim_cli binary: spawn the real executable and
+// check exit codes and key output. The binary path is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef RTRSIM_CLI_PATH
+#error "RTRSIM_CLI_PATH must be defined by the build"
+#endif
+
+struct RunResult {
+  int exit_code;
+  std::string output;
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(RTRSIM_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe)) out += buf.data();
+  const int status = pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, out};
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const auto r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, TopologyListsTheSystem) {
+  const auto r32 = run_cli("topology --system 32");
+  EXPECT_EQ(r32.exit_code, 0);
+  EXPECT_NE(r32.output.find("XC2VP7"), std::string::npos);
+  const auto rd = run_cli("topology --system dual");
+  EXPECT_EQ(rd.exit_code, 0);
+  EXPECT_NE(rd.output.find("dyn64b"), std::string::npos);
+}
+
+TEST(Cli, ResourcesTablePrints) {
+  const auto r = run_cli("resources --system 64");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("PLB Dock"), std::string::npos);
+  EXPECT_NE(r.output.find("DDR controller"), std::string::npos);
+}
+
+TEST(Cli, RunJenkinsCrossChecks) {
+  const auto r = run_cli("run --system 32 --task jenkins --bytes 256");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("sw == hw == golden"), std::string::npos);
+  EXPECT_NE(r.output.find("speedup"), std::string::npos);
+}
+
+TEST(Cli, RunFadeWithDma) {
+  const auto r = run_cli("run --system 64 --task fade --image 64x32 --dma");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("(DMA)"), std::string::npos);
+  EXPECT_NE(r.output.find("sw == hw == golden"), std::string::npos);
+}
+
+TEST(Cli, ReconfigReportsFitFailure) {
+  const auto r = run_cli("reconfig --system 32 --task sha1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("does not fit"), std::string::npos);
+}
+
+TEST(Cli, BadFlagsRejected) {
+  EXPECT_EQ(run_cli("run --system 99").exit_code, 2);
+  EXPECT_EQ(run_cli("frobnicate").exit_code, 2);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Tests for the PPC405 timing model: cache behaviour, cacheable vs guarded
+// access costs, flushes, and the 32-bit load/store limit's consequences.
+#include <gtest/gtest.h>
+
+#include "bus/bus.hpp"
+#include "cpu/cache.hpp"
+#include "cpu/kernel.hpp"
+#include "cpu/ppc405.hpp"
+#include "mem/memory_slave.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtr::cpu {
+namespace {
+
+using bus::Addr;
+using bus::AddressRange;
+using sim::Frequency;
+using sim::SimTime;
+
+// --- DataCache in isolation ---------------------------------------------------
+
+TEST(DataCacheTest, GeometryOfThePpc405Cache) {
+  DataCache c;
+  EXPECT_EQ(c.sets(), 256);  // 16 KB / (2 ways * 32 B)
+}
+
+TEST(DataCacheTest, LoadMissThenHit) {
+  DataCache c;
+  auto m = c.load(0x1000);
+  EXPECT_FALSE(m.hit);
+  EXPECT_TRUE(m.fill);
+  auto h = c.load(0x101C);  // same 32-byte line
+  EXPECT_TRUE(h.hit);
+  EXPECT_EQ(c.hits(), 1);
+  EXPECT_EQ(c.misses(), 1);
+}
+
+TEST(DataCacheTest, StoreMissDoesNotAllocate) {
+  DataCache c;
+  auto s = c.store(0x2000);
+  EXPECT_FALSE(s.hit);
+  EXPECT_FALSE(s.fill);
+  auto l = c.load(0x2000);
+  EXPECT_FALSE(l.hit);  // the store did not bring the line in
+}
+
+TEST(DataCacheTest, DirtyVictimReportsWriteback) {
+  DataCache c;
+  const auto& p = c.params();
+  const Addr set_stride =
+      static_cast<Addr>(c.sets()) * static_cast<Addr>(p.line_bytes);
+  c.load(0x0);
+  c.store(0x0);  // dirty
+  c.load(set_stride);       // second way of set 0
+  const auto r = c.load(2 * set_stride);  // evicts LRU = dirty line 0
+  EXPECT_TRUE(r.fill);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_line, 0u);
+}
+
+TEST(DataCacheTest, LruPrefersOlderWay) {
+  DataCache c;
+  const Addr stride =
+      static_cast<Addr>(c.sets()) * static_cast<Addr>(c.params().line_bytes);
+  c.load(0 * stride);
+  c.load(1 * stride);
+  c.load(0 * stride);       // refresh way 0
+  c.load(2 * stride);       // should evict 1*stride (older)
+  EXPECT_TRUE(c.load(0 * stride).hit);
+  EXPECT_FALSE(c.load(1 * stride).hit);
+}
+
+TEST(DataCacheTest, FlushRangeWritesBackOnlyDirtyLines) {
+  DataCache c;
+  c.load(0x100);
+  c.store(0x100);
+  c.load(0x200);  // clean
+  const auto dirty = c.flush_range(0x100, 0x200);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 0x100u);
+  EXPECT_FALSE(c.load(0x100).hit);  // invalidated
+  EXPECT_FALSE(c.load(0x200).hit);
+}
+
+TEST(DataCacheTest, FlushAllInvalidatesEverything) {
+  DataCache c;
+  c.load(0x40);
+  c.store(0x40);
+  c.load(0x80);
+  const auto dirty = c.flush_all();
+  EXPECT_EQ(dirty.size(), 1u);
+  EXPECT_FALSE(c.load(0x40).hit);
+}
+
+// --- Ppc405 over a PLB system ---------------------------------------------------
+
+struct CpuFixture {
+  sim::Simulation sim;
+  sim::Clock& cpu_clk = sim.add_clock("cpu", Frequency::from_mhz(300));
+  sim::Clock& plb_clk = sim.add_clock("plb", Frequency::from_mhz(100));
+  bus::PlbBus plb{sim, plb_clk};
+  mem::MemorySlave ddr = mem::MemorySlave::ddr_on_plb({0x0, 64 << 20}, plb_clk);
+  mem::MemorySlave io = mem::MemorySlave::bram_on_plb({0x7000'0000, 64 << 10},
+                                                      plb_clk, 0);
+  Ppc405 cpu{sim, cpu_clk, plb, {AddressRange{0x0, 64 << 20}},
+             Ppc405Params{.freq = Frequency::from_mhz(300)}};
+
+  CpuFixture() {
+    plb.attach(ddr.range(), ddr);
+    plb.attach(io.range(), io);  // a non-cacheable region ("I/O")
+  }
+};
+
+TEST(Ppc405Test, CachedLoadsAreCheapAfterFill) {
+  CpuFixture fx;
+  fx.ddr.storage().write(0x100, 0xCAFE, 4);
+  const SimTime t0 = fx.cpu.now();
+  EXPECT_EQ(fx.cpu.load32(0x100), 0xCAFEu);  // miss + fill
+  const SimTime t_miss = fx.cpu.now() - t0;
+  const SimTime t1 = fx.cpu.now();
+  EXPECT_EQ(fx.cpu.load32(0x104), 0u);  // hit (same line)
+  const SimTime t_hit = fx.cpu.now() - t1;
+  EXPECT_LT(10 * t_hit.ps(), t_miss.ps());
+  EXPECT_EQ(t_hit, fx.cpu_clk.cycles(1));
+}
+
+TEST(Ppc405Test, GuardedAccessAlwaysPaysTheBus) {
+  CpuFixture fx;
+  fx.io.storage().write(0x10, 7, 4);
+  const SimTime t0 = fx.cpu.now();
+  EXPECT_EQ(fx.cpu.load32(0x7000'0010), 7u);
+  const SimTime first = fx.cpu.now() - t0;
+  const SimTime t1 = fx.cpu.now();
+  EXPECT_EQ(fx.cpu.load32(0x7000'0010), 7u);  // no caching: same cost
+  const SimTime second = fx.cpu.now() - t1;
+  EXPECT_GE(second, first - fx.cpu_clk.cycles(1));
+  EXPECT_GT(second, fx.cpu_clk.cycles(3));
+}
+
+TEST(Ppc405Test, StoreHitStaysInCache) {
+  CpuFixture fx;
+  fx.cpu.load32(0x200);           // bring the line in
+  const auto before = fx.sim.stats().counter("PLB.transactions").value();
+  fx.cpu.store32(0x200, 0x1234);  // hit: no bus traffic
+  EXPECT_EQ(fx.sim.stats().counter("PLB.transactions").value(), before);
+  EXPECT_EQ(fx.cpu.load32(0x200), 0x1234u);
+}
+
+TEST(Ppc405Test, StoreMissPassesThrough) {
+  CpuFixture fx;
+  const auto before = fx.sim.stats().counter("PLB.transactions").value();
+  fx.cpu.store32(0x300, 0x77);
+  EXPECT_EQ(fx.sim.stats().counter("PLB.transactions").value(), before + 1);
+  EXPECT_EQ(fx.ddr.storage().read(0x300, 4), 0x77u);
+}
+
+TEST(Ppc405Test, DirtyEvictionChargesWritebackBurst) {
+  CpuFixture fx;
+  const Addr stride = static_cast<Addr>(fx.cpu.dcache().sets()) * 32;
+  fx.cpu.load32(0x0);
+  fx.cpu.store32(0x0, 1);       // dirty
+  fx.cpu.load32(stride);        // fill way 2
+  const auto beats_before = fx.sim.stats().counter("PLB.beats").value();
+  fx.cpu.load32(2 * stride);    // evict dirty line + fill
+  const auto beats_after = fx.sim.stats().counter("PLB.beats").value();
+  EXPECT_EQ(beats_after - beats_before, 8);  // 4-beat writeback + 4-beat fill
+}
+
+TEST(Ppc405Test, FlushDcacheRangeWritesDirtyData) {
+  CpuFixture fx;
+  fx.cpu.load32(0x400);
+  fx.cpu.store32(0x400, 99);
+  const SimTime before = fx.cpu.now();
+  fx.cpu.flush_dcache_range(0x400, 4);
+  EXPECT_GT(fx.cpu.now(), before);  // the flush costs time
+  EXPECT_EQ(fx.ddr.storage().read(0x400, 4), 99u);
+  // After the flush the line is gone: next load misses.
+  const auto miss_before = fx.cpu.dcache().misses();
+  fx.cpu.load32(0x400);
+  EXPECT_EQ(fx.cpu.dcache().misses(), miss_before + 1);
+}
+
+TEST(Ppc405Test, InterruptEntryCost) {
+  CpuFixture fx;
+  fx.cpu.take_interrupt(SimTime::from_us(5));
+  EXPECT_EQ(fx.cpu.now(), SimTime::from_us(5) + fx.cpu_clk.cycles(40));
+  // An interrupt asserted in the past costs only the entry.
+  const SimTime t = fx.cpu.now();
+  fx.cpu.take_interrupt(SimTime::zero());
+  EXPECT_EQ(fx.cpu.now(), t + fx.cpu_clk.cycles(40));
+}
+
+TEST(KernelTest, OpCostsAccumulate) {
+  CpuFixture fx;
+  Kernel k{fx.cpu};
+  const SimTime t0 = k.now();
+  k.op(3);
+  k.mul();
+  k.branch();
+  EXPECT_EQ(k.now() - t0, fx.cpu_clk.cycles(3 + 4 + 2));
+  k.div();
+  k.call();
+  EXPECT_EQ(k.now() - t0, fx.cpu_clk.cycles(3 + 4 + 2 + 35 + 8));
+}
+
+TEST(KernelTest, FasterClockFinishesSooner) {
+  // The 64-bit system's 300 MHz core vs the 32-bit system's 200 MHz one.
+  sim::Simulation sim;
+  sim::Clock& slow = sim.add_clock("cpu200", Frequency::from_mhz(200));
+  sim::Clock& fast = sim.add_clock("cpu300", Frequency::from_mhz(300));
+  EXPECT_EQ(slow.cycles(3000), SimTime::from_us(15));
+  EXPECT_LT(fast.cycles(3000), slow.cycles(3000));
+}
+
+}  // namespace
+}  // namespace rtr::cpu

@@ -1,0 +1,323 @@
+// Tests for the docks (OPB/PLB wrappers), the output FIFO, the DMA engine
+// and interrupt delivery.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bus/bus.hpp"
+#include "cpu/intc.hpp"
+#include "cpu/ppc405.hpp"
+#include "dma/dma.hpp"
+#include "dock/opb_dock.hpp"
+#include "dock/plb_dock.hpp"
+#include "hw/module.hpp"
+#include "mem/memory_slave.hpp"
+#include "sim/kernel.hpp"
+
+namespace rtr::dock {
+namespace {
+
+using sim::Frequency;
+using sim::SimTime;
+
+/// Test module: adds 1 to every word it sees; one output per strobe.
+class PlusOne : public hw::HwModule {
+ public:
+  [[nodiscard]] int behavior_id() const override { return 900; }
+  [[nodiscard]] std::string name() const override { return "plus-one"; }
+  void reset() override { last_ = 0; strobes_ = 0; }
+  void write_word(std::uint64_t d, int) override {
+    last_ = d + 1;
+    ++strobes_;
+  }
+  [[nodiscard]] std::uint64_t read_word(int) override { return last_; }
+  [[nodiscard]] int strobes() const { return strobes_; }
+
+ private:
+  std::uint64_t last_ = 0;
+  int strobes_ = 0;
+};
+
+/// Test module: packs pairs of strobes (sum); output valid every 2nd strobe.
+class PairSummer : public hw::HwModule {
+ public:
+  [[nodiscard]] int behavior_id() const override { return 901; }
+  [[nodiscard]] std::string name() const override { return "pair-summer"; }
+  void reset() override { acc_ = 0; phase_ = 0; out_ = 0; }
+  void write_word(std::uint64_t d, int) override {
+    acc_ += d;
+    if (++phase_ == 2) {
+      out_ = acc_;
+      acc_ = 0;
+      phase_ = 0;
+      fresh_ = true;
+    } else {
+      fresh_ = false;
+    }
+  }
+  [[nodiscard]] std::uint64_t read_word(int) override { return out_; }
+  [[nodiscard]] bool has_output() const override { return fresh_; }
+
+ private:
+  std::uint64_t acc_ = 0, out_ = 0;
+  int phase_ = 0;
+  bool fresh_ = false;
+};
+
+// --- OPB dock ------------------------------------------------------------------
+
+struct OpbDockFixture {
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("opb", Frequency::from_mhz(50));
+  bus::OpbBus opb{sim, clk};
+  OpbDock dock{sim, clk, {0x4200'0000, 0x1000}};
+  PlusOne module;
+
+  OpbDockFixture() { opb.attach(dock.range(), dock); }
+};
+
+TEST(OpbDockTest, UnboundAccessesArePoison) {
+  OpbDockFixture fx;
+  const auto r = fx.opb.read(0x4200'0000, 4, SimTime::zero());
+  EXPECT_EQ(r.data, 0xDEADBEEFu);
+  fx.opb.write(0x4200'0000, 5, 4, r.done);  // dropped
+  EXPECT_EQ(fx.sim.stats().counter("dock32.orphan_accesses").value(), 2);
+}
+
+TEST(OpbDockTest, BoundModuleSeesStrobes) {
+  OpbDockFixture fx;
+  fx.dock.bind(&fx.module);
+  SimTime t = fx.opb.write(0x4200'0000, 41, 4, SimTime::zero());
+  const auto r = fx.opb.read(0x4200'0000, 4, t);
+  EXPECT_EQ(r.data, 42u);
+  EXPECT_EQ(fx.module.strobes(), 1);
+}
+
+TEST(OpbDockTest, BindResetsModuleState) {
+  OpbDockFixture fx;
+  fx.dock.bind(&fx.module);
+  fx.opb.write(0x4200'0000, 10, 4, SimTime::zero());
+  fx.dock.bind(&fx.module);  // rebinding models a reconfiguration
+  EXPECT_EQ(fx.module.strobes(), 0);
+  const auto r = fx.opb.read(0x4200'0000, 4, SimTime::zero());
+  EXPECT_EQ(r.data, 0u);
+}
+
+// --- PLB dock --------------------------------------------------------------------
+
+struct PlbDockFixture {
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("plb", Frequency::from_mhz(100));
+  bus::PlbBus plb{sim, clk};
+  PlbDock dock{sim, clk, {0x7400'0000, 0x1'0000}};
+  mem::MemorySlave ddr = mem::MemorySlave::ddr_on_plb({0x0, 64 << 20}, clk);
+  cpu::InterruptController intc{clk, {0x4120'0000, 0x1000}};
+  dma::DmaEngine dma{sim, plb};
+  PlusOne module;
+
+  PlbDockFixture() {
+    plb.attach(dock.range(), dock);
+    plb.attach(ddr.range(), ddr);
+    dock.set_irq(&intc, 2);
+  }
+};
+
+TEST(PlbDockTest, Pio32StillWorks) {
+  PlbDockFixture fx;
+  fx.dock.bind(&fx.module);
+  SimTime t = fx.plb.write(0x7400'0000, 7, 4, SimTime::zero());
+  const auto r = fx.plb.read(0x7400'0000, 4, t);
+  EXPECT_EQ(r.data, 8u);
+}
+
+TEST(PlbDockTest, StreamStrobesAndFillsFifo) {
+  PlbDockFixture fx;
+  fx.dock.bind(&fx.module);
+  SimTime t = SimTime::zero();
+  for (std::uint64_t v : {10ull, 20ull, 30ull}) {
+    t = fx.plb.write(0x7400'0008, v, 8, t);
+  }
+  EXPECT_EQ(fx.dock.fifo_count(), 3);
+  // FIFO preserves order.
+  auto r = fx.plb.read(0x7400'0010, 8, t);
+  EXPECT_EQ(r.data, 11u);
+  r = fx.plb.read(0x7400'0010, 8, r.done);
+  EXPECT_EQ(r.data, 21u);
+  EXPECT_EQ(fx.dock.fifo_count(), 1);
+}
+
+TEST(PlbDockTest, StatusRegisterReportsCountAndFlags) {
+  PlbDockFixture fx;
+  fx.dock.bind(&fx.module);
+  fx.plb.write(0x7400'0008, 1, 8, SimTime::zero());
+  auto st = fx.plb.read(0x7400'0018, 4, SimTime::zero());
+  EXPECT_EQ(st.data & 0xFFFF, 1u);
+  // Draining an empty FIFO sets underflow.
+  fx.plb.read(0x7400'0010, 8, st.done);
+  auto st2 = fx.plb.read(0x7400'0018, 4, SimTime::zero());
+  EXPECT_EQ(st2.data & 0xFFFF, 0u);
+  const auto r = fx.plb.read(0x7400'0010, 8, st2.done);
+  EXPECT_EQ(r.data, kUnboundReadValue);
+  auto st3 = fx.plb.read(0x7400'0018, 4, SimTime::zero());
+  EXPECT_TRUE(st3.data & PlbDock::kStatusUnderflow);
+}
+
+TEST(PlbDockTest, FifoOverflowAtConfiguredDepth) {
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("plb", Frequency::from_mhz(100));
+  bus::PlbBus plb{sim, clk};
+  PlbDock dock{sim, clk, {0x7400'0000, 0x1'0000}, /*fifo_depth=*/4};
+  plb.attach(dock.range(), dock);
+  PlusOne module;
+  dock.bind(&module);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < 6; ++i) t = plb.write(0x7400'0008, 1, 8, t);
+  EXPECT_EQ(dock.fifo_count(), 4);
+  EXPECT_TRUE(dock.overflowed());
+}
+
+TEST(PlbDockTest, DefaultFifoDepthMatchesPaper) {
+  PlbDockFixture fx;
+  EXPECT_EQ(fx.dock.fifo_depth(), 2047);  // "up to 2047 64-bit values"
+}
+
+TEST(PlbDockTest, DecimatingModulePushesEverySecondStrobe) {
+  PlbDockFixture fx;
+  PairSummer sum;
+  fx.dock.bind(&sum);
+  SimTime t = SimTime::zero();
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 4ull}) {
+    t = fx.plb.write(0x7400'0008, v, 8, t);
+  }
+  EXPECT_EQ(fx.dock.fifo_count(), 2);
+  auto r = fx.plb.read(0x7400'0010, 8, t);
+  EXPECT_EQ(r.data, 3u);  // 1+2
+  r = fx.plb.read(0x7400'0010, 8, r.done);
+  EXPECT_EQ(r.data, 7u);  // 3+4
+}
+
+// --- DMA ----------------------------------------------------------------------
+
+TEST(DmaTest, MemoryToMemoryCopy) {
+  PlbDockFixture fx;
+  for (int i = 0; i < 64; ++i) {
+    fx.ddr.storage().write(static_cast<std::uint64_t>(i) * 8,
+                           0x1000u + static_cast<std::uint64_t>(i), 8);
+  }
+  const dma::DmaDescriptor d{0x0, 0x10000, 64 * 8};
+  const SimTime done = fx.dma.run_one(d, SimTime::zero());
+  EXPECT_GT(done, SimTime::zero());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fx.ddr.storage().read(0x10000 + static_cast<std::uint64_t>(i) * 8, 8),
+              0x1000u + static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(DmaTest, FasterThanProgrammedIo) {
+  PlbDockFixture fx;
+  const std::uint64_t bytes = 4096;
+  const dma::DmaDescriptor d{0x0, 0x10000, bytes};
+  const SimTime dma_done = fx.dma.run_one(d, SimTime::zero());
+
+  // PIO equivalent: read 8 bytes, write 8 bytes, per beat, no bursts.
+  SimTime t = SimTime::zero();
+  for (std::uint64_t off = 0; off < bytes; off += 8) {
+    const auto r = fx.plb.read(off, 8, t);
+    t = fx.plb.write(0x20000 + off, r.data, 8, r.done);
+  }
+  EXPECT_LT(dma_done.ps() * 3, t.ps());
+}
+
+TEST(DmaTest, StreamsBlockThroughModuleAndBack) {
+  // The paper's block-interleaved DMA flow: memory -> dock (module
+  // processes) -> FIFO -> memory.
+  PlbDockFixture fx;
+  fx.dock.bind(&fx.module);
+  const int n = 256;
+  for (int i = 0; i < n; ++i) {
+    fx.ddr.storage().write(static_cast<std::uint64_t>(i) * 8,
+                           static_cast<std::uint64_t>(i), 8);
+  }
+  const dma::DmaDescriptor feed{0x0, 0x7400'0008,
+                                static_cast<std::uint64_t>(n) * 8, true, false};
+  const SimTime t1 = fx.dma.run_one(feed, SimTime::zero());
+  EXPECT_EQ(fx.dock.fifo_count(), n);
+  EXPECT_FALSE(fx.dock.overflowed());
+
+  const dma::DmaDescriptor drain{0x7400'0010, 0x40000,
+                                 static_cast<std::uint64_t>(n) * 8, false, true};
+  const SimTime t2 = fx.dma.run_one(drain, t1);
+  EXPECT_GT(t2, t1);
+  EXPECT_EQ(fx.dock.fifo_count(), 0);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(fx.ddr.storage().read(0x40000 + static_cast<std::uint64_t>(i) * 8, 8),
+              static_cast<std::uint64_t>(i) + 1);
+  }
+}
+
+TEST(DmaTest, ChainRunsDescriptorsInOrder) {
+  PlbDockFixture fx;
+  fx.ddr.storage().write(0x0, 0xAA, 8);
+  const dma::DmaDescriptor chain[2] = {
+      {0x0, 0x1000, 8},
+      {0x1000, 0x2000, 8},
+  };
+  fx.dma.run_chain(chain, SimTime::zero());
+  EXPECT_EQ(fx.ddr.storage().read(0x2000, 8), 0xAAu);
+  EXPECT_EQ(fx.sim.stats().counter("dma.descriptors").value(), 2);
+  EXPECT_EQ(fx.sim.stats().counter("dma.bytes").value(), 16);
+}
+
+TEST(DmaTest, RejectsUnalignedLength) {
+  PlbDockFixture fx;
+  const dma::DmaDescriptor d{0x0, 0x1000, 12};
+  EXPECT_DEATH(fx.dma.run_one(d, SimTime::zero()), "multiple of 8");
+}
+
+// --- interrupts -----------------------------------------------------------------
+
+TEST(InterruptTest, DockSignalsCompletionThroughIntc) {
+  PlbDockFixture fx;
+  const SimTime completion = SimTime::from_us(42);
+  fx.dock.signal_done(completion);
+  EXPECT_EQ(fx.intc.assertion_time(2), completion);
+  EXPECT_FALSE(fx.intc.is_pending(2, SimTime::from_us(41)));
+  EXPECT_TRUE(fx.intc.is_pending(2, completion));
+  fx.intc.clear(2);
+  EXPECT_FALSE(fx.intc.is_pending(2, completion));
+}
+
+TEST(InterruptTest, StatusAndAckOverTheBus) {
+  PlbDockFixture fx;
+  bus::OpbBus opb{fx.sim, fx.clk};
+  opb.attach(fx.intc.range(), fx.intc);
+  fx.intc.raise(2, SimTime::from_ns(100));
+  fx.intc.raise(5, SimTime::from_us(999));
+  const auto st = opb.read(0x4120'0000, 4, SimTime::from_us(1));
+  EXPECT_EQ(st.data, 1u << 2);  // line 5 not asserted yet
+  const SimTime t = opb.write(0x4120'0004, 1u << 2, 4, st.done);
+  const auto st2 = opb.read(0x4120'0000, 4, t);
+  EXPECT_EQ(st2.data, 0u);
+}
+
+TEST(InterruptTest, WaitingOnANeverRaisedLineAborts) {
+  PlbDockFixture fx;
+  EXPECT_DEATH((void)fx.intc.assertion_time(7), "nobody will raise");
+}
+
+TEST(InterruptTest, CpuTakesDmaCompletionInterrupt) {
+  PlbDockFixture fx;
+  sim::Clock& cpu_clk = fx.sim.add_clock("cpu", Frequency::from_mhz(300));
+  cpu::Ppc405 cpu{fx.sim, cpu_clk, fx.plb, {bus::AddressRange{0x0, 64 << 20}}};
+  fx.dock.bind(&fx.module);
+  // CPU kicks a DMA, then sleeps until the completion interrupt.
+  const dma::DmaDescriptor d{0x0, 0x7400'0008, 512, true, false};
+  const SimTime done = fx.dma.run_one(d, cpu.now());
+  fx.dock.signal_done(done);
+  cpu.take_interrupt(fx.intc.assertion_time(fx.dock.irq_line()));
+  fx.intc.clear(fx.dock.irq_line());
+  EXPECT_GE(cpu.now(), done);
+}
+
+}  // namespace
+}  // namespace rtr::dock

@@ -1,0 +1,311 @@
+// Property tests: every hardware behavioural model is functionally
+// equivalent to its golden software implementation, through both the 32-bit
+// and 64-bit connection protocols.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/golden.hpp"
+#include "hw/hash_units.hpp"
+#include "hw/image_units.hpp"
+#include "hw/library.hpp"
+#include "hw/pattern_matcher.hpp"
+#include "sim/random.hpp"
+
+namespace rtr::hw {
+namespace {
+
+using apps::BinaryImage;
+using apps::GrayImage;
+using apps::Pattern8x8;
+
+/// Drive a word-stream protocol at the given strobe width: packs the 32-bit
+/// protocol words into strobes exactly as the drivers do.
+void stream_words(HwModule& m, std::span<const std::uint32_t> words,
+                  int width_bits) {
+  if (width_bits == 32) {
+    for (std::uint32_t w : words) m.write_word(w, 32);
+    return;
+  }
+  for (std::size_t i = 0; i < words.size(); i += 2) {
+    std::uint64_t beat = words[i];
+    if (i + 1 < words.size()) beat |= static_cast<std::uint64_t>(words[i + 1]) << 32;
+    m.write_word(beat, 64);
+  }
+}
+
+std::vector<std::uint32_t> pack_bytes(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint32_t> words((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    words[i / 4] |= std::uint32_t{bytes[i]} << (8 * (i % 4));
+  }
+  return words;
+}
+
+// --- pattern matcher ----------------------------------------------------------
+
+/// Protocol words for a byte-per-pixel image + pattern.
+std::vector<std::uint32_t> pattern_stream(const BinaryImage& img,
+                                          const Pattern8x8& pat) {
+  std::vector<std::uint32_t> words;
+  words.push_back((static_cast<std::uint32_t>(img.width) << 16) |
+                  static_cast<std::uint32_t>(img.height));
+  words.push_back(pat[0] | (std::uint32_t{pat[1]} << 8) |
+                  (std::uint32_t{pat[2]} << 16) | (std::uint32_t{pat[3]} << 24));
+  words.push_back(pat[4] | (std::uint32_t{pat[5]} << 8) |
+                  (std::uint32_t{pat[6]} << 16) | (std::uint32_t{pat[7]} << 24));
+  const auto packed = pack_bytes(apps::to_bytes(img));
+  words.insert(words.end(), packed.begin(), packed.end());
+  return words;
+}
+
+class PatternWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternWidths, MatchesGoldenOnRandomImages) {
+  sim::Rng rng{41};
+  for (int trial = 0; trial < 6; ++trial) {
+    const int w = 4 * (4 + static_cast<int>(rng.below(20)));  // multiple of 4
+    const int h = 8 + static_cast<int>(rng.below(60));
+    BinaryImage img = BinaryImage::make(w, h);
+    for (auto& word : img.words) word = rng.next_u32();
+    Pattern8x8 pat;
+    for (auto& row : pat) row = rng.next_u8();
+
+    PatternMatcherModule m{bram_bits(6)};
+    stream_words(m, pattern_stream(img, pat), GetParam());
+
+    ASSERT_TRUE(m.result_ready());
+    const auto golden = apps::pattern_match_counts(img, pat);
+    ASSERT_EQ(m.result_count(), static_cast<std::int64_t>(golden.size()));
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      ASSERT_EQ(m.read_word(32), golden[i]) << "position " << i;
+    }
+    EXPECT_EQ(m.read_word(32), 0xFFFFFFFFu);  // exhausted
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PatternWidths, ::testing::Values(32, 64));
+
+TEST(PatternMatcherHw, CapacityErrorOnOversizedImage) {
+  PatternMatcherModule m{bram_bits(6)};  // 110592 bits
+  // 512x512 = 262144 pixels: the image the 32-bit system cannot buffer.
+  m.write_word((512u << 16) | 512u, 32);
+  m.write_word(0, 32);
+  m.write_word(0, 32);
+  EXPECT_TRUE(m.capacity_error());
+  // Stream the (discarded) image; the module still tracks the protocol.
+  const int words = 512 * 512 / 4;
+  for (int i = 0; i < words; ++i) m.write_word(0, 32);
+  EXPECT_TRUE(m.result_ready());
+  EXPECT_EQ(m.read_word(32), 0xFFFFFFFFu);
+}
+
+TEST(PatternMatcherHw, LargerBufferAcceptsTheSameImage) {
+  PatternMatcherModule m{bram_bits(22)};  // the 64-bit region's allocation
+  m.write_word((512u << 16) | 512u, 32);
+  EXPECT_FALSE(m.capacity_error());
+}
+
+TEST(PatternMatcherHw, RejectsNonMultipleOf4Width) {
+  PatternMatcherModule m{bram_bits(6)};
+  m.write_word((30u << 16) | 16u, 32);
+  EXPECT_TRUE(m.capacity_error());
+}
+
+TEST(PatternMatcherHw, ResetClearsResult) {
+  PatternMatcherModule m{bram_bits(6)};
+  m.write_word((8u << 16) | 8u, 32);
+  m.write_word(0, 32);
+  m.write_word(0, 32);
+  for (int i = 0; i < 8 * 8 / 4; ++i) m.write_word(0, 32);
+  ASSERT_TRUE(m.result_ready());
+  EXPECT_EQ(m.result_count(), 1);
+  EXPECT_EQ(m.read_word(32), 64u);  // all-zero image matches zero pattern
+  m.reset();
+  EXPECT_FALSE(m.result_ready());
+}
+
+// --- hashes ----------------------------------------------------------------------
+
+class HashWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashWidths, JenkinsMatchesGolden) {
+  sim::Rng rng{7};
+  for (std::size_t len : {0u, 1u, 3u, 11u, 12u, 13u, 64u, 1000u, 4096u}) {
+    std::vector<std::uint8_t> key(len);
+    for (auto& b : key) b = rng.next_u8();
+
+    JenkinsHashModule m;
+    std::vector<std::uint32_t> words{static_cast<std::uint32_t>(len)};
+    const auto packed = pack_bytes(key);
+    words.insert(words.end(), packed.begin(), packed.end());
+    stream_words(m, words, GetParam());
+
+    ASSERT_TRUE(m.result_ready()) << "len " << len;
+    EXPECT_EQ(static_cast<std::uint32_t>(m.read_word(32)),
+              apps::jenkins_hash(key))
+        << "len " << len;
+  }
+}
+
+TEST_P(HashWidths, Sha1MatchesGolden) {
+  sim::Rng rng{13};
+  for (std::size_t len : {0u, 1u, 3u, 55u, 56u, 63u, 64u, 65u, 100u, 8192u}) {
+    std::vector<std::uint8_t> msg(len);
+    for (auto& b : msg) b = rng.next_u8();
+
+    Sha1Module m;
+    std::vector<std::uint32_t> words{static_cast<std::uint32_t>(len)};
+    const auto packed = pack_bytes(msg);
+    words.insert(words.end(), packed.begin(), packed.end());
+    stream_words(m, words, GetParam());
+
+    ASSERT_TRUE(m.result_ready()) << "len " << len;
+    const auto want = apps::sha1(msg);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(static_cast<std::uint32_t>(m.read_word(32)),
+                want[static_cast<std::size_t>(i)])
+          << "len " << len << " word " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HashWidths, ::testing::Values(32, 64));
+
+TEST(Sha1Hw, KnownVector) {
+  Sha1Module m;
+  m.write_word(3, 32);
+  m.write_word('a' | ('b' << 8) | ('c' << 16), 32);
+  EXPECT_EQ(static_cast<std::uint32_t>(m.read_word(32)), 0xA9993E36u);
+}
+
+// --- image units -------------------------------------------------------------------
+
+TEST(BrightnessHw, MatchesGoldenBothWidths) {
+  sim::Rng rng{23};
+  GrayImage img = GrayImage::make(64, 8);
+  for (auto& p : img.pixels) p = rng.next_u8();
+  for (int delta : {-200, -1, 0, 17, 255}) {
+    const GrayImage want = apps::brightness(img, delta);
+    for (int width : {32, 64}) {
+      BrightnessModule m;
+      m.control(static_cast<std::uint16_t>(delta));
+      std::vector<std::uint8_t> out;
+      const int n = width / 8;
+      for (std::size_t i = 0; i < img.pixels.size(); i += static_cast<std::size_t>(n)) {
+        std::uint64_t beat = 0;
+        for (int j = 0; j < n; ++j) {
+          beat |= static_cast<std::uint64_t>(img.pixels[i + static_cast<std::size_t>(j)])
+                  << (8 * j);
+        }
+        m.write_word(beat, width);
+        EXPECT_TRUE(m.has_output());
+        const std::uint64_t res = m.read_word(width);
+        for (int j = 0; j < n; ++j) {
+          out.push_back(static_cast<std::uint8_t>(res >> (8 * j)));
+        }
+      }
+      EXPECT_EQ(out, want.pixels) << "delta " << delta << " width " << width;
+    }
+  }
+}
+
+/// Drive a two-source module (blend/fade) and collect its packed outputs.
+std::vector<std::uint8_t> run_two_source(TwoSourceModule& m,
+                                         const GrayImage& a,
+                                         const GrayImage& b, int width) {
+  const int n = width / 16;  // pixels of each source per strobe
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < a.pixels.size(); i += static_cast<std::size_t>(n)) {
+    std::uint64_t beat = 0;
+    for (int j = 0; j < n; ++j) {
+      beat |= static_cast<std::uint64_t>(a.pixels[i + static_cast<std::size_t>(j)])
+              << (8 * j);
+      beat |= static_cast<std::uint64_t>(b.pixels[i + static_cast<std::size_t>(j)])
+              << (8 * (n + j));
+    }
+    m.write_word(beat, width);
+    if (m.has_output()) {
+      const std::uint64_t res = m.read_word(width);
+      for (int j = 0; j < 2 * n; ++j) {
+        out.push_back(static_cast<std::uint8_t>(res >> (8 * j)));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(BlendHw, MatchesGoldenBothWidths) {
+  sim::Rng rng{29};
+  GrayImage a = GrayImage::make(64, 4);
+  GrayImage b = GrayImage::make(64, 4);
+  for (auto& p : a.pixels) p = rng.next_u8();
+  for (auto& p : b.pixels) p = rng.next_u8();
+  const GrayImage want = apps::blend_add(a, b);
+  for (int width : {32, 64}) {
+    BlendAddModule m;
+    EXPECT_EQ(run_two_source(m, a, b, width), want.pixels) << width;
+  }
+}
+
+TEST(FadeHw, MatchesGoldenBothWidths) {
+  sim::Rng rng{31};
+  GrayImage a = GrayImage::make(32, 4);
+  GrayImage b = GrayImage::make(32, 4);
+  for (auto& p : a.pixels) p = rng.next_u8();
+  for (auto& p : b.pixels) p = rng.next_u8();
+  for (int f : {0, 77, 128, 256}) {
+    const GrayImage want = apps::fade(a, b, f);
+    for (int width : {32, 64}) {
+      FadeModule m;
+      m.control(static_cast<std::uint32_t>(f));
+      EXPECT_EQ(run_two_source(m, a, b, width), want.pixels)
+          << "f " << f << " width " << width;
+    }
+  }
+}
+
+TEST(TwoSourceHw, OutputEverySecondStrobeOnly) {
+  BlendAddModule m;
+  m.write_word(0, 32);
+  EXPECT_FALSE(m.has_output());
+  m.write_word(0, 32);
+  EXPECT_TRUE(m.has_output());
+}
+
+// --- library -------------------------------------------------------------------------
+
+TEST(Library, RegistryCreatesEveryBehaviour) {
+  const BehaviorRegistry reg = standard_registry(bram_bits(6));
+  for (int id : {kPatternMatcher, kJenkinsHash, kSha1, kBrightness, kBlendAdd,
+                 kFade}) {
+    ASSERT_TRUE(reg.contains(id));
+    const auto m = reg.create(id);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->behavior_id(), id);
+  }
+  EXPECT_FALSE(reg.contains(999));
+  EXPECT_EQ(reg.create(999), nullptr);
+}
+
+TEST(Library, ComponentsCarryDockInterface) {
+  for (int width : {32, 64}) {
+    const auto c = component_for(kJenkinsHash, width);
+    ASSERT_EQ(c.macros.size(), 3u);
+    EXPECT_EQ(c.macros[0].width(), width);
+    EXPECT_EQ(c.behavior_id, kJenkinsHash);
+  }
+}
+
+TEST(Library, Sha1TallerThanThe32BitRegion) {
+  const auto sha = component_for(kSha1, 32);
+  EXPECT_GT(sha.rows, 11);          // the 28x11 region cannot host it
+  EXPECT_GT(sha.rows * sha.cols, 308);
+  const auto pm = component_for(kPatternMatcher, 32);
+  EXPECT_LE(pm.rows, 11);
+  EXPECT_LE(pm.cols, 28);
+}
+
+}  // namespace
+}  // namespace rtr::hw

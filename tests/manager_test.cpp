@@ -1,0 +1,152 @@
+// Tests for the ModuleManager's safe differential reconfiguration: fast
+// path, fallback on stale assumptions, and functional correctness of
+// modules loaded through differentials.
+#include <gtest/gtest.h>
+
+#include "apps/drivers.hpp"
+#include "apps/golden.hpp"
+#include "apps/memio.hpp"
+#include "bitstream/partial_config.hpp"
+#include "rtr/manager.hpp"
+#include "rtr/platform.hpp"
+
+namespace rtr {
+namespace {
+
+using bus::Addr;
+using sim::SimTime;
+
+template <typename P>
+struct Width;
+template <>
+struct Width<Platform32> {
+  static constexpr int v = 32;
+};
+template <>
+struct Width<Platform64> {
+  static constexpr int v = 64;
+};
+
+template <typename P>
+class ManagerTest : public ::testing::Test {};
+using BothPlatforms = ::testing::Types<Platform32, Platform64>;
+TYPED_TEST_SUITE(ManagerTest, BothPlatforms);
+
+TYPED_TEST(ManagerTest, FirstLoadIsCompleteThenDifferentials) {
+  TypeParam p;
+  ModuleManager<TypeParam> mgr{p};
+  const int w = Width<TypeParam>::v;
+
+  const auto first = mgr.ensure(hw::kBrightness, w);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.used_differential);  // nothing to diff against yet
+  EXPECT_FALSE(first.already_resident);
+
+  const auto second = mgr.ensure(hw::kFade, w);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.used_differential);
+  EXPECT_FALSE(second.fell_back);
+  // Differential streams are much smaller than complete ones.
+  EXPECT_LT(second.stream_words * 2, first.stream_words);
+  EXPECT_LT(second.time, first.time);
+
+  const auto again = mgr.ensure(hw::kFade, w);
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.already_resident);
+  EXPECT_EQ(again.stream_words, 0);
+}
+
+TYPED_TEST(ManagerTest, DifferentialLoadsAreFunctionallyComplete) {
+  TypeParam p;
+  ModuleManager<TypeParam> mgr{p};
+  const int w = Width<TypeParam>::v;
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, w).ok);
+  const auto s = mgr.ensure(hw::kJenkinsHash, w);
+  ASSERT_TRUE(s.ok);
+  ASSERT_TRUE(s.used_differential);
+
+  const auto key = std::vector<std::uint8_t>(77, 0x44);
+  const Addr key_at = TypeParam::kConfigStaging - 0x10000;
+  apps::store_bytes(p.cpu().plb(), key_at, key);
+  EXPECT_EQ(apps::hw_jenkins_pio(p.kernel(), TypeParam::dock_data(), key_at,
+                                 77),
+            apps::jenkins_hash(key));
+}
+
+TEST(ManagerFallback, StaleAssumptionFallsBackToComplete) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+
+  // Someone else rewrites part of the region behind the manager's back (a
+  // debugger, scrubber repair, another software component).
+  std::vector<std::uint32_t> junk(
+      static_cast<std::size_t>(p.fabric_state().words_per_frame()), 0x77777);
+  bitstream::PartialConfig rogue{p.region().device()};
+  // The frame sits in a column neither assembly touches, so the
+  // differential will not rewrite it -- the stale state survives the
+  // differential load and only the payload-hash gate can catch it.
+  rogue.add_run({fabric::FrameAddress{fabric::ColumnType::kClb,
+                                      p.region().rect().col0 + 15, 2},
+                 1, junk});
+  for (std::uint32_t word : bitstream::serialize(rogue)) {
+    p.cpu().store32(Platform32::kIcapRange.base, word);
+  }
+
+  const auto s = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_TRUE(s.fell_back);           // differential refused to bind
+  EXPECT_FALSE(s.used_differential);  // the complete config did the job
+  EXPECT_EQ(p.region().scan_signature(p.fabric_state()), hw::kFade);
+}
+
+TEST(ManagerFallback, InvalidateForcesCompletePath) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+  mgr.invalidate();
+  EXPECT_EQ(mgr.resident(), -1);
+  const auto s = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(s.ok);
+  EXPECT_FALSE(s.used_differential);
+  EXPECT_FALSE(s.already_resident);
+}
+
+TEST(ManagerFallback, DisabledDifferentialAlwaysLoadsComplete) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p, /*enable_differential=*/false};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+  const auto s = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s.ok);
+  EXPECT_FALSE(s.used_differential);
+}
+
+TEST(ManagerSavings, AlternationIsMuchCheaperWithDifferentials) {
+  // The module_swap scenario, managed: after warmup every swap ships only
+  // the frames that differ between the two assemblies.
+  Platform32 managed;
+  ModuleManager<Platform32> mgr{managed};
+  ASSERT_TRUE(mgr.ensure(hw::kJenkinsHash, 32).ok);
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);  // warmup pair
+  SimTime diff_time;
+  for (int i = 0; i < 3; ++i) {
+    auto a = mgr.ensure(hw::kJenkinsHash, 32);
+    auto b = mgr.ensure(hw::kBrightness, 32);
+    ASSERT_TRUE(a.ok && b.ok);
+    ASSERT_TRUE(a.used_differential && b.used_differential);
+    diff_time += a.time + b.time;
+  }
+
+  Platform32 plain;
+  SimTime full_time;
+  for (int i = 0; i < 3; ++i) {
+    auto a = plain.load_module(hw::kJenkinsHash);
+    auto b = plain.load_module(hw::kBrightness);
+    ASSERT_TRUE(a.ok && b.ok);
+    full_time += a.duration() + b.duration();
+  }
+  EXPECT_LT(diff_time.ps() * 2, full_time.ps());
+}
+
+}  // namespace
+}  // namespace rtr

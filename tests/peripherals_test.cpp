@@ -1,0 +1,188 @@
+// Tests for the small peripherals (UART, GPIO), the report utilities, the
+// logger, the memio helpers, the dock control register, and the test
+// modules of the library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/memio.hpp"
+#include "bus/bus.hpp"
+#include "dock/opb_dock.hpp"
+#include "hw/library.hpp"
+#include "mem/memory_slave.hpp"
+#include "report/table.hpp"
+#include "rtr/peripherals.hpp"
+#include "sim/kernel.hpp"
+#include "sim/log.hpp"
+
+namespace rtr {
+namespace {
+
+using sim::Frequency;
+using sim::SimTime;
+
+struct PeriphFixture {
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("opb", Frequency::from_mhz(50));
+  bus::OpbBus opb{sim, clk};
+  Uart uart{clk, {0x4060'0000, 0x100}};
+  Gpio gpio{clk, {0x4080'0000, 0x100}};
+
+  PeriphFixture() {
+    opb.attach(uart.range(), uart);
+    opb.attach(gpio.range(), gpio);
+  }
+};
+
+TEST(UartTest, CollectsTransmittedBytes) {
+  PeriphFixture fx;
+  SimTime t;
+  for (char c : std::string("hello")) {
+    t = fx.opb.write(0x4060'0000, static_cast<std::uint8_t>(c), 4, t);
+  }
+  EXPECT_EQ(fx.uart.transmitted(), "hello");
+}
+
+TEST(UartTest, StatusAlwaysReady) {
+  PeriphFixture fx;
+  const auto st = fx.opb.read(0x4060'0004, 4, SimTime::zero());
+  EXPECT_EQ(st.data & Uart::kStatusTxReady, Uart::kStatusTxReady);
+}
+
+TEST(GpioTest, OutputLatchAndInputWord) {
+  PeriphFixture fx;
+  fx.opb.write(0x4080'0000, 0b1010, 4, SimTime::zero());
+  EXPECT_EQ(fx.gpio.leds(), 0b1010u);
+  const auto out = fx.opb.read(0x4080'0000, 4, SimTime::zero());
+  EXPECT_EQ(out.data, 0b1010u);
+
+  fx.gpio.set_buttons(0x3);
+  const auto in = fx.opb.read(0x4080'0004, 4, SimTime::zero());
+  EXPECT_EQ(in.data, 0x3u);
+}
+
+TEST(PeripheralCosts, AreModest) {
+  PeriphFixture fx;
+  ResetBlock reset;
+  JtagPpc jtag;
+  EXPECT_LT(fx.uart.cost().slices, 200);
+  EXPECT_LT(fx.gpio.cost().slices, 100);
+  EXPECT_LT(reset.cost().slices, 50);
+  EXPECT_EQ(jtag.cost().slices, 0);  // dedicated block
+}
+
+// --- dock control register ------------------------------------------------------
+
+class CountingModule : public hw::HwModule {
+ public:
+  [[nodiscard]] int behavior_id() const override { return 999; }
+  [[nodiscard]] std::string name() const override { return "counting"; }
+  void reset() override { controls_ = writes_ = 0; }
+  void control(std::uint32_t) override { ++controls_; }
+  void write_word(std::uint64_t, int) override { ++writes_; }
+  [[nodiscard]] std::uint64_t read_word(int) override { return 0; }
+  int controls_ = 0;
+  int writes_ = 0;
+};
+
+TEST(OpbDockControl, ControlStrobesAreSeparateFromData) {
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("opb", Frequency::from_mhz(50));
+  bus::OpbBus opb{sim, clk};
+  dock::OpbDock d{sim, clk, {0x4200'0000, 0x1'0000}};
+  opb.attach(d.range(), d);
+  CountingModule m;
+  d.bind(&m);
+  SimTime t = opb.write(0x4200'0000, 1, 4, SimTime::zero());  // data
+  t = opb.write(0x4200'0020, 2, 4, t);                        // control
+  t = opb.write(0x4200'0000, 3, 4, t);                        // data
+  EXPECT_EQ(m.writes_, 2);
+  EXPECT_EQ(m.controls_, 1);
+}
+
+// --- library test modules -----------------------------------------------------------
+
+TEST(TestModules, LoopbackEchoes) {
+  hw::LoopbackModule m;
+  m.write_word(0xABCDEF, 32);
+  EXPECT_EQ(m.read_word(32), 0xABCDEFu);
+  EXPECT_TRUE(m.has_output());
+  m.reset();
+  EXPECT_EQ(m.read_word(32), 0u);
+}
+
+TEST(TestModules, SinkCountsAndStaysSilent) {
+  hw::SinkModule m;
+  for (int i = 0; i < 5; ++i) m.write_word(1, 64);
+  EXPECT_EQ(m.received(), 5);
+  EXPECT_FALSE(m.has_output());
+  m.reset();
+  EXPECT_EQ(m.received(), 0);
+}
+
+// --- report utilities ------------------------------------------------------------------
+
+TEST(ReportTest, FormatHelpers) {
+  EXPECT_EQ(report::fmt_us(SimTime::from_ns(1500)), "1.500");
+  EXPECT_EQ(report::fmt_ms(SimTime::from_us(2500)), "2.500");
+  EXPECT_EQ(report::fmt_x(12.345), "12.35x");
+  EXPECT_EQ(report::fmt_int(-42), "-42");
+  EXPECT_EQ(report::fmt_pct(33.333), "33.3%");
+}
+
+TEST(ReportTest, TableRendersAllCells) {
+  report::Table t{"T", {"A", "Blong"}};
+  t.row({"1", "2"}).row({"threeee", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  for (const char* needle : {"T", "A", "Blong", "threeee", "4"}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+}
+
+// --- memio helpers -------------------------------------------------------------------------
+
+TEST(MemioTest, RoundTripsThroughTheBus) {
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("opb", Frequency::from_mhz(50));
+  bus::OpbBus opb{sim, clk};
+  mem::MemorySlave ram = mem::MemorySlave::sram_on_opb({0x0, 1 << 20}, clk);
+  opb.attach(ram.range(), ram);
+
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7};
+  apps::store_bytes(opb, 0x100, data);
+  EXPECT_EQ(apps::fetch_bytes(opb, 0x100, data.size()), data);
+
+  const std::vector<std::uint32_t> words{0xAABBCCDD, 0x11223344};
+  apps::store_words(opb, 0x200, words);
+  EXPECT_EQ(opb.peek(0x200, 4), 0xAABBCCDDu);
+  EXPECT_EQ(opb.peek(0x204, 4), 0x11223344u);
+}
+
+// --- logger ---------------------------------------------------------------------------------
+
+TEST(LoggerTest, LevelsFilterAndSinkReceives) {
+  sim::Logger log;
+  std::vector<std::string> lines;
+  log.set_sink([&](sim::LogLevel, SimTime, const std::string& tag,
+                   const std::string& msg) { lines.push_back(tag + ":" + msg); });
+  log.set_level(sim::LogLevel::kInfo);
+  EXPECT_TRUE(log.enabled(sim::LogLevel::kError));
+  EXPECT_FALSE(log.enabled(sim::LogLevel::kTrace));
+  log.log(sim::LogLevel::kInfo, SimTime::zero(), "bus", "hello");
+  log.log(sim::LogLevel::kTrace, SimTime::zero(), "bus", "dropped");
+  log.logf(sim::LogLevel::kWarn, SimTime::zero(), "dma", "burst %d", 7);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "bus:hello");
+  EXPECT_EQ(lines[1], "dma:burst 7");
+}
+
+TEST(LoggerTest, DefaultLoggerDiscards) {
+  sim::Logger log;
+  EXPECT_FALSE(log.enabled(sim::LogLevel::kError));  // no sink
+  log.log(sim::LogLevel::kError, SimTime::zero(), "x", "y");  // no crash
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,250 @@
+// Robustness suite: determinism, malformed-input rejection (death tests on
+// the always-on invariant checks), protocol-error paths of the ICAP state
+// machine, and parameter edge cases across the stack.
+#include <gtest/gtest.h>
+
+#include "apps/drivers.hpp"
+#include "apps/memio.hpp"
+#include "bitstream/partial_config.hpp"
+#include "dma/dma.hpp"
+#include "fabric/device.hpp"
+#include "fabric/dynamic_region.hpp"
+#include "icap/icap.hpp"
+#include "rtr/platform.hpp"
+#include "sim/random.hpp"
+
+namespace rtr {
+namespace {
+
+using bus::Addr;
+using fabric::ClbRect;
+using fabric::ColumnType;
+using fabric::ConfigMemory;
+using fabric::Device;
+using fabric::DynamicRegion;
+using fabric::FrameAddress;
+using sim::SimTime;
+
+// --- determinism ------------------------------------------------------------------
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimes) {
+  auto run = [] {
+    Platform32 p;
+    auto s = p.load_module(hw::kJenkinsHash);
+    RTR_CHECK(s.ok, "load failed");
+    const auto key = std::vector<std::uint8_t>(333, 0x21);
+    apps::store_bytes(p.cpu().plb(), Platform32::kSramRange.base + 0x1000, key);
+    apps::hw_jenkins_pio(p.kernel(), Platform32::dock_data(),
+                         Platform32::kSramRange.base + 0x1000, 333);
+    return std::pair{s.duration().ps(), p.kernel().now().ps()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// --- malformed bitstreams (offline parser) -------------------------------------------
+
+TEST(ParserRobustness, GarbageBeforeSyncAborts) {
+  const std::vector<std::uint32_t> words{0x12345678};
+  EXPECT_DEATH((void)bitstream::parse(words, Device::xc2vp7()),
+               "garbage before SYNC");
+}
+
+TEST(ParserRobustness, MissingSyncAborts) {
+  const std::vector<std::uint32_t> words{bitstream::kDummyWord,
+                                         bitstream::kDummyWord};
+  EXPECT_DEATH((void)bitstream::parse(words, Device::xc2vp7()), "no SYNC");
+}
+
+TEST(ParserRobustness, TruncatedPayloadAborts) {
+  std::vector<std::uint32_t> words{
+      bitstream::kDummyWord, bitstream::kSyncWord,
+      bitstream::make_type1(bitstream::Opcode::kWrite,
+                            bitstream::ConfigReg::kFar, 1)};
+  EXPECT_DEATH((void)bitstream::parse(words, Device::xc2vp7()), "truncated");
+}
+
+TEST(ParserRobustness, MissingDesyncAborts) {
+  std::vector<std::uint32_t> words{
+      bitstream::kDummyWord, bitstream::kSyncWord,
+      bitstream::make_type1(bitstream::Opcode::kWrite,
+                            bitstream::ConfigReg::kCmd, 1),
+      static_cast<std::uint32_t>(bitstream::Command::kRcrc)};
+  EXPECT_DEATH((void)bitstream::parse(words, Device::xc2vp7()),
+               "without DESYNC");
+}
+
+// --- ICAP protocol-error paths (hardware never aborts: it latches error) -------------
+
+struct IcapErr {
+  DynamicRegion region = DynamicRegion::xc2vp7_region();
+  ConfigMemory cm{region.device()};
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("icap", sim::Frequency::from_mhz(50));
+  icap::IcapController icap{sim, clk, {0x4100'0000, 0x1000}, cm};
+
+  void sync() {
+    icap.feed_word(bitstream::kSyncWord);
+  }
+};
+
+TEST(IcapRobustness, Type2WithoutType1Fails) {
+  IcapErr fx;
+  fx.sync();
+  fx.icap.feed_word(bitstream::make_type2(bitstream::Opcode::kWrite, 42));
+  EXPECT_TRUE(fx.icap.error());
+}
+
+TEST(IcapRobustness, FdriBeforeFarFails) {
+  IcapErr fx;
+  fx.sync();
+  fx.icap.feed_word(bitstream::make_type1(bitstream::Opcode::kWrite,
+                                          bitstream::ConfigReg::kFdri, 1));
+  fx.icap.feed_word(0xABCD);
+  EXPECT_TRUE(fx.icap.error());
+}
+
+TEST(IcapRobustness, UnknownCommandFails) {
+  IcapErr fx;
+  fx.sync();
+  fx.icap.feed_word(bitstream::make_type1(bitstream::Opcode::kWrite,
+                                          bitstream::ConfigReg::kCmd, 1));
+  fx.icap.feed_word(99);
+  EXPECT_TRUE(fx.icap.error());
+}
+
+TEST(IcapRobustness, InvalidFarFails) {
+  IcapErr fx;
+  fx.sync();
+  fx.icap.feed_word(bitstream::make_type1(bitstream::Opcode::kWrite,
+                                          bitstream::ConfigReg::kFar, 1));
+  fx.icap.feed_word(FrameAddress{ColumnType::kClb, 999, 0}.pack());
+  EXPECT_TRUE(fx.icap.error());
+}
+
+TEST(IcapRobustness, FdroWriteFails) {
+  IcapErr fx;
+  fx.sync();
+  fx.icap.feed_word(bitstream::make_type1(bitstream::Opcode::kWrite,
+                                          bitstream::ConfigReg::kFdro, 1));
+  fx.icap.feed_word(0);
+  EXPECT_TRUE(fx.icap.error());
+}
+
+TEST(IcapRobustness, CrcDisabledStreamStillLoads) {
+  IcapErr fx;
+  // serialize(with_crc=false) replaces the CRC check with an RCRC command.
+  ConfigMemory target{fx.region.device()};
+  const std::uint32_t one[1] = {7};
+  target.write_words(FrameAddress{ColumnType::kClb, 3, 0},
+                     fx.region.first_word(), one);
+  const auto cfg = bitstream::PartialConfig::diff(ConfigMemory{fx.region.device()},
+                                                  target);
+  fx.icap.feed(bitstream::serialize(cfg, /*with_crc=*/false));
+  EXPECT_TRUE(fx.icap.done());
+  EXPECT_EQ(ConfigMemory::diff_frames(fx.cm, target), 0);
+}
+
+// --- invariant deaths across the stack ---------------------------------------------------
+
+TEST(InvariantDeaths, FullHeightRegionRejected) {
+  EXPECT_DEATH(DynamicRegion("bad", Device::xc2vp7(),
+                             ClbRect{0, 3, 40, 10}, {}),
+               "full device height");
+}
+
+TEST(InvariantDeaths, RegionOverPpcHoleRejected) {
+  // The XC2VP7 hole is at rows 12..27, cols 4..11.
+  EXPECT_DEATH(DynamicRegion("bad", Device::xc2vp7(),
+                             ClbRect{10, 3, 8, 10}, {}),
+               "PPC core");
+}
+
+TEST(InvariantDeaths, FrameRunOffDeviceRejected) {
+  bitstream::PartialConfig cfg{Device::xc2vp7()};
+  const int wpf = Device::xc2vp7().words_per_frame();
+  bitstream::FrameRun run{FrameAddress{ColumnType::kBramContent, 3, 62}, 5,
+                          std::vector<std::uint32_t>(static_cast<std::size_t>(5 * wpf))};
+  EXPECT_DEATH(cfg.add_run(std::move(run)), "leaves the device");
+}
+
+TEST(InvariantDeaths, FrameRunSizeMismatchRejected) {
+  bitstream::PartialConfig cfg{Device::xc2vp7()};
+  bitstream::FrameRun run{FrameAddress{ColumnType::kClb, 0, 0}, 2,
+                          std::vector<std::uint32_t>(10)};
+  EXPECT_DEATH(cfg.add_run(std::move(run)), "word count mismatch");
+}
+
+TEST(InvariantDeaths, DockRejectsUndefinedRegister) {
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("plb", sim::Frequency::from_mhz(100));
+  bus::PlbBus plb{sim, clk};
+  dock::PlbDock d{sim, clk, {0x7400'0000, 0x1'0000}};
+  plb.attach(d.range(), d);
+  EXPECT_DEATH(plb.write(0x7400'0100, 0, 4, SimTime::zero()),
+               "undefined PLB dock register");
+}
+
+// --- parameter edges ------------------------------------------------------------------------
+
+TEST(ParameterEdges, DmaBurstLengthTradesBusTenure) {
+  // Longer bursts amortise the per-burst setup.
+  sim::Simulation sim;
+  sim::Clock& clk = sim.add_clock("plb", sim::Frequency::from_mhz(100));
+  bus::PlbBus plb{sim, clk};
+  mem::MemorySlave ddr = mem::MemorySlave::ddr_on_plb({0x0, 64 << 20}, clk);
+  plb.attach(ddr.range(), ddr);
+
+  SimTime with_short, with_long;
+  {
+    dma::DmaEngine e{sim, plb, dma::DmaParams{.burst_beats = 4}};
+    with_short = e.run_one({0x0, 0x100000, 8192}, SimTime::zero());
+  }
+  {
+    dma::DmaEngine e{sim, plb, dma::DmaParams{.burst_beats = 64}};
+    with_long = e.run_one({0x0, 0x100000, 8192}, SimTime::zero()) - with_short;
+  }
+  EXPECT_LT(with_long, with_short);
+}
+
+TEST(ParameterEdges, FlushOfEmptyRangeIsFree) {
+  Platform64 p;
+  const SimTime t0 = p.cpu().now();
+  p.cpu().flush_dcache_range(0x1000, 0);
+  EXPECT_EQ(p.cpu().now(), t0);
+}
+
+TEST(ParameterEdges, SubWordKernelStores) {
+  Platform32 p;
+  cpu::Kernel& k = p.kernel();
+  const Addr base = Platform32::kSramRange.base + 0x500;
+  k.stb(base, 0xAB);
+  k.sth(base + 2, 0xCDEF);
+  EXPECT_EQ(k.lbz(base), 0xAB);
+  EXPECT_EQ(k.lhz(base + 2), 0xCDEF);
+  EXPECT_EQ(k.lw(base), 0xCDEF00ABu);
+}
+
+TEST(ParameterEdges, InterruptKeepsEarliestAssertion) {
+  sim::Clock clk{"c", sim::Frequency::from_mhz(100)};
+  cpu::InterruptController intc{clk, {0x0, 0x1000}};
+  intc.raise(1, SimTime::from_us(10));
+  intc.raise(1, SimTime::from_us(5));   // earlier: wins
+  intc.raise(1, SimTime::from_us(20));  // later: ignored
+  EXPECT_EQ(intc.assertion_time(1), SimTime::from_us(5));
+}
+
+TEST(ParameterEdges, EventCancelFromWithinCallback) {
+  sim::EventQueue q;
+  int fired = 0;
+  sim::EventId later{};
+  q.schedule(SimTime::from_ns(1), [&](SimTime) { q.cancel(later); });
+  later = q.schedule(SimTime::from_ns(2), [&](SimTime) { ++fired; });
+  q.drain();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace rtr

@@ -1,0 +1,296 @@
+// rtrsim command-line front end.
+//
+//   rtrsim_cli topology  --system 32|64|dual
+//   rtrsim_cli resources --system 32|64
+//   rtrsim_cli run       --system 32|64 --task <name> [--bytes N] [--image WxH]
+//                        [--dma] [--cache]
+//   rtrsim_cli reconfig  --system 32|64 --task <name> [--dma]
+//
+// Tasks: jenkins, sha1, patmatch, brightness, blend, fade, loopback.
+// Every run executes both the software baseline and the hardware version
+// and cross-checks them, printing simulated times and the speedup.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/drivers.hpp"
+#include "apps/golden.hpp"
+#include "apps/memio.hpp"
+#include "apps/sw_kernels.hpp"
+#include "report/table.hpp"
+#include "rtr/platform.hpp"
+#include "rtr/platform_dual.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace rtr;
+using bus::Addr;
+
+struct Args {
+  std::string command;
+  int system = 32;
+  std::string task = "jenkins";
+  std::uint32_t bytes = 4096;
+  int img_w = 128;
+  int img_h = 96;
+  bool dma = false;
+  bool cache = false;
+  bool dual = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rtrsim_cli <topology|resources|run|reconfig> "
+               "[--system 32|64|dual] [--task NAME] [--bytes N] "
+               "[--image WxH] [--dma] [--cache]\n"
+               "tasks: jenkins sha1 patmatch brightness blend fade loopback\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  if (argc < 2) return false;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string opt = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (opt == "--system") {
+      const char* v = value();
+      if (!v) return false;
+      if (std::string(v) == "dual") {
+        a.dual = true;
+        a.system = 64;
+      } else {
+        a.system = std::atoi(v);
+      }
+    } else if (opt == "--task") {
+      const char* v = value();
+      if (!v) return false;
+      a.task = v;
+    } else if (opt == "--bytes") {
+      const char* v = value();
+      if (!v) return false;
+      a.bytes = static_cast<std::uint32_t>(std::atoll(v));
+    } else if (opt == "--image") {
+      const char* v = value();
+      if (!v || std::sscanf(v, "%dx%d", &a.img_w, &a.img_h) != 2) return false;
+    } else if (opt == "--dma") {
+      a.dma = true;
+    } else if (opt == "--cache") {
+      a.cache = true;
+    } else {
+      return false;
+    }
+  }
+  return a.system == 32 || a.system == 64;
+}
+
+hw::BehaviorId behavior_of(const std::string& task) {
+  if (task == "jenkins") return hw::kJenkinsHash;
+  if (task == "sha1") return hw::kSha1;
+  if (task == "patmatch") return hw::kPatternMatcher;
+  if (task == "brightness") return hw::kBrightness;
+  if (task == "blend") return hw::kBlendAdd;
+  if (task == "fade") return hw::kFade;
+  if (task == "loopback") return hw::kLoopback;
+  RTR_CHECK(false, "unknown task name");
+  __builtin_unreachable();
+}
+
+template <typename Platform>
+int run_task(const Args& a) {
+  PlatformOptions opts;
+  opts.enable_dcache = a.cache;
+  Platform p{opts};
+  const Addr in = Platform::kConfigStaging - 0x0100'0000;
+  const Addr in_b = Platform::kConfigStaging - 0x00C0'0000;
+  const Addr out = Platform::kConfigStaging - 0x0080'0000;
+  const Addr scratch = Platform::kConfigStaging - 0x0040'0000;
+
+  const auto load = p.load_module(behavior_of(a.task));
+  if (!load.ok) {
+    std::printf("load failed: %s\n", load.error.c_str());
+    return 1;
+  }
+  std::printf("system %d, task %s: module loaded in %s (%lld KB)\n", a.system,
+              a.task.c_str(), load.duration().to_string().c_str(),
+              static_cast<long long>(load.config_bytes / 1024));
+
+  sim::Rng rng{2026};
+  sim::SimTime sw_time, hw_time;
+  bool match = true;
+
+  if (a.task == "jenkins" || a.task == "sha1") {
+    std::vector<std::uint8_t> msg(a.bytes);
+    for (auto& b : msg) b = rng.next_u8();
+    apps::store_bytes(p.cpu().plb(), in, msg);
+    auto t0 = p.kernel().now();
+    if (a.task == "jenkins") {
+      const auto sw = apps::sw_jenkins(p.kernel(), in, a.bytes);
+      sw_time = p.kernel().now() - t0;
+      t0 = p.kernel().now();
+      const auto hw =
+          apps::hw_jenkins_pio(p.kernel(), Platform::dock_data(), in, a.bytes);
+      hw_time = p.kernel().now() - t0;
+      match = sw == hw && sw == apps::jenkins_hash(msg);
+    } else {
+      const auto sw = apps::sw_sha1(p.kernel(), in, a.bytes, scratch);
+      sw_time = p.kernel().now() - t0;
+      t0 = p.kernel().now();
+      const auto hw =
+          apps::hw_sha1_pio(p.kernel(), Platform::dock_data(), in, a.bytes);
+      hw_time = p.kernel().now() - t0;
+      match = sw == hw && sw == apps::sha1(msg);
+    }
+  } else if (a.task == "patmatch") {
+    apps::BinaryImage img = apps::BinaryImage::make(a.img_w, a.img_h);
+    for (auto& w : img.words) w = rng.next_u32() & rng.next_u32();
+    apps::Pattern8x8 pat;
+    for (auto& row : pat) row = rng.next_u8();
+    apps::store_bytes(p.cpu().plb(), in, apps::to_bytes(img));
+    std::vector<std::uint8_t> pb(64);
+    for (int i = 0; i < 64; ++i) {
+      pb[static_cast<std::size_t>(i)] =
+          (pat[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1;
+    }
+    apps::store_bytes(p.cpu().plb(), in_b, pb);
+    auto t0 = p.kernel().now();
+    const auto sw = apps::sw_pattern_match(p.kernel(), in, a.img_w, a.img_h, in_b);
+    sw_time = p.kernel().now() - t0;
+    t0 = p.kernel().now();
+    const auto hw = apps::hw_pattern_match_pio(p.kernel(), Platform::dock_data(),
+                                               in, a.img_w, a.img_h, in_b);
+    hw_time = p.kernel().now() - t0;
+    match = sw.best_count == hw.best_count && sw.best_row == hw.best_row &&
+            sw.best_col == hw.best_col;
+    std::printf("best match %d/64 at (%d,%d)\n", hw.best_count, hw.best_row,
+                hw.best_col);
+  } else if (a.task == "brightness" || a.task == "blend" || a.task == "fade") {
+    const int n = a.img_w * a.img_h;
+    apps::GrayImage ia = apps::GrayImage::make(a.img_w, a.img_h);
+    apps::GrayImage ib = apps::GrayImage::make(a.img_w, a.img_h);
+    for (auto& px : ia.pixels) px = rng.next_u8();
+    for (auto& px : ib.pixels) px = rng.next_u8();
+    apps::store_bytes(p.cpu().plb(), in, ia.pixels);
+    apps::store_bytes(p.cpu().plb(), in_b, ib.pixels);
+
+    std::vector<std::uint8_t> want;
+    auto t0 = p.kernel().now();
+    if (a.task == "brightness") {
+      apps::sw_brightness(p.kernel(), in, out, n, 60);
+      want = apps::brightness(ia, 60).pixels;
+    } else if (a.task == "blend") {
+      apps::sw_blend(p.kernel(), in, in_b, out, n);
+      want = apps::blend_add(ia, ib).pixels;
+    } else {
+      apps::sw_fade(p.kernel(), in, in_b, out, n, 160);
+      want = apps::fade(ia, ib, 160).pixels;
+    }
+    sw_time = p.kernel().now() - t0;
+    match = apps::fetch_bytes(p.cpu().plb(), out, want.size()) == want;
+
+    t0 = p.kernel().now();
+    if constexpr (std::is_same_v<Platform, Platform64>) {
+      if (a.dma) {
+        if (a.task == "brightness") {
+          apps::hw_brightness_dma(p, in, out, n, 60);
+        } else if (a.task == "blend") {
+          apps::hw_blend_dma(p, in, in_b, scratch, out, n);
+        } else {
+          apps::hw_fade_dma(p, in, in_b, scratch, out, n, 160);
+        }
+        hw_time = p.kernel().now() - t0;
+        match = match &&
+                apps::fetch_bytes(p.cpu().plb(), out, want.size()) == want;
+      }
+    }
+    if (hw_time == sim::SimTime::zero()) {
+      if (a.task == "brightness") {
+        apps::hw_brightness_pio(p.kernel(), Platform::dock_data(), in, out, n, 60);
+      } else if (a.task == "blend") {
+        apps::hw_blend_pio(p.kernel(), Platform::dock_data(), in, in_b, out, n);
+      } else {
+        apps::hw_fade_pio(p.kernel(), Platform::dock_data(), in, in_b, out, n, 160);
+      }
+      hw_time = p.kernel().now() - t0;
+      match = match &&
+              apps::fetch_bytes(p.cpu().plb(), out, want.size()) == want;
+    }
+  } else if (a.task == "loopback") {
+    std::vector<std::uint8_t> data(a.bytes);
+    for (auto& b : data) b = rng.next_u8();
+    apps::store_bytes(p.cpu().plb(), in, data);
+    sw_time = apps::pio_write_seq(p.kernel(), in, Platform::dock_data(),
+                                  static_cast<int>(a.bytes / 4));
+    hw_time = sw_time;
+    std::printf("%u bytes written to the dock in %s\n", a.bytes,
+                sw_time.to_string().c_str());
+    return 0;
+  }
+
+  std::printf("software: %s\nhardware: %s%s\nspeedup : %.2fx\nresults : %s\n",
+              sw_time.to_string().c_str(), hw_time.to_string().c_str(),
+              a.dma ? " (DMA)" : " (PIO)",
+              static_cast<double>(sw_time.ps()) /
+                  static_cast<double>(hw_time.ps()),
+              match ? "sw == hw == golden" : "MISMATCH");
+  return match ? 0 : 1;
+}
+
+template <typename Platform>
+int resources() {
+  Platform p;
+  report::Table t{"Resource usage", {"Module", "Slices", "BRAMs"}};
+  for (const auto& row : p.resource_table()) {
+    t.row({row.module, report::fmt_int(row.res.slices),
+           report::fmt_int(row.res.bram_blocks)});
+  }
+  t.print();
+  std::printf("%s", p.topology().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+
+  if (a.command == "topology") {
+    if (a.dual) {
+      std::printf("%s", Platform64Dual{}.topology().c_str());
+    } else if (a.system == 32) {
+      std::printf("%s", Platform32{}.topology().c_str());
+    } else {
+      std::printf("%s", Platform64{}.topology().c_str());
+    }
+    return 0;
+  }
+  if (a.command == "resources") {
+    return a.system == 32 ? resources<Platform32>() : resources<Platform64>();
+  }
+  if (a.command == "reconfig") {
+    if (a.system == 32) {
+      Platform32 p;
+      const auto s = p.load_module(behavior_of(a.task));
+      std::printf("%s: %s (%lld words)\n", a.task.c_str(),
+                  s.ok ? s.duration().to_string().c_str() : s.error.c_str(),
+                  static_cast<long long>(s.stream_words));
+      return s.ok ? 0 : 1;
+    }
+    Platform64 p;
+    const auto s = a.dma ? p.load_module_dma(behavior_of(a.task))
+                         : p.load_module(behavior_of(a.task));
+    std::printf("%s%s: %s (%lld words)\n", a.task.c_str(),
+                a.dma ? " [dma]" : "",
+                s.ok ? s.duration().to_string().c_str() : s.error.c_str(),
+                static_cast<long long>(s.stream_words));
+    return s.ok ? 0 : 1;
+  }
+  if (a.command == "run") {
+    return a.system == 32 ? run_task<Platform32>(a) : run_task<Platform64>(a);
+  }
+  return usage();
+}
