@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fifo.dir/ablation_fifo.cpp.o"
+  "CMakeFiles/ablation_fifo.dir/ablation_fifo.cpp.o.d"
+  "ablation_fifo"
+  "ablation_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_features.dir/extension_features.cpp.o"
+  "CMakeFiles/extension_features.dir/extension_features.cpp.o.d"
+  "extension_features"
+  "extension_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

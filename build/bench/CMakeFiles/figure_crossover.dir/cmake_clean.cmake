@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_crossover.dir/figure_crossover.cpp.o"
+  "CMakeFiles/figure_crossover.dir/figure_crossover.cpp.o.d"
+  "figure_crossover"
+  "figure_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

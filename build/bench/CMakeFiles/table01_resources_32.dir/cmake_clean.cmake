@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_resources_32.dir/table01_resources_32.cpp.o"
+  "CMakeFiles/table01_resources_32.dir/table01_resources_32.cpp.o.d"
+  "table01_resources_32"
+  "table01_resources_32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_resources_32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

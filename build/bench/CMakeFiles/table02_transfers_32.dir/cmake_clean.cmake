@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_transfers_32.dir/table02_transfers_32.cpp.o"
+  "CMakeFiles/table02_transfers_32.dir/table02_transfers_32.cpp.o.d"
+  "table02_transfers_32"
+  "table02_transfers_32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_transfers_32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_patmatch_32.dir/table03_patmatch_32.cpp.o"
+  "CMakeFiles/table03_patmatch_32.dir/table03_patmatch_32.cpp.o.d"
+  "table03_patmatch_32"
+  "table03_patmatch_32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_patmatch_32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_hash_32.dir/table04_hash_32.cpp.o"
+  "CMakeFiles/table04_hash_32.dir/table04_hash_32.cpp.o.d"
+  "table04_hash_32"
+  "table04_hash_32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_hash_32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table04_hash_32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_image_32.dir/table05_image_32.cpp.o"
+  "CMakeFiles/table05_image_32.dir/table05_image_32.cpp.o.d"
+  "table05_image_32"
+  "table05_image_32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_image_32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

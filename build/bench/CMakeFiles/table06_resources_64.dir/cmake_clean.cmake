@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_resources_64.dir/table06_resources_64.cpp.o"
+  "CMakeFiles/table06_resources_64.dir/table06_resources_64.cpp.o.d"
+  "table06_resources_64"
+  "table06_resources_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_resources_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_transfers_cpu_64.dir/table07_transfers_cpu_64.cpp.o"
+  "CMakeFiles/table07_transfers_cpu_64.dir/table07_transfers_cpu_64.cpp.o.d"
+  "table07_transfers_cpu_64"
+  "table07_transfers_cpu_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_transfers_cpu_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

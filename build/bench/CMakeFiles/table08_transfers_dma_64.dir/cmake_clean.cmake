@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_transfers_dma_64.dir/table08_transfers_dma_64.cpp.o"
+  "CMakeFiles/table08_transfers_dma_64.dir/table08_transfers_dma_64.cpp.o.d"
+  "table08_transfers_dma_64"
+  "table08_transfers_dma_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_transfers_dma_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table08_transfers_dma_64.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_patmatch_64.dir/table09_patmatch_64.cpp.o"
+  "CMakeFiles/table09_patmatch_64.dir/table09_patmatch_64.cpp.o.d"
+  "table09_patmatch_64"
+  "table09_patmatch_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_patmatch_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

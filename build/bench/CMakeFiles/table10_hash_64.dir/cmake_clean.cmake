@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_hash_64.dir/table10_hash_64.cpp.o"
+  "CMakeFiles/table10_hash_64.dir/table10_hash_64.cpp.o.d"
+  "table10_hash_64"
+  "table10_hash_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_hash_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

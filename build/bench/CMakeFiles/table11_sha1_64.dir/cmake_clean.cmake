@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_sha1_64.dir/table11_sha1_64.cpp.o"
+  "CMakeFiles/table11_sha1_64.dir/table11_sha1_64.cpp.o.d"
+  "table11_sha1_64"
+  "table11_sha1_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_sha1_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

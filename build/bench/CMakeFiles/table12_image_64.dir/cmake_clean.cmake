@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_image_64.dir/table12_image_64.cpp.o"
+  "CMakeFiles/table12_image_64.dir/table12_image_64.cpp.o.d"
+  "table12_image_64"
+  "table12_image_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_image_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

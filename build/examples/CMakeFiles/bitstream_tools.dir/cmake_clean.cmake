@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_tools.dir/bitstream_tools.cpp.o"
+  "CMakeFiles/bitstream_tools.dir/bitstream_tools.cpp.o.d"
+  "bitstream_tools"
+  "bitstream_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

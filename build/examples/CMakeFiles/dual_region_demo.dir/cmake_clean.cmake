@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_region_demo.dir/dual_region_demo.cpp.o"
+  "CMakeFiles/dual_region_demo.dir/dual_region_demo.cpp.o.d"
+  "dual_region_demo"
+  "dual_region_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_region_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

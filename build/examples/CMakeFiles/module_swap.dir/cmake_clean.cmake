@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_swap.dir/module_swap.cpp.o"
+  "CMakeFiles/module_swap.dir/module_swap.cpp.o.d"
+  "module_swap"
+  "module_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

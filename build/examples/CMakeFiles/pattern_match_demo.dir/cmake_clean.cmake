@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_match_demo.dir/pattern_match_demo.cpp.o"
+  "CMakeFiles/pattern_match_demo.dir/pattern_match_demo.cpp.o.d"
+  "pattern_match_demo"
+  "pattern_match_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_match_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/drivers.cpp" "src/CMakeFiles/rtrsim.dir/apps/drivers.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/apps/drivers.cpp.o.d"
+  "/root/repo/src/apps/golden.cpp" "src/CMakeFiles/rtrsim.dir/apps/golden.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/apps/golden.cpp.o.d"
+  "/root/repo/src/apps/sw_kernels.cpp" "src/CMakeFiles/rtrsim.dir/apps/sw_kernels.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/apps/sw_kernels.cpp.o.d"
+  "/root/repo/src/bitlinker/bitlinker.cpp" "src/CMakeFiles/rtrsim.dir/bitlinker/bitlinker.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/bitlinker/bitlinker.cpp.o.d"
+  "/root/repo/src/bitlinker/component.cpp" "src/CMakeFiles/rtrsim.dir/bitlinker/component.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/bitlinker/component.cpp.o.d"
+  "/root/repo/src/bitstream/bitfile.cpp" "src/CMakeFiles/rtrsim.dir/bitstream/bitfile.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/bitstream/bitfile.cpp.o.d"
+  "/root/repo/src/bitstream/crc.cpp" "src/CMakeFiles/rtrsim.dir/bitstream/crc.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/bitstream/crc.cpp.o.d"
+  "/root/repo/src/bitstream/partial_config.cpp" "src/CMakeFiles/rtrsim.dir/bitstream/partial_config.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/bitstream/partial_config.cpp.o.d"
+  "/root/repo/src/bus/bridge.cpp" "src/CMakeFiles/rtrsim.dir/bus/bridge.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/bus/bridge.cpp.o.d"
+  "/root/repo/src/bus/bus.cpp" "src/CMakeFiles/rtrsim.dir/bus/bus.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/bus/bus.cpp.o.d"
+  "/root/repo/src/busmacro/bus_macro.cpp" "src/CMakeFiles/rtrsim.dir/busmacro/bus_macro.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/busmacro/bus_macro.cpp.o.d"
+  "/root/repo/src/cpu/cache.cpp" "src/CMakeFiles/rtrsim.dir/cpu/cache.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/cpu/cache.cpp.o.d"
+  "/root/repo/src/cpu/ppc405.cpp" "src/CMakeFiles/rtrsim.dir/cpu/ppc405.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/cpu/ppc405.cpp.o.d"
+  "/root/repo/src/dma/dma.cpp" "src/CMakeFiles/rtrsim.dir/dma/dma.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/dma/dma.cpp.o.d"
+  "/root/repo/src/dock/plb_dock.cpp" "src/CMakeFiles/rtrsim.dir/dock/plb_dock.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/dock/plb_dock.cpp.o.d"
+  "/root/repo/src/fabric/config_memory.cpp" "src/CMakeFiles/rtrsim.dir/fabric/config_memory.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/fabric/config_memory.cpp.o.d"
+  "/root/repo/src/fabric/device.cpp" "src/CMakeFiles/rtrsim.dir/fabric/device.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/fabric/device.cpp.o.d"
+  "/root/repo/src/fabric/dynamic_region.cpp" "src/CMakeFiles/rtrsim.dir/fabric/dynamic_region.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/fabric/dynamic_region.cpp.o.d"
+  "/root/repo/src/hw/hash_units.cpp" "src/CMakeFiles/rtrsim.dir/hw/hash_units.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/hw/hash_units.cpp.o.d"
+  "/root/repo/src/hw/image_units.cpp" "src/CMakeFiles/rtrsim.dir/hw/image_units.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/hw/image_units.cpp.o.d"
+  "/root/repo/src/hw/library.cpp" "src/CMakeFiles/rtrsim.dir/hw/library.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/hw/library.cpp.o.d"
+  "/root/repo/src/hw/pattern_matcher.cpp" "src/CMakeFiles/rtrsim.dir/hw/pattern_matcher.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/hw/pattern_matcher.cpp.o.d"
+  "/root/repo/src/icap/icap.cpp" "src/CMakeFiles/rtrsim.dir/icap/icap.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/icap/icap.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/rtrsim.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/report/table.cpp.o.d"
+  "/root/repo/src/rtr/platform.cpp" "src/CMakeFiles/rtrsim.dir/rtr/platform.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/rtr/platform.cpp.o.d"
+  "/root/repo/src/rtr/platform_dual.cpp" "src/CMakeFiles/rtrsim.dir/rtr/platform_dual.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/rtr/platform_dual.cpp.o.d"
+  "/root/repo/src/rtr/readback.cpp" "src/CMakeFiles/rtrsim.dir/rtr/readback.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/rtr/readback.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rtrsim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/rtrsim.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/rtrsim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/rtrsim.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/rtrsim.dir/sim/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("fabric")
+subdirs("bitstream")
+subdirs("busmacro")
+subdirs("bitlinker")
+subdirs("icap")
+subdirs("bus")
+subdirs("mem")
+subdirs("cpu")
+subdirs("dma")
+subdirs("dock")
+subdirs("hw")
+subdirs("rtr")
+subdirs("apps")
+subdirs("report")

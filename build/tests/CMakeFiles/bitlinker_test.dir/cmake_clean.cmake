@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitlinker_test.dir/bitlinker_test.cpp.o"
+  "CMakeFiles/bitlinker_test.dir/bitlinker_test.cpp.o.d"
+  "bitlinker_test"
+  "bitlinker_test.pdb"
+  "bitlinker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitlinker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

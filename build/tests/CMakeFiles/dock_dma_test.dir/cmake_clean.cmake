@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dock_dma_test.dir/dock_dma_test.cpp.o"
+  "CMakeFiles/dock_dma_test.dir/dock_dma_test.cpp.o.d"
+  "dock_dma_test"
+  "dock_dma_test.pdb"
+  "dock_dma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dock_dma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_modules_test.dir/hw_modules_test.cpp.o"
+  "CMakeFiles/hw_modules_test.dir/hw_modules_test.cpp.o.d"
+  "hw_modules_test"
+  "hw_modules_test.pdb"
+  "hw_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

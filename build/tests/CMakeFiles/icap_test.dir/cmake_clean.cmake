@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icap_test.dir/icap_test.cpp.o"
+  "CMakeFiles/icap_test.dir/icap_test.cpp.o.d"
+  "icap_test"
+  "icap_test.pdb"
+  "icap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

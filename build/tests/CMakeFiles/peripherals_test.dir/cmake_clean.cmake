@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peripherals_test.dir/peripherals_test.cpp.o"
+  "CMakeFiles/peripherals_test.dir/peripherals_test.cpp.o.d"
+  "peripherals_test"
+  "peripherals_test.pdb"
+  "peripherals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peripherals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrsim_cli.dir/rtrsim_cli.cpp.o"
+  "CMakeFiles/rtrsim_cli.dir/rtrsim_cli.cpp.o.d"
+  "rtrsim_cli"
+  "rtrsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
