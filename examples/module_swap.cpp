@@ -2,17 +2,27 @@
 // the available hardware to support multiple and mutually exclusive
 // tasks"): alternate between a hashing module and an image module on the
 // 32-bit system, comparing reconfiguration cost against task time.
+//
+// Pass a file name to also record the whole run as a Chrome/Perfetto trace
+// (one reconfiguration span per swap, ICAP frame spans, bus transactions):
+//   module_swap trace.json
 #include <cstdio>
+#include <fstream>
 
 #include "apps/drivers.hpp"
 #include "apps/golden.hpp"
 #include "apps/memio.hpp"
 #include "rtr/platform.hpp"
 #include "sim/random.hpp"
+#include "trace/tracer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rtr;
-  Platform32 p;
+  trace::Tracer tracer;
+  tracer.enable(argc > 1);
+  PlatformOptions opts;
+  opts.tracer = &tracer;
+  Platform32 p{opts};
 
   const bus::Addr key_at = Platform32::kSramRange.base + 0x10000;
   const bus::Addr img_at = Platform32::kSramRange.base + 0x90000;
@@ -74,5 +84,12 @@ int main() {
               "designer's trade-off).\n",
               reconfig_total.to_string().c_str(),
               task_total.to_string().c_str());
+
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    tracer.export_chrome(f);
+    std::printf("trace written to %s (open in https://ui.perfetto.dev)\n",
+                argv[1]);
+  }
   return 0;
 }

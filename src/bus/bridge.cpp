@@ -6,25 +6,52 @@ namespace rtr::bus {
 
 using sim::SimTime;
 
+void PlbOpbBridge::trace_crossing(const char* op, Addr addr, SimTime start,
+                                  SimTime done) {
+  trace::Tracer& tr = opb_->simulation().tracer();
+  if (trace_track_ < 0) trace_track_ = tr.track("bridge");
+  tr.complete(trace_track_, op, start, done, "addr",
+              static_cast<std::int64_t>(addr));
+}
+
 SlaveResult PlbOpbBridge::read(Addr addr, int bytes, SimTime start) {
+  crossings_->add();
   // A 64-bit PLB beat is split into two 32-bit OPB transfers (the OPB is a
   // 32-bit bus); this is what makes cache line fills from bridged memory
   // expensive in the 32-bit system.
   if (bytes == 8) {
+    splits_->add();
     const SlaveResult lo = opb_->read(addr, 4, forwarded(start));
     const SlaveResult hi = opb_->read(addr + 4, 4, lo.done);
+    if (opb_->simulation().tracer().enabled()) {
+      trace_crossing("rd64", addr, start, hi.done);
+    }
     return SlaveResult{(hi.data << 32) | (lo.data & 0xFFFFFFFFu), hi.done};
   }
-  return opb_->read(addr, bytes, forwarded(start));
+  const SlaveResult r = opb_->read(addr, bytes, forwarded(start));
+  if (opb_->simulation().tracer().enabled()) {
+    trace_crossing("rd", addr, start, r.done);
+  }
+  return r;
 }
 
 SimTime PlbOpbBridge::write(Addr addr, std::uint64_t data, int bytes,
                             SimTime start) {
+  crossings_->add();
   if (bytes == 8) {
+    splits_->add();
     const SimTime t = opb_->write(addr, data & 0xFFFFFFFFu, 4, forwarded(start));
-    return opb_->write(addr + 4, data >> 32, 4, t);
+    const SimTime done = opb_->write(addr + 4, data >> 32, 4, t);
+    if (opb_->simulation().tracer().enabled()) {
+      trace_crossing("wr64", addr, start, done);
+    }
+    return done;
   }
-  return opb_->write(addr, data, bytes, forwarded(start));
+  const SimTime done = opb_->write(addr, data, bytes, forwarded(start));
+  if (opb_->simulation().tracer().enabled()) {
+    trace_crossing("wr", addr, start, done);
+  }
+  return done;
 }
 
 }  // namespace rtr::bus

@@ -17,7 +17,10 @@ class PlbOpbBridge : public Slave {
  public:
   /// `forward_cycles` is the request-forwarding latency in OPB cycles.
   explicit PlbOpbBridge(OpbBus& opb, int forward_cycles = 4)
-      : opb_(&opb), forward_cycles_(forward_cycles) {}
+      : opb_(&opb),
+        forward_cycles_(forward_cycles),
+        crossings_(&opb.simulation().stats().counter("bridge.crossings")),
+        splits_(&opb.simulation().stats().counter("bridge.beat_splits")) {}
 
   [[nodiscard]] std::string name() const override { return "PLB-OPB bridge"; }
 
@@ -41,8 +44,14 @@ class PlbOpbBridge : public Slave {
     return opb_->clock().after_cycles(start, forward_cycles_);
   }
 
+  void trace_crossing(const char* op, Addr addr, sim::SimTime start,
+                      sim::SimTime done);
+
   OpbBus* opb_;
   int forward_cycles_;
+  sim::Counter* crossings_;
+  sim::Counter* splits_;
+  int trace_track_ = -1;
 };
 
 }  // namespace rtr::bus

@@ -42,7 +42,8 @@ Bus::Bus(std::string name, sim::Simulation& sim, sim::Clock& clock,
       protocol_(protocol),
       transactions_(&sim.stats().counter(name_ + ".transactions")),
       beats_(&sim.stats().counter(name_ + ".beats")),
-      busy_stat_(&sim.stats().busy(name_ + ".busy")) {}
+      busy_stat_(&sim.stats().busy(name_ + ".busy")),
+      latency_hist_(&sim.stats().histogram(name_ + ".latency_ps")) {}
 
 void Bus::attach(AddressRange range, Slave& slave) {
   RTR_CHECK(range.size > 0, "empty slave range");
@@ -95,8 +96,16 @@ SimTime Bus::end_transaction(SimTime data_done, SimTime started) {
   busy_until_ = done;
   busy_stat_->add(started, done);
   transactions_->add();
+  latency_hist_->sample((done - started).ps());
   sim_->observe(done);
   return done;
+}
+
+void Bus::trace_txn(const char* op, Addr addr, SimTime started, SimTime done) {
+  trace::Tracer& tr = sim_->tracer();
+  if (trace_track_ < 0) trace_track_ = tr.track(name_);
+  tr.complete(trace_track_, op, started, done, "addr",
+              static_cast<std::int64_t>(addr));
 }
 
 SlaveResult Bus::read(Addr addr, int bytes, SimTime start) {
@@ -106,6 +115,7 @@ SlaveResult Bus::read(Addr addr, int bytes, SimTime start) {
   const SlaveResult r = s.read(addr, bytes, data_start);
   beats_->add();
   const SimTime done = end_transaction(r.done, start);
+  if (sim_->tracer().enabled()) trace_txn("rd", addr, start, done);
   if (sim_->logger().enabled(sim::LogLevel::kTrace)) {
     sim_->logger().logf(sim::LogLevel::kTrace, done, name_,
                         "rd %d @%08llx -> %llx (%s)", bytes,
@@ -123,6 +133,7 @@ SimTime Bus::write(Addr addr, std::uint64_t data, int bytes, SimTime start) {
   const SimTime slave_done = s.write(addr, data, bytes, data_start);
   beats_->add();
   const SimTime done = end_transaction(slave_done, start);
+  if (sim_->tracer().enabled()) trace_txn("wr", addr, start, done);
   if (sim_->logger().enabled(sim::LogLevel::kTrace)) {
     sim_->logger().logf(sim::LogLevel::kTrace, done, name_,
                         "wr %d @%08llx <- %llx (%s)", bytes,
@@ -141,7 +152,9 @@ SlaveResult Bus::burst_read(Addr addr, std::span<std::uint64_t> out,
   Slave& s = slave_at(addr, increment ? out.size() * 8 : 8);
   const SlaveResult r = s.burst_read(addr, out, data_start, increment);
   beats_->add(static_cast<std::int64_t>(out.size()));
-  return SlaveResult{r.data, end_transaction(r.done, start)};
+  const SimTime done = end_transaction(r.done, start);
+  if (sim_->tracer().enabled()) trace_txn("burst_rd", addr, start, done);
+  return SlaveResult{r.data, done};
 }
 
 SimTime Bus::burst_write(Addr addr, std::span<const std::uint64_t> data,
@@ -150,9 +163,11 @@ SimTime Bus::burst_write(Addr addr, std::span<const std::uint64_t> data,
   RTR_CHECK(aligned(addr, 8), "bursts must be 8-byte aligned");
   const SimTime data_start = begin_transaction(start, /*burst=*/true);
   Slave& s = slave_at(addr, increment ? data.size() * 8 : 8);
-  const SimTime done = s.burst_write(addr, data, data_start, increment);
+  const SimTime slave_done = s.burst_write(addr, data, data_start, increment);
   beats_->add(static_cast<std::int64_t>(data.size()));
-  return end_transaction(done, start);
+  const SimTime done = end_transaction(slave_done, start);
+  if (sim_->tracer().enabled()) trace_txn("burst_wr", addr, start, done);
+  return done;
 }
 
 }  // namespace rtr::bus

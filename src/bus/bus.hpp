@@ -43,6 +43,7 @@ class Bus {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] sim::Clock& clock() const { return *clock_; }
+  [[nodiscard]] sim::Simulation& simulation() const { return *sim_; }
   [[nodiscard]] const BusProtocol& protocol() const { return protocol_; }
 
   /// Attach a slave at `range`. Ranges must not overlap.
@@ -95,6 +96,11 @@ class Bus {
 
   void check_beat(Addr addr, int bytes) const;
 
+  /// Record a completed transaction on this bus's trace track (no-op with
+  /// tracing disabled beyond the enabled() check).
+  void trace_txn(const char* op, Addr addr, sim::SimTime started,
+                 sim::SimTime done);
+
   std::string name_;
   sim::Simulation* sim_;
   sim::Clock* clock_;
@@ -104,6 +110,8 @@ class Bus {
   sim::Counter* transactions_;
   sim::Counter* beats_;
   sim::BusyTime* busy_stat_;
+  sim::Histogram* latency_hist_;
+  int trace_track_ = -1;
 };
 
 /// 32-bit On-chip Peripheral Bus: lower performance, cheap slaves.

@@ -16,7 +16,9 @@ Ppc405::Ppc405(sim::Simulation& sim, sim::Clock& cpu_clock, bus::PlbBus& plb,
       params_(params),
       dcache_(params.dcache),
       loads_(&sim.stats().counter("cpu.loads")),
-      stores_(&sim.stats().counter("cpu.stores")) {}
+      stores_(&sim.stats().counter("cpu.stores")),
+      dcache_hits_(&sim.stats().counter("cpu.dcache.hits")),
+      dcache_misses_(&sim.stats().counter("cpu.dcache.misses")) {}
 
 bool Ppc405::is_cacheable(Addr a) const {
   for (const auto& r : cacheable_) {
@@ -47,6 +49,7 @@ std::uint64_t Ppc405::load(Addr a, int bytes) {
   loads_->add();
   if (is_cacheable(a)) {
     const auto res = dcache_.load(a);
+    (res.hit ? dcache_hits_ : dcache_misses_)->add();
     if (res.writeback) write_back_line(res.victim_line);
     if (res.fill) fill_line(a);
     tick(1);  // the load instruction itself
@@ -63,6 +66,7 @@ void Ppc405::store(Addr a, std::uint64_t v, int bytes) {
   stores_->add();
   if (is_cacheable(a)) {
     const auto res = dcache_.store(a);
+    (res.hit ? dcache_hits_ : dcache_misses_)->add();
     if (res.hit) {
       plb_->poke(a, v, bytes);  // cache array write; reaches memory at flush
       tick(1);

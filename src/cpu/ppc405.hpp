@@ -93,6 +93,8 @@ class Ppc405 {
   sim::SimTime now_;
   sim::Counter* loads_;
   sim::Counter* stores_;
+  sim::Counter* dcache_hits_;
+  sim::Counter* dcache_misses_;
 };
 
 }  // namespace rtr::cpu

@@ -19,12 +19,22 @@ DmaEngine::DmaEngine(sim::Simulation& sim, bus::PlbBus& plb, DmaParams params)
 
 SimTime DmaEngine::run_chain(std::span<const DmaDescriptor> chain,
                              SimTime start) {
+  trace::Tracer& tr = sim_->tracer();
+  const bool tracing = tr.enabled();
+  if (tracing && trace_track_ < 0) trace_track_ = tr.track("DMA");
+
   SimTime t = start;
   std::vector<std::uint64_t> buf;
   for (const DmaDescriptor& d : chain) {
     RTR_CHECK(d.bytes % 8 == 0, "DMA length must be a multiple of 8 bytes");
     descriptors_->add();
+    const SimTime desc_start = t;
     t = plb_->clock().after_cycles(t, params_.descriptor_setup_cycles);
+    if (tracing) {
+      // Scatter-gather descriptor fetch + decode, then the burst loop.
+      tr.complete(trace_track_, "sg_fetch", desc_start, t);
+      tr.begin(trace_track_, "descriptor", t);
+    }
 
     std::uint64_t moved = 0;
     while (moved < d.bytes) {
@@ -35,11 +45,20 @@ SimTime DmaEngine::run_chain(std::span<const DmaDescriptor> chain,
       buf.resize(beats);
       const bus::Addr src = d.src + (d.src_increment ? moved : 0);
       const bus::Addr dst = d.dst + (d.dst_increment ? moved : 0);
+      const SimTime burst_start = t;
       const auto r = plb_->burst_read(src, buf, t, d.src_increment);
       t = plb_->burst_write(dst, buf, r.done, d.dst_increment);
       moved += chunk_bytes;
+      if (tracing) {
+        tr.complete(trace_track_, "burst", burst_start, t, "bytes",
+                    static_cast<std::int64_t>(chunk_bytes));
+      }
     }
     bytes_moved_->add(static_cast<std::int64_t>(d.bytes));
+    if (tracing) {
+      tr.end(trace_track_, t);
+      tr.counter("dma.bytes_moved", bytes_moved_->value(), t);
+    }
   }
   sim_->observe(t);
   return t;

@@ -52,6 +52,7 @@ class DmaEngine {
   DmaParams params_;
   sim::Counter* bytes_moved_;
   sim::Counter* descriptors_;
+  int trace_track_ = -1;
 };
 
 }  // namespace rtr::dma

@@ -20,7 +20,13 @@ void PlbDock::strobe64(std::uint64_t data) {
     }
     fifo_.push_back(module_->read_word(64));
     fifo_pushes_->add();
+    fifo_occupancy_->sample(static_cast<double>(fifo_.size()));
   }
+}
+
+void PlbDock::trace_fifo(sim::SimTime at) {
+  sim_->tracer().counter("dock64.fifo",
+                         static_cast<std::int64_t>(fifo_.size()), at);
 }
 
 std::uint64_t PlbDock::pop_fifo() {
@@ -48,7 +54,10 @@ bus::SlaveResult PlbDock::read(bus::Addr addr, int bytes, SimTime start) {
   }
   if (off == kFifoPop) {
     RTR_CHECK(bytes == 8, "FIFO pops are 64-bit");
-    return {pop_fifo(), clock_->after_cycles(start, 2)};
+    const std::uint64_t v = pop_fifo();
+    const SimTime done = clock_->after_cycles(start, 2);
+    if (sim_->tracer().enabled()) trace_fifo(done);
+    return {v, done};
   }
   if (off == kStatus) {
     RTR_CHECK(bytes == 4, "status reads are 32-bit");
@@ -77,7 +86,9 @@ SimTime PlbDock::write(bus::Addr addr, std::uint64_t data, int bytes,
   if (off == kStream) {
     RTR_CHECK(bytes == 8, "stream writes are 64-bit");
     strobe64(data);
-    return clock_->after_cycles(start, 2);
+    const SimTime done = clock_->after_cycles(start, 2);
+    if (sim_->tracer().enabled()) trace_fifo(done);
+    return done;
   }
   if (off == kControl) {
     RTR_CHECK(bytes == 4, "control writes are 32-bit");
@@ -106,6 +117,7 @@ bus::SlaveResult PlbDock::burst_read(bus::Addr addr,
     if (i > 0) t = t + clock_->cycles(1);
   }
   reads_->add(static_cast<std::int64_t>(out.size()));
+  if (sim_->tracer().enabled()) trace_fifo(t);
   return {out.empty() ? 0 : out.back(), t};
 }
 
@@ -119,6 +131,7 @@ SimTime PlbDock::burst_write(bus::Addr addr,
     if (i > 0) t = t + clock_->cycles(1);
   }
   writes_->add(static_cast<std::int64_t>(data.size()));
+  if (sim_->tracer().enabled()) trace_fifo(t);
   return t;
 }
 

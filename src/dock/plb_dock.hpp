@@ -49,13 +49,15 @@ class PlbDock : public bus::Slave {
 
   PlbDock(sim::Simulation& sim, sim::Clock& plb_clock, bus::AddressRange range,
           int fifo_depth = kDefaultFifoDepth)
-      : clock_(&plb_clock),
+      : sim_(&sim),
+        clock_(&plb_clock),
         range_(range),
         fifo_depth_(fifo_depth),
         writes_(&sim.stats().counter("dock64.writes")),
         reads_(&sim.stats().counter("dock64.reads")),
         orphans_(&sim.stats().counter("dock64.orphan_accesses")),
-        fifo_pushes_(&sim.stats().counter("dock64.fifo_pushes")) {}
+        fifo_pushes_(&sim.stats().counter("dock64.fifo_pushes")),
+        fifo_occupancy_(&sim.stats().accumulator("dock64.fifo_occupancy")) {}
 
   [[nodiscard]] std::string name() const override { return "PLB Dock"; }
   [[nodiscard]] bus::AddressRange range() const { return range_; }
@@ -111,7 +113,10 @@ class PlbDock : public bus::Slave {
  private:
   void strobe64(std::uint64_t data);
   std::uint64_t pop_fifo();
+  /// Emit a FIFO-occupancy counter sample at `at` (tracing only).
+  void trace_fifo(sim::SimTime at);
 
+  sim::Simulation* sim_;
   sim::Clock* clock_;
   bus::AddressRange range_;
   int fifo_depth_;
@@ -125,6 +130,7 @@ class PlbDock : public bus::Slave {
   sim::Counter* reads_;
   sim::Counter* orphans_;
   sim::Counter* fifo_pushes_;
+  sim::Accumulator* fifo_occupancy_;
 };
 
 }  // namespace rtr::dock

@@ -199,10 +199,25 @@ SimTime IcapController::write(bus::Addr addr, std::uint64_t data, int bytes,
   RTR_CHECK(bytes == 4, "HWICAP registers are 32-bit");
   const bus::Addr off = addr - range_.base;
   if (off < kDataRegEnd) {
+    const bool tracing = sim_->tracer().enabled();
+    const bool buf_was_empty = frame_buf_.empty();
+    const std::int64_t frames_before = frames_written_;
+    const std::uint32_t far_packed = far_.pack();
     feed_word(static_cast<std::uint32_t>(data));
     // Byte-wide ICAP datapath: 4 ICAP cycles per word, plus one cycle of
     // peripheral overhead.
-    return clock_->after_cycles(start, 5);
+    const SimTime done = clock_->after_cycles(start, 5);
+    if (tracing) {
+      if (buf_was_empty && !frame_buf_.empty()) frame_span_start_ = start;
+      if (frames_written_ > frames_before) {
+        trace::Tracer& tr = sim_->tracer();
+        if (trace_track_ < 0) trace_track_ = tr.track("ICAP");
+        tr.complete(trace_track_, "frame",
+                    buf_was_empty ? start : frame_span_start_, done, "far",
+                    far_packed);
+      }
+    }
+    return done;
   }
   if (off == kControlReg) {
     if (data & 1) reset();

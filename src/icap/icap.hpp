@@ -117,6 +117,10 @@ class IcapController : public bus::Slave {
   std::int64_t frames_written_ = 0;
   std::int64_t words_consumed_ = 0;
   sim::Counter* stat_frames_;
+  // Per-frame trace spans: start time of the frame currently accumulating
+  // in frame_buf_ (valid while tracing and the buffer is non-empty).
+  sim::SimTime frame_span_start_;
+  int trace_track_ = -1;
 };
 
 }  // namespace rtr::icap

@@ -41,8 +41,30 @@ class ModuleManager {
   explicit ModuleManager(Platform& p, bool enable_differential = true)
       : p_(&p), differential_(enable_differential) {}
 
-  /// Make `id` the resident module (no-op when it already is).
+  /// Make `id` the resident module (no-op when it already is). The whole
+  /// swap is traced as one span on the "RTR.manager" track (load →
+  /// reconfigure → activate; the inner reconfiguration span comes from the
+  /// platform), with instants marking residency hits and fallbacks.
   EnsureStats ensure(hw::BehaviorId id, int dock_width) {
+    trace::Tracer& tr = p_->sim().tracer();
+    int track = -1;
+    if (tr.enabled()) {
+      track = tr.track("RTR.manager");
+      tr.begin(track, "swap:" + std::to_string(id), p_->kernel().now());
+    }
+    EnsureStats res = ensure_impl(id, dock_width);
+    if (track >= 0) {
+      const sim::SimTime now = p_->kernel().now();
+      if (res.already_resident) tr.instant(track, "already_resident", now);
+      if (res.fell_back) tr.instant(track, "differential_fallback", now);
+      if (res.ok && !res.already_resident) tr.instant(track, "activate", now);
+      tr.end(track, now);
+    }
+    return res;
+  }
+
+ private:
+  EnsureStats ensure_impl(hw::BehaviorId id, int dock_width) {
     EnsureStats res;
     const sim::SimTime t0 = p_->kernel().now();
 
@@ -97,6 +119,7 @@ class ModuleManager {
     return res;
   }
 
+ public:
   [[nodiscard]] int resident() const { return resident_; }
 
   /// Drop the manager's state assumption (e.g. after an external event

@@ -38,6 +38,26 @@ bool region_validates(const fabric::ConfigMemory& cm,
   return true;
 }
 
+/// Record one reconfiguration span on the "RTR" track, tagged complete or
+/// differential (the distinction §2.2 turns on), and bump the matching byte
+/// counter so stat dumps attribute configuration traffic by flavour.
+void account_reconfig(sim::Simulation& sim, bool differential,
+                      const ReconfigStats& stats) {
+  sim.stats()
+      .counter(differential ? "reconfig.differential_bytes"
+                            : "reconfig.complete_bytes")
+      .add(stats.config_bytes);
+  trace::Tracer& tr = sim.tracer();
+  if (tr.enabled()) {
+    const int track = tr.track("RTR");
+    tr.complete(track,
+                differential ? "reconfig:differential" : "reconfig:complete",
+                stats.started, stats.finished, "stream_words",
+                stats.stream_words);
+    if (!stats.ok) tr.instant(track, "reconfig:failed", stats.finished);
+  }
+}
+
 /// Stage a serialised stream in memory, drive it through the HWICAP with
 /// the CPU, validate the region and bind the behaviour. Shared by the
 /// component loads and the raw-configuration loads.
@@ -117,6 +137,7 @@ ReconfigStats do_load(hw::BehaviorId id, int dock_width,
   stream_and_bind(bitstream::serialize(*linked.config), mem_bus, staging,
                   icap_data, icap_control, icap_status, kernel, fabric_state,
                   region, registry, dock, slot, corrupt_word, stats);
+  account_reconfig(mem_bus.simulation(), /*differential=*/false, stats);
   return stats;
 }
 
@@ -137,6 +158,8 @@ ReconfigStats do_load_config(const bitstream::PartialConfig& cfg,
   stream_and_bind(bitstream::serialize(cfg), mem_bus, staging, icap_data,
                   icap_control, icap_status, kernel, fabric_state, region,
                   registry, dock, slot, corrupt_word, stats);
+  account_reconfig(mem_bus.simulation(),
+                   /*differential=*/!cfg.is_complete_for(region), stats);
   return stats;
 }
 
@@ -154,6 +177,7 @@ Platform32::Platform32(PlatformOptions opts)
       fabric_(region_.device()),
       baseline_(region_.device()),
       registry_(hw::standard_registry(hw::bram_bits(region_.bram_blocks()))) {
+  if (opts_.tracer) sim_.attach_tracer(*opts_.tracer);
   bridge_ = std::make_unique<bus::PlbOpbBridge>(opb_);
   bram_ = std::make_unique<mem::MemorySlave>(
       mem::MemorySlave::bram_on_plb(kBramRange, bus_clk_, 8));
@@ -268,6 +292,7 @@ Platform64::Platform64(PlatformOptions opts)
       // Task components own at most the 6 BRAMs they were designed with on
       // the 32-bit system -- they are reused unmodified (section 4.2).
       registry_(hw::standard_registry(hw::bram_bits(6))) {
+  if (opts_.tracer) sim_.attach_tracer(*opts_.tracer);
   bridge_ = std::make_unique<bus::PlbOpbBridge>(opb_);
   bram_ = std::make_unique<mem::MemorySlave>(
       mem::MemorySlave::bram_on_plb(kBramRange, bus_clk_, 8));
@@ -361,22 +386,26 @@ ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
   stats.finished = kernel_->now();
   if (!(status & icap::IcapController::kStatusDone)) {
     stats.error = "ICAP did not complete (CRC or protocol error)";
+    detail::account_reconfig(sim_, /*differential=*/false, stats);
     return stats;
   }
   int bound_id = -1;
   if (!detail::region_validates(fabric_, region_, &bound_id)) {
     stats.error = "region signature/payload validation failed";
+    detail::account_reconfig(sim_, /*differential=*/false, stats);
     return stats;
   }
   auto module = registry_.create(bound_id);
   if (!module) {
     stats.error = "no behavioural model registered for id " +
                   std::to_string(bound_id);
+    detail::account_reconfig(sim_, /*differential=*/false, stats);
     return stats;
   }
   module_ = std::move(module);
   dock_->bind(module_.get());
   stats.ok = true;
+  detail::account_reconfig(sim_, /*differential=*/false, stats);
   return stats;
 }
 

@@ -68,6 +68,10 @@ struct PlatformOptions {
   /// at this index gets a bit flipped before every load (modelling storage
   /// corruption; the ICAP's CRC must catch it).
   std::int64_t corrupt_config_word = -1;
+  /// External tracer to record against (CLI --trace-out, benches, examples).
+  /// When null the simulation uses its own disabled instance; the tracer
+  /// must outlive the platform.
+  trace::Tracer* tracer = nullptr;
 };
 
 namespace detail {
@@ -78,6 +82,9 @@ void icap_load_loop(cpu::Kernel& k, bus::Addr staging, std::int64_t words,
 /// Signature + payload-hash validation (runs after the ICAP reports done).
 bool region_validates(const fabric::ConfigMemory& cm,
                       const fabric::DynamicRegion& region, int* behavior_id);
+/// Trace span + per-flavour byte counter for one finished reconfiguration.
+void account_reconfig(sim::Simulation& sim, bool differential,
+                      const ReconfigStats& stats);
 }  // namespace detail
 
 // ---------------------------------------------------------------------------

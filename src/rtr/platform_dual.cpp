@@ -19,6 +19,7 @@ Platform64Dual::Platform64Dual(PlatformOptions opts)
       fabric_(fabric::Device::xc2vp30()),
       baseline_(fabric::Device::xc2vp30()),
       registry_(hw::standard_registry(hw::bram_bits(6))) {
+  if (opts_.tracer) sim_.attach_tracer(*opts_.tracer);
   regions_[0] = std::make_unique<fabric::DynamicRegion>(
       fabric::DynamicRegion::xc2vp30_region());
   regions_[1] = std::make_unique<fabric::DynamicRegion>(
@@ -112,6 +113,7 @@ ReconfigStats Platform64Dual::load_module(int region, hw::BehaviorId id) {
   modules_[r] = std::move(module);
   docks_[r]->bind(modules_[r].get());
   stats.ok = true;
+  detail::account_reconfig(sim_, /*differential=*/false, stats);
   return stats;
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "trace/tracer.hpp"
+
 namespace rtr::sim {
 
 EventId EventQueue::schedule(SimTime at, Callback cb) {
@@ -45,6 +47,11 @@ SimTime EventQueue::run_one() {
   Callback cb = std::move(slots_[e.id].cb);
   slots_[e.id].live = false;
   --live_;
+  if (tracer_ && tracer_->enabled()) {
+    if (trace_track_ < 0) trace_track_ = tracer_->track("events");
+    tracer_->instant(trace_track_, "dispatch", e.at);
+    tracer_->counter("events.pending", static_cast<std::int64_t>(live_), e.at);
+  }
   cb(e.at);
   return e.at;
 }

@@ -13,6 +13,10 @@
 
 #include "sim/time.hpp"
 
+namespace rtr::trace {
+class Tracer;
+}
+
 namespace rtr::sim {
 
 /// Identifier of a scheduled event, usable for cancellation.
@@ -52,6 +56,11 @@ class EventQueue {
   /// Returns the number run.
   std::size_t drain();
 
+  /// Dispatches are recorded on the tracer's "events" track when tracing is
+  /// enabled (instant per dispatch + pending-count counter). Owned by the
+  /// Simulation; never null after construction.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Entry {
     SimTime at;
@@ -64,6 +73,8 @@ class EventQueue {
     }
   };
 
+  trace::Tracer* tracer_ = nullptr;
+  int trace_track_ = -1;
   std::priority_queue<Entry> heap_;
   // Callback + liveness, keyed by id. Cancelled entries stay in the heap
   // and are skipped lazily.

@@ -17,13 +17,14 @@
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "trace/tracer.hpp"
 
 namespace rtr::sim {
 
 /// Shared simulation services. Non-copyable; components hold a reference.
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation() { events_.set_tracer(tracer_); }
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -51,6 +52,15 @@ class Simulation {
   [[nodiscard]] StatRegistry& stats() { return stats_; }
   [[nodiscard]] Logger& logger() { return logger_; }
 
+  /// The tracer every component records against. By default a disabled
+  /// instance owned by the simulation; `attach_tracer` swaps in an external
+  /// one (the CLI's, a bench's) so spans survive the simulation's lifetime.
+  [[nodiscard]] trace::Tracer& tracer() { return *tracer_; }
+  void attach_tracer(trace::Tracer& t) {
+    tracer_ = &t;
+    events_.set_tracer(tracer_);
+  }
+
   /// Advance the simulation's notion of "latest observed time". Components
   /// report completion times here so that utilisation statistics have a
   /// horizon and so tests can assert on the global clock.
@@ -70,6 +80,8 @@ class Simulation {
   EventQueue events_;
   StatRegistry stats_;
   Logger logger_;
+  trace::Tracer default_tracer_;
+  trace::Tracer* tracer_ = &default_tracer_;
   SimTime horizon_;
 };
 

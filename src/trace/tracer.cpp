@@ -1,0 +1,201 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/check.hpp"
+
+namespace rtr::trace {
+
+namespace {
+
+/// Counter events carry no track; group them under one synthetic tid so the
+/// Chrome UI renders each counter name as its own row.
+constexpr int kCounterTrack = -1;
+constexpr int kPid = 1;
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Picoseconds to the Chrome unit (microseconds), keeping ps resolution.
+void write_us(std::ostream& os, std::int64_t ps) {
+  os << ps / 1'000'000;
+  const std::int64_t frac = ps % 1'000'000;
+  if (frac != 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, ".%06lld",
+                  static_cast<long long>(frac));
+    // trim trailing zeros
+    std::string s{buf};
+    while (s.back() == '0') s.pop_back();
+    os << s;
+  }
+}
+
+}  // namespace
+
+int Tracer::track(const std::string& name) {
+  const auto it = std::find(track_names_.begin(), track_names_.end(), name);
+  if (it != track_names_.end()) {
+    return static_cast<int>(it - track_names_.begin());
+  }
+  track_names_.push_back(name);
+  depth_.push_back(0);
+  return static_cast<int>(track_names_.size()) - 1;
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (!enabled_) return;
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::begin(int track, std::string name, sim::SimTime at) {
+  if (!enabled_) return;
+  RTR_CHECK(track >= 0 && track < static_cast<int>(track_names_.size()),
+            "begin on an unregistered track");
+  ++depth_[static_cast<std::size_t>(track)];
+  ++open_spans_;
+  record({Phase::kBegin, track, at.ps(), 0, std::move(name), "", 0});
+}
+
+void Tracer::end(int track, sim::SimTime at) {
+  if (!enabled_) return;
+  RTR_CHECK(track >= 0 && track < static_cast<int>(track_names_.size()),
+            "end on an unregistered track");
+  RTR_CHECK(depth_[static_cast<std::size_t>(track)] > 0,
+            "end without a matching begin");
+  --depth_[static_cast<std::size_t>(track)];
+  --open_spans_;
+  record({Phase::kEnd, track, at.ps(), 0, "", "", 0});
+}
+
+void Tracer::complete(int track, std::string name, sim::SimTime start,
+                      sim::SimTime end) {
+  record({Phase::kComplete, track, start.ps(), (end - start).ps(),
+          std::move(name), "", 0});
+}
+
+void Tracer::complete(int track, std::string name, sim::SimTime start,
+                      sim::SimTime end, std::string arg_name,
+                      std::int64_t arg_value) {
+  record({Phase::kComplete, track, start.ps(), (end - start).ps(),
+          std::move(name), std::move(arg_name), arg_value});
+}
+
+void Tracer::instant(int track, std::string name, sim::SimTime at) {
+  record({Phase::kInstant, track, at.ps(), 0, std::move(name), "", 0});
+}
+
+void Tracer::counter(std::string name, std::int64_t value, sim::SimTime at) {
+  record({Phase::kCounter, kCounterTrack, at.ps(), 0, std::move(name),
+          "value", value});
+}
+
+void Tracer::clear() {
+  events_.clear();
+  std::fill(depth_.begin(), depth_.end(), 0);
+  open_spans_ = 0;
+}
+
+void Tracer::export_chrome(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  // Thread-name metadata so the UI labels each track.
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    sep();
+    os << R"({"name":"thread_name","ph":"M","pid":)" << kPid
+       << R"(,"tid":)" << i << R"(,"args":{"name":)";
+    write_escaped(os, track_names_[i]);
+    os << "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    sep();
+    os << "{\"name\":";
+    write_escaped(os, e.ph == Phase::kEnd ? std::string{} : e.name);
+    os << ",\"ph\":\"" << static_cast<char>(e.ph) << "\",\"ts\":";
+    write_us(os, e.ts_ps);
+    os << ",\"pid\":" << kPid << ",\"tid\":"
+       << (e.track == kCounterTrack ? static_cast<int>(track_names_.size())
+                                    : e.track);
+    if (e.ph == Phase::kComplete) {
+      os << ",\"dur\":";
+      write_us(os, e.dur_ps);
+    }
+    if (e.ph == Phase::kInstant) {
+      os << ",\"s\":\"t\"";
+    }
+    if (e.ph == Phase::kCounter) {
+      os << ",\"args\":{\"value\":" << e.arg_value << "}";
+    } else if (!e.arg_name.empty()) {
+      os << ",\"args\":{";
+      write_escaped(os, e.arg_name);
+      os << ":" << e.arg_value << "}";
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+}
+
+void Tracer::export_timeline(std::ostream& os) const {
+  std::vector<int> depth(track_names_.size() + 1, 0);
+  auto track_name = [&](int t) -> std::string {
+    return t == kCounterTrack ? "counter" : track_names_[static_cast<std::size_t>(t)];
+  };
+  for (const TraceEvent& e : events_) {
+    const std::size_t ti =
+        e.track == kCounterTrack ? track_names_.size()
+                                 : static_cast<std::size_t>(e.track);
+    int d = depth[ti];
+    if (e.ph == Phase::kEnd) --d;
+    os << sim::SimTime{e.ts_ps}.to_string() << " [" << track_name(e.track)
+       << "] " << std::string(static_cast<std::size_t>(std::max(d, 0)) * 2, ' ');
+    switch (e.ph) {
+      case Phase::kBegin:
+        os << "+ " << e.name;
+        ++depth[ti];
+        break;
+      case Phase::kEnd:
+        os << "-";
+        --depth[ti];
+        break;
+      case Phase::kComplete:
+        os << e.name << " (" << sim::SimTime{e.dur_ps}.to_string() << ")";
+        if (!e.arg_name.empty()) {
+          os << " " << e.arg_name << "=" << e.arg_value;
+        }
+        break;
+      case Phase::kInstant:
+        os << "! " << e.name;
+        break;
+      case Phase::kCounter:
+        os << e.name << " = " << e.arg_value;
+        break;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace rtr::trace

@@ -1,0 +1,463 @@
+// Tests for the trace subsystem (src/trace) and the stat-export layer:
+// span bookkeeping, the disabled-tracer zero-event guarantee, golden Chrome
+// and timeline output, histogram percentiles, Welford stddev, and a JSON
+// round-trip of a whole StatRegistry through a small parser.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using rtr::sim::Accumulator;
+using rtr::sim::Histogram;
+using rtr::sim::SimTime;
+using rtr::sim::StatRegistry;
+using rtr::trace::Phase;
+using rtr::trace::Tracer;
+
+SimTime us(std::int64_t n) { return SimTime{n * 1'000'000}; }
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser, just rich enough to validate the exporters'
+// output structurally (objects, arrays, strings, numbers, bools, null).
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    EXPECT_NE(it, obj.end()) << "missing key: " << key;
+    static const Json null_json;
+    return it == obj.end() ? null_json : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return obj.count(key) != 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    const Json v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing garbage after JSON value";
+    EXPECT_FALSE(failed_) << "JSON parse error at offset " << pos_;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Json value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail();
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null_value();
+    return number();
+  }
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::kObject;
+    eat('{');
+    if (eat('}')) return v;
+    do {
+      skip_ws();
+      Json key = string_value();
+      if (!eat(':')) return fail();
+      v.obj[key.str] = value();
+    } while (eat(','));
+    if (!eat('}')) return fail();
+    return v;
+  }
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::kArray;
+    eat('[');
+    if (eat(']')) return v;
+    do {
+      v.arr.push_back(value());
+    } while (eat(','));
+    if (!eat(']')) return fail();
+    return v;
+  }
+  Json string_value() {
+    Json v;
+    v.kind = Json::Kind::kString;
+    if (!eat('"')) return fail();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        ++pos_;
+        switch (s_[pos_]) {
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': pos_ += 4; v.str += '?'; break;  // tests don't need it
+          default: v.str += s_[pos_];
+        }
+      } else {
+        v.str += s_[pos_];
+      }
+      ++pos_;
+    }
+    if (!eat('"')) return fail();
+    return v;
+  }
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      return fail();
+    }
+    return v;
+  }
+  Json null_value() {
+    if (s_.compare(pos_, 4, "null") != 0) return fail();
+    pos_ += 4;
+    return Json{};
+  }
+  Json number() {
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) || s_[end] == '-' ||
+            s_[end] == '+' || s_[end] == '.' || s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return fail();
+    v.num = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+  Json fail() {
+    failed_ = true;
+    pos_ = s_.size();
+    return Json{};
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Json parse_json(const std::string& text) { return JsonParser{text}.parse(); }
+
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, SpansNestAndKeepOrder) {
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("unit");
+  tr.begin(t, "outer", us(1));
+  EXPECT_EQ(tr.open_spans(), 1);
+  tr.begin(t, "inner", us(2));
+  EXPECT_EQ(tr.open_spans(), 2);
+  tr.instant(t, "tick", us(3));
+  tr.end(t, us(4));
+  tr.end(t, us(5));
+  EXPECT_EQ(tr.open_spans(), 0);
+
+  const auto& evs = tr.events();
+  ASSERT_EQ(evs.size(), 5u);
+  EXPECT_EQ(evs[0].ph, Phase::kBegin);
+  EXPECT_EQ(evs[0].name, "outer");
+  EXPECT_EQ(evs[1].name, "inner");
+  EXPECT_EQ(evs[2].ph, Phase::kInstant);
+  EXPECT_EQ(evs[3].ph, Phase::kEnd);
+  EXPECT_EQ(evs[4].ph, Phase::kEnd);
+  // Timestamps are monotone as recorded.
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_GE(evs[i].ts_ps, evs[i - 1].ts_ps);
+  }
+}
+
+TEST(Tracer, TrackIdsAreStable) {
+  Tracer tr;
+  const int a = tr.track("PLB");
+  const int b = tr.track("OPB");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tr.track("PLB"), a);
+  EXPECT_EQ(tr.track("OPB"), b);
+  ASSERT_EQ(tr.tracks().size(), 2u);
+  EXPECT_EQ(tr.tracks()[static_cast<std::size_t>(a)], "PLB");
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tr;
+  ASSERT_FALSE(tr.enabled());
+  const int t = tr.track("unit");
+  tr.begin(t, "span", us(1));
+  tr.instant(t, "i", us(2));
+  tr.complete(t, "x", us(2), us(3));
+  tr.complete(t, "x", us(2), us(3), "bytes", 64);
+  tr.counter("c", 7, us(4));
+  tr.end(t, us(5));
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.open_spans(), 0);
+
+  // Re-enabling later starts from a clean slate.
+  tr.enable();
+  tr.complete(t, "x", us(2), us(3));
+  EXPECT_EQ(tr.size(), 1u);
+}
+
+TEST(Tracer, ChromeJsonGolden) {
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("ICAP");
+  tr.begin(t, "load", us(1));
+  tr.complete(t, "frame", us(1), SimTime{1'500'000}, "far", 42);
+  tr.counter("fifo", 3, us(2));
+  tr.end(t, us(2));
+
+  std::ostringstream os;
+  tr.export_chrome(os);
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+            "\"args\":{\"name\":\"ICAP\"}},\n"
+            "{\"name\":\"load\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":0},\n"
+            "{\"name\":\"frame\",\"ph\":\"X\",\"ts\":1,\"pid\":1,\"tid\":0,"
+            "\"dur\":0.5,\"args\":{\"far\":42}},\n"
+            "{\"name\":\"fifo\",\"ph\":\"C\",\"ts\":2,\"pid\":1,\"tid\":1,"
+            "\"args\":{\"value\":3}},\n"
+            "{\"name\":\"\",\"ph\":\"E\",\"ts\":2,\"pid\":1,\"tid\":0}\n"
+            "]\n");
+
+  // And the same output must survive a JSON parser.
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.kind, Json::Kind::kArray);
+  ASSERT_EQ(doc.arr.size(), 5u);
+  for (const Json& e : doc.arr) {
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("ph"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+  }
+  EXPECT_EQ(doc.arr[2].at("ph").str, "X");
+  EXPECT_DOUBLE_EQ(doc.arr[2].at("dur").num, 0.5);
+  EXPECT_DOUBLE_EQ(doc.arr[3].at("args").at("value").num, 3.0);
+}
+
+TEST(Tracer, TimelineGolden) {
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("DMA");
+  tr.begin(t, "descriptor", us(1));
+  tr.complete(t, "burst", us(1), us(2), "bytes", 128);
+  tr.end(t, us(2));
+
+  std::ostringstream os;
+  tr.export_timeline(os);
+  EXPECT_EQ(os.str(),
+            "1.000 us [DMA] + descriptor\n"
+            "1.000 us [DMA]   burst (1.000 us) bytes=128\n"
+            "2.000 us [DMA] -\n");
+}
+
+TEST(Tracer, ClearResetsEventsButKeepsTracks) {
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("unit");
+  tr.begin(t, "span", us(1));
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.open_spans(), 0);
+  EXPECT_EQ(tr.track("unit"), t);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(-5), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::int64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, SingleValueCollapsesAllPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.sample(700);
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_EQ(h.min(), 700);
+  EXPECT_EQ(h.max(), 700);
+  EXPECT_DOUBLE_EQ(h.mean(), 700.0);
+  // Clamping to observed min/max pins every percentile to the value.
+  EXPECT_DOUBLE_EQ(h.p50(), 700.0);
+  EXPECT_DOUBLE_EQ(h.p90(), 700.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 700.0);
+}
+
+TEST(Histogram, UniformSamplesGiveSanePercentiles) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.sample(v);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1000);
+  // Log buckets bound the relative error by 2x; for this distribution the
+  // in-bucket interpolation lands much closer.
+  EXPECT_NEAR(h.p50(), 500.0, 50.0);
+  EXPECT_GE(h.p90(), 800.0);
+  EXPECT_LE(h.p90(), 1000.0);
+  EXPECT_GE(h.p99(), h.p90());
+  EXPECT_LE(h.p99(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+}
+
+TEST(Histogram, EmptyIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Accumulator, WelfordVarianceAndStddev) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.sample(v);
+  EXPECT_EQ(a.count(), 8);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+
+  Accumulator empty;
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+}
+
+TEST(Accumulator, VarianceIsStableUnderLargeOffsets) {
+  // The classic sum-of-squares formula loses everything here; Welford
+  // must not.
+  Accumulator a;
+  const double base = 1e9;
+  for (double v : {base + 4.0, base + 7.0, base + 13.0, base + 16.0}) {
+    a.sample(v);
+  }
+  EXPECT_NEAR(a.mean(), base + 10.0, 1e-6);
+  EXPECT_NEAR(a.variance(), 22.5, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(StatRegistry, JsonExportRoundTrips) {
+  StatRegistry reg;
+  reg.counter("bus.reads").add(3);
+  reg.counter("bus.writes").add(5);
+  auto& acc = reg.accumulator("fifo.occupancy");
+  acc.sample(1.0);
+  acc.sample(3.0);
+  reg.busy("PLB.busy").add(us(1), us(4));
+  auto& h = reg.histogram("lat");
+  for (std::int64_t v = 1; v <= 100; ++v) h.sample(v);
+
+  std::ostringstream os;
+  reg.export_json(os);
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.kind, Json::Kind::kObject);
+
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("bus.reads").num, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("bus.writes").num, 5.0);
+
+  const Json& a = doc.at("accumulators").at("fifo.occupancy");
+  EXPECT_DOUBLE_EQ(a.at("count").num, 2.0);
+  EXPECT_DOUBLE_EQ(a.at("mean").num, 2.0);
+  EXPECT_DOUBLE_EQ(a.at("stddev").num, 1.0);
+
+  EXPECT_DOUBLE_EQ(doc.at("busy").at("PLB.busy").at("busy_ps").num, 3e6);
+
+  const Json& hj = doc.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(hj.at("count").num, 100.0);
+  EXPECT_DOUBLE_EQ(hj.at("min").num, 1.0);
+  EXPECT_DOUBLE_EQ(hj.at("max").num, 100.0);
+  EXPECT_TRUE(hj.has("p50"));
+  EXPECT_TRUE(hj.has("p90"));
+  EXPECT_TRUE(hj.has("p99"));
+}
+
+TEST(StatRegistry, EmptyJsonExportParses) {
+  StatRegistry reg;
+  std::ostringstream os;
+  reg.export_json(os);
+  const Json doc = parse_json(os.str());
+  EXPECT_EQ(doc.at("counters").obj.size(), 0u);
+  EXPECT_EQ(doc.at("histograms").obj.size(), 0u);
+}
+
+TEST(StatRegistry, CsvExportHasUniformColumns) {
+  StatRegistry reg;
+  reg.counter("c").add(1);
+  reg.accumulator("a").sample(2.0);
+  reg.busy("b").add(us(0), us(1));
+  reg.histogram("h").sample(8);
+
+  std::ostringstream os;
+  reg.export_csv(os);
+  std::istringstream is{os.str()};
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "kind,name,value,count,min,max,mean,stddev,p50,p90,p99");
+  const auto columns = static_cast<long>(std::count(line.begin(), line.end(), ','));
+  int rows = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), columns) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4);  // one per registered stat
+}
+
+TEST(StatRegistry, PrintIncludesStddevAndPercentiles) {
+  StatRegistry reg;
+  auto& acc = reg.accumulator("a");
+  acc.sample(1.0);
+  acc.sample(3.0);
+  reg.histogram("h").sample(100);
+  std::ostringstream os;
+  reg.print(os);
+  EXPECT_NE(os.str().find("stddev"), std::string::npos);
+  EXPECT_NE(os.str().find("p99"), std::string::npos);
+}
+
+}  // namespace

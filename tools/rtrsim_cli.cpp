@@ -6,11 +6,21 @@
 //                        [--dma] [--cache]
 //   rtrsim_cli reconfig  --system 32|64 --task <name> [--dma]
 //
+// Observability (run/reconfig):
+//   --trace-out FILE      record spans and write a trace
+//   --trace-format chrome|text   (default chrome: open in Perfetto)
+//   --stats-out FILE      dump the whole stat registry
+//   --stats-format json|csv      (default json)
+//   --log-level err|warn|info|trace   component log to stderr
+//
 // Tasks: jenkins, sha1, patmatch, brightness, blend, fade, loopback.
 // Every run executes both the software baseline and the hardware version
 // and cross-checks them, printing simulated times and the speedup.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "apps/drivers.hpp"
@@ -21,6 +31,7 @@
 #include "rtr/platform.hpp"
 #include "rtr/platform_dual.hpp"
 #include "sim/random.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -37,6 +48,11 @@ struct Args {
   bool dma = false;
   bool cache = false;
   bool dual = false;
+  std::string trace_out;
+  std::string trace_format = "chrome";
+  std::string stats_out;
+  std::string stats_format = "json";
+  std::string log_level;  // empty: logging off
 };
 
 int usage() {
@@ -44,8 +60,23 @@ int usage() {
                "usage: rtrsim_cli <topology|resources|run|reconfig> "
                "[--system 32|64|dual] [--task NAME] [--bytes N] "
                "[--image WxH] [--dma] [--cache]\n"
+               "       [--trace-out FILE] [--trace-format chrome|text]\n"
+               "       [--stats-out FILE] [--stats-format json|csv]\n"
+               "       [--log-level err|warn|info|trace]\n"
                "tasks: jenkins sha1 patmatch brightness blend fade loopback\n");
   return 2;
+}
+
+/// Strict decimal parse: the whole string must be a number (atoi-style
+/// silent zero-on-garbage is how "--bytes 4k" becomes a 0-byte run).
+bool parse_i64(const char* s, long long* out) {
+  if (!s || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -63,28 +94,104 @@ bool parse(int argc, char** argv, Args& a) {
         a.dual = true;
         a.system = 64;
       } else {
-        a.system = std::atoi(v);
+        long long n = 0;
+        if (!parse_i64(v, &n)) return false;
+        a.system = static_cast<int>(n);
       }
     } else if (opt == "--task") {
       const char* v = value();
       if (!v) return false;
       a.task = v;
     } else if (opt == "--bytes") {
-      const char* v = value();
-      if (!v) return false;
-      a.bytes = static_cast<std::uint32_t>(std::atoll(v));
+      long long n = 0;
+      if (!parse_i64(value(), &n) || n < 0 || n > UINT32_MAX) return false;
+      a.bytes = static_cast<std::uint32_t>(n);
     } else if (opt == "--image") {
       const char* v = value();
-      if (!v || std::sscanf(v, "%dx%d", &a.img_w, &a.img_h) != 2) return false;
+      char trailing;
+      if (!v ||
+          std::sscanf(v, "%dx%d%c", &a.img_w, &a.img_h, &trailing) != 2 ||
+          a.img_w <= 0 || a.img_h <= 0) {
+        return false;
+      }
     } else if (opt == "--dma") {
       a.dma = true;
     } else if (opt == "--cache") {
       a.cache = true;
+    } else if (opt == "--trace-out") {
+      const char* v = value();
+      if (!v) return false;
+      a.trace_out = v;
+    } else if (opt == "--trace-format") {
+      const char* v = value();
+      if (!v) return false;
+      a.trace_format = v;
+      if (a.trace_format != "chrome" && a.trace_format != "text") return false;
+    } else if (opt == "--stats-out") {
+      const char* v = value();
+      if (!v) return false;
+      a.stats_out = v;
+    } else if (opt == "--stats-format") {
+      const char* v = value();
+      if (!v) return false;
+      a.stats_format = v;
+      if (a.stats_format != "json" && a.stats_format != "csv") return false;
+    } else if (opt == "--log-level") {
+      const char* v = value();
+      if (!v) return false;
+      a.log_level = v;
+      if (a.log_level != "err" && a.log_level != "warn" &&
+          a.log_level != "info" && a.log_level != "trace") {
+        return false;
+      }
     } else {
       return false;
     }
   }
   return a.system == 32 || a.system == 64;
+}
+
+/// Apply --log-level: install the stderr sink at the requested threshold.
+void apply_log_level(sim::Simulation& sim, const Args& a) {
+  if (a.log_level.empty()) return;
+  sim::LogLevel lvl = sim::LogLevel::kWarn;
+  if (a.log_level == "err") lvl = sim::LogLevel::kError;
+  else if (a.log_level == "warn") lvl = sim::LogLevel::kWarn;
+  else if (a.log_level == "info") lvl = sim::LogLevel::kInfo;
+  else if (a.log_level == "trace") lvl = sim::LogLevel::kTrace;
+  sim.logger().set_level(lvl);
+  sim.logger().set_sink(sim::Logger::stderr_sink());
+}
+
+/// Write --trace-out / --stats-out files. Returns 0, or 1 when a file
+/// cannot be opened.
+int dump_observability(sim::Simulation& sim, const trace::Tracer& tracer,
+                       const Args& a) {
+  if (!a.trace_out.empty()) {
+    std::ofstream f(a.trace_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", a.trace_out.c_str());
+      return 1;
+    }
+    if (a.trace_format == "text") {
+      tracer.export_timeline(f);
+    } else {
+      tracer.export_chrome(f);
+    }
+  }
+  if (!a.stats_out.empty()) {
+    std::ofstream f(a.stats_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", a.stats_out.c_str());
+      return 1;
+    }
+    if (a.stats_format == "csv") {
+      sim.stats().export_csv(f);
+    } else {
+      sim.stats().export_json(f);
+    }
+  }
+  return 0;
 }
 
 hw::BehaviorId behavior_of(const std::string& task) {
@@ -100,16 +207,19 @@ hw::BehaviorId behavior_of(const std::string& task) {
 }
 
 template <typename Platform>
-int run_task(const Args& a) {
-  PlatformOptions opts;
-  opts.enable_dcache = a.cache;
-  Platform p{opts};
+int run_task_inner(const Args& a, Platform& p) {
   const Addr in = Platform::kConfigStaging - 0x0100'0000;
   const Addr in_b = Platform::kConfigStaging - 0x00C0'0000;
   const Addr out = Platform::kConfigStaging - 0x0080'0000;
   const Addr scratch = Platform::kConfigStaging - 0x0040'0000;
 
-  const auto load = p.load_module(behavior_of(a.task));
+  ReconfigStats load;
+  if constexpr (std::is_same_v<Platform, Platform64>) {
+    load = a.dma ? p.load_module_dma(behavior_of(a.task))
+                 : p.load_module(behavior_of(a.task));
+  } else {
+    load = p.load_module(behavior_of(a.task));
+  }
   if (!load.ok) {
     std::printf("load failed: %s\n", load.error.c_str());
     return 1;
@@ -239,6 +349,23 @@ int run_task(const Args& a) {
   return match ? 0 : 1;
 }
 
+/// Build the platform with observability wired in, run the task, then dump
+/// the requested trace/stats files (also on failure: a failed run's trace is
+/// exactly when you want one).
+template <typename Platform>
+int run_task(const Args& a) {
+  trace::Tracer tracer;
+  tracer.enable(!a.trace_out.empty());
+  PlatformOptions opts;
+  opts.enable_dcache = a.cache;
+  opts.tracer = &tracer;
+  Platform p{opts};
+  apply_log_level(p.sim(), a);
+  const int rc = run_task_inner(a, p);
+  const int dump_rc = dump_observability(p.sim(), tracer, a);
+  return rc != 0 ? rc : dump_rc;
+}
+
 template <typename Platform>
 int resources() {
   Platform p;
@@ -272,22 +399,30 @@ int main(int argc, char** argv) {
     return a.system == 32 ? resources<Platform32>() : resources<Platform64>();
   }
   if (a.command == "reconfig") {
+    trace::Tracer tracer;
+    tracer.enable(!a.trace_out.empty());
+    PlatformOptions opts;
+    opts.tracer = &tracer;
     if (a.system == 32) {
-      Platform32 p;
+      Platform32 p{opts};
+      apply_log_level(p.sim(), a);
       const auto s = p.load_module(behavior_of(a.task));
       std::printf("%s: %s (%lld words)\n", a.task.c_str(),
                   s.ok ? s.duration().to_string().c_str() : s.error.c_str(),
                   static_cast<long long>(s.stream_words));
-      return s.ok ? 0 : 1;
+      const int dump_rc = dump_observability(p.sim(), tracer, a);
+      return s.ok ? dump_rc : 1;
     }
-    Platform64 p;
+    Platform64 p{opts};
+    apply_log_level(p.sim(), a);
     const auto s = a.dma ? p.load_module_dma(behavior_of(a.task))
                          : p.load_module(behavior_of(a.task));
     std::printf("%s%s: %s (%lld words)\n", a.task.c_str(),
                 a.dma ? " [dma]" : "",
                 s.ok ? s.duration().to_string().c_str() : s.error.c_str(),
                 static_cast<long long>(s.stream_words));
-    return s.ok ? 0 : 1;
+    const int dump_rc = dump_observability(p.sim(), tracer, a);
+    return s.ok ? dump_rc : 1;
   }
   if (a.command == "run") {
     return a.system == 32 ? run_task<Platform32>(a) : run_task<Platform64>(a);
