@@ -7,6 +7,8 @@
 #include "apps/memio.hpp"
 #include "bench/common.hpp"
 #include "bitstream/partial_config.hpp"
+#include "fabric/config_memory.hpp"
+#include "mem/sparse_memory.hpp"
 #include "rtr/platform.hpp"
 #include "sim/event_queue.hpp"
 
@@ -25,6 +27,54 @@ static void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// 1000 events at one timestamp: the DMA-completion / interrupt-burst shape.
+// Drain dispatches same-time events as a batch instead of a heap pop each.
+static void BM_EventQueueSameTimeBatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(sim::SimTime::from_us(1), [&](sim::SimTime) { ++sink; });
+    }
+    q.drain();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueSameTimeBatch);
+
+// 64 KB round-trip through SparseMemory, deliberately page-straddling.
+static void BM_SparseMemoryBlockCopy(benchmark::State& state) {
+  mem::SparseMemory m{1u << 20};
+  std::vector<std::uint8_t> in(64 * 1024, 0x5A);
+  std::vector<std::uint8_t> out(in.size());
+  for (auto _ : state) {
+    m.write_block(1000, in);
+    m.read_block(1000, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * in.size()));
+}
+BENCHMARK(BM_SparseMemoryBlockCopy);
+
+// diff_frames between two device states differing in a handful of frames:
+// the ModuleManager's differential-reconfiguration decision.
+static void BM_ConfigMemoryIncrementalDiff(benchmark::State& state) {
+  fabric::ConfigMemory a{fabric::Device::xc2vp30()};
+  fabric::ConfigMemory b{fabric::Device::xc2vp30()};
+  const std::uint32_t patch[4] = {1, 2, 3, 4};
+  for (int maj = 0; maj < 4; ++maj) {
+    b.write_words(fabric::FrameAddress{fabric::ColumnType::kClb, maj, 0}, 2,
+                  patch);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fabric::ConfigMemory::diff_frames(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConfigMemoryIncrementalDiff);
 
 static void BM_OpbTransaction(benchmark::State& state) {
   Platform32 p;

@@ -13,23 +13,28 @@ namespace rtr::apps {
 
 inline void store_bytes(bus::Bus& b, bus::Addr base,
                         std::span<const std::uint8_t> data) {
-  for (std::size_t i = 0; i < data.size(); ++i) b.poke(base + i, data[i], 1);
+  b.poke_block(base, data);
 }
 
 inline std::vector<std::uint8_t> fetch_bytes(bus::Bus& b, bus::Addr base,
                                              std::size_t n) {
   std::vector<std::uint8_t> out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = static_cast<std::uint8_t>(b.peek(base + i, 1));
-  }
+  b.peek_block(base, out);
   return out;
 }
 
 inline void store_words(bus::Bus& b, bus::Addr base,
                         std::span<const std::uint32_t> words) {
+  // Words are staged in the simulator's little-endian memory convention;
+  // serialise explicitly so the block path is host-endian independent.
+  std::vector<std::uint8_t> bytes(words.size() * 4);
   for (std::size_t i = 0; i < words.size(); ++i) {
-    b.poke(base + i * 4, words[i], 4);
+    bytes[i * 4 + 0] = static_cast<std::uint8_t>(words[i]);
+    bytes[i * 4 + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    bytes[i * 4 + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    bytes[i * 4 + 3] = static_cast<std::uint8_t>(words[i] >> 24);
   }
+  b.poke_block(base, bytes);
 }
 
 }  // namespace rtr::apps

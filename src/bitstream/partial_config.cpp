@@ -89,6 +89,12 @@ PartialConfig PartialConfig::diff(const ConfigMemory& base,
   bool open = false;
   FrameAddress expected_next{};
   while (a.valid_for(dev)) {
+    // Frames untouched in both memories are all-zero on both sides;
+    // skip the word comparison for the (vast) unconfigured expanse.
+    if (!base.frame_touched(a) && !target.frame_touched(a)) {
+      a = a.next_in(dev);
+      continue;
+    }
     const auto fb = base.frame(a);
     const auto ft = target.frame(a);
     const bool differs = !std::equal(fb.begin(), fb.end(), ft.begin());

@@ -34,6 +34,16 @@ void Slave::poke(Addr, std::uint64_t, int) {
   RTR_CHECK(false, "poke on a slave without backdoor access");
 }
 
+void Slave::peek_block(Addr addr, std::span<std::uint8_t> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(peek(addr + i, 1));
+  }
+}
+
+void Slave::poke_block(Addr addr, std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) poke(addr + i, data[i], 1);
+}
+
 Bus::Bus(std::string name, sim::Simulation& sim, sim::Clock& clock,
          BusProtocol protocol)
     : name_(std::move(name)),

@@ -78,6 +78,17 @@ class Bus {
     slave_at(addr, static_cast<std::uint64_t>(bytes)).poke(addr, data, bytes);
   }
 
+  /// Bulk backdoor: one address decode for the whole span (which must land
+  /// in a single slave), then the slave's block fast path.
+  void peek_block(Addr addr, std::span<std::uint8_t> out) const {
+    if (out.empty()) return;
+    slave_at(addr, out.size()).peek_block(addr, out);
+  }
+  void poke_block(Addr addr, std::span<const std::uint8_t> data) {
+    if (data.empty()) return;
+    slave_at(addr, data.size()).poke_block(addr, data);
+  }
+
   /// Enumerate attachments (for topology dumps).
   struct Attachment {
     AddressRange range;

@@ -54,6 +54,12 @@ class Slave {
   /// peripheral is a modelling bug and aborts.
   [[nodiscard]] virtual std::uint64_t peek(Addr addr, int bytes) const;
   virtual void poke(Addr addr, std::uint64_t data, int bytes);
+
+  /// Bulk backdoor access (workload staging and result readback). The
+  /// default degenerates to a byte loop; memory slaves override with a
+  /// memcpy-based fast path into their backing store.
+  virtual void peek_block(Addr addr, std::span<std::uint8_t> out) const;
+  virtual void poke_block(Addr addr, std::span<const std::uint8_t> data);
 };
 
 }  // namespace rtr::bus

@@ -21,7 +21,8 @@ ConfigMemory::ConfigMemory(const Device& dev)
       clb_frames_(dev.columns_of(ColumnType::kClb) * kFramesPerClbColumn),
       bram_ic_frames_(dev.columns_of(ColumnType::kBramInterconnect) *
                       kFramesPerBramInterconnect),
-      words_(static_cast<std::size_t>(total_frames_) * wpf_, 0) {}
+      words_(static_cast<std::size_t>(total_frames_) * wpf_, 0),
+      touched_(static_cast<std::size_t>(total_frames_), 0) {}
 
 int ConfigMemory::linear_index(FrameAddress a) const {
   RTR_CHECK(a.valid_for(*dev_), "frame address out of range");
@@ -46,8 +47,9 @@ std::span<const std::uint32_t> ConfigMemory::frame(FrameAddress a) const {
 }
 
 std::span<std::uint32_t> ConfigMemory::frame_mut(FrameAddress a) {
-  const auto idx = static_cast<std::size_t>(linear_index(a)) * wpf_;
-  return {words_.data() + idx, static_cast<std::size_t>(wpf_)};
+  const auto f = static_cast<std::size_t>(linear_index(a));
+  touched_[f] = 1;  // the caller holds a mutable view; assume it writes
+  return {words_.data() + f * wpf_, static_cast<std::size_t>(wpf_)};
 }
 
 void ConfigMemory::write_frame(FrameAddress a,
@@ -68,6 +70,11 @@ int ConfigMemory::diff_frames(const ConfigMemory& a, const ConfigMemory& b) {
   RTR_CHECK(a.dev_ == b.dev_, "diff across different devices");
   int n = 0;
   for (int f = 0; f < a.total_frames_; ++f) {
+    // Both untouched: both all-zero by invariant, no comparison needed.
+    // (A touched frame may still hold zeros, so touched frames compare.)
+    if (!(a.touched_[static_cast<std::size_t>(f)] |
+          b.touched_[static_cast<std::size_t>(f)]))
+      continue;
     const auto off = static_cast<std::size_t>(f) * a.wpf_;
     if (!std::equal(a.words_.begin() + off, a.words_.begin() + off + a.wpf_,
                     b.words_.begin() + off))
@@ -76,11 +83,30 @@ int ConfigMemory::diff_frames(const ConfigMemory& a, const ConfigMemory& b) {
   return n;
 }
 
+int ConfigMemory::touched_frames() const {
+  int n = 0;
+  for (const std::uint8_t t : touched_) n += t;
+  return n;
+}
+
 void ConfigMemory::restore(std::span<const std::uint32_t> snap) {
   RTR_CHECK(snap.size() == words_.size(), "snapshot size mismatch");
   std::copy(snap.begin(), snap.end(), words_.begin());
+  // Recompute touched bits from the restored content so the invariant
+  // (untouched => all-zero) holds and diffs stay cheap after a restore.
+  for (int f = 0; f < total_frames_; ++f) {
+    const auto off = static_cast<std::size_t>(f) * wpf_;
+    const auto begin = words_.begin() + static_cast<std::ptrdiff_t>(off);
+    touched_[static_cast<std::size_t>(f)] =
+        std::any_of(begin, begin + wpf_, [](std::uint32_t w) { return w != 0; })
+            ? 1
+            : 0;
+  }
 }
 
-void ConfigMemory::clear() { std::fill(words_.begin(), words_.end(), 0); }
+void ConfigMemory::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  std::fill(touched_.begin(), touched_.end(), 0);
+}
 
 }  // namespace rtr::fabric

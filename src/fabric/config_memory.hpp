@@ -4,6 +4,13 @@
 // geometric property modelled here is that one frame word corresponds to one
 // CLB row (plus two pad words per frame), so partial-height reconfiguration
 // is a read-modify-write of a word range within full-column frames.
+//
+// Every frame carries a "touched" bit, set the first time a mutable view of
+// the frame is handed out and maintained under the invariant that an
+// untouched frame is all-zero (power-on state). Devices have tens of
+// thousands of frames and a module configures a handful of columns, so
+// differential operations (diff_frames, PartialConfig::diff) use the bits
+// to skip the untouched expanse instead of comparing every word.
 #pragma once
 
 #include <cstdint>
@@ -46,10 +53,22 @@ class ConfigMemory {
 
   /// Copy of the full state, for baselines/diffs.
   [[nodiscard]] std::vector<std::uint32_t> snapshot() const { return words_; }
+  /// Restore a snapshot. Touched bits are recomputed from the restored
+  /// content (a frame is touched iff it is nonzero), so a restore to the
+  /// power-on state makes later diffs cheap again.
   void restore(std::span<const std::uint32_t> snap);
 
-  /// Zero every frame (power-on state).
+  /// Zero every frame (power-on state). Resets all touched bits.
   void clear();
+
+  /// True when the frame has ever been handed out for writing since the
+  /// last clear()/restore() recomputation. Untouched implies all-zero.
+  [[nodiscard]] bool frame_touched(FrameAddress a) const {
+    return touched_[static_cast<std::size_t>(linear_index(a))] != 0;
+  }
+
+  /// Number of touched frames (observability for tests and stats).
+  [[nodiscard]] int touched_frames() const;
 
   /// Total number of frames.
   [[nodiscard]] int total_frames() const { return total_frames_; }
@@ -64,6 +83,8 @@ class ConfigMemory {
   int clb_frames_;
   int bram_ic_frames_;
   std::vector<std::uint32_t> words_;  // total_frames_ * wpf_
+  // One byte per frame (not vector<bool>: the diff loop reads these hot).
+  std::vector<std::uint8_t> touched_;
 };
 
 }  // namespace rtr::fabric

@@ -9,6 +9,7 @@
 //   * on-chip BRAM, single-cycle.
 #pragma once
 
+#include <bit>
 #include <string>
 
 #include "bus/slave.hpp"
@@ -61,27 +62,39 @@ class MemorySlave : public bus::Slave {
     return clock_->after_cycles(start, timing_.write_wait + 1);
   }
 
+  // Bursts move all beats through SparseMemory's block fast path in one
+  // host-side copy; the simulated completion time is the closed form of the
+  // per-beat loop (Clock::cycles is a pure multiply, so
+  // cycles(k)*n == cycles(k*n) and the accumulated sum collapses).
   bus::SlaveResult burst_read(bus::Addr addr, std::span<std::uint64_t> out,
                               sim::SimTime start, bool increment) override {
     RTR_CHECK(increment, "fixed-address bursts target registers, not memory");
-    sim::SimTime t = clock_->after_cycles(start, timing_.burst_first_wait + 1);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = store_.read(addr - range_.base + i * 8, 8);
-      if (i > 0) t = t + clock_->cycles(timing_.burst_beat_cycles);
+    if (host_is_little_endian()) {
+      store_.read_block(addr - range_.base,
+                        {reinterpret_cast<std::uint8_t*>(out.data()),
+                         out.size() * 8});
+    } else {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = store_.read(addr - range_.base + i * 8, 8);
+      }
     }
-    return {out.empty() ? 0 : out.back(), t};
+    return {out.empty() ? 0 : out.back(), burst_done(start, out.size())};
   }
 
   sim::SimTime burst_write(bus::Addr addr,
                            std::span<const std::uint64_t> data,
                            sim::SimTime start, bool increment) override {
     RTR_CHECK(increment, "fixed-address bursts target registers, not memory");
-    sim::SimTime t = clock_->after_cycles(start, timing_.burst_first_wait + 1);
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      store_.write(addr - range_.base + i * 8, data[i], 8);
-      if (i > 0) t = t + clock_->cycles(timing_.burst_beat_cycles);
+    if (host_is_little_endian()) {
+      store_.write_block(addr - range_.base,
+                         {reinterpret_cast<const std::uint8_t*>(data.data()),
+                          data.size() * 8});
+    } else {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        store_.write(addr - range_.base + i * 8, data[i], 8);
+      }
     }
-    return t;
+    return burst_done(start, data.size());
   }
 
   [[nodiscard]] std::uint64_t peek(bus::Addr addr, int bytes) const override {
@@ -89,6 +102,14 @@ class MemorySlave : public bus::Slave {
   }
   void poke(bus::Addr addr, std::uint64_t data, int bytes) override {
     store_.write(addr - range_.base, data, bytes);
+  }
+
+  void peek_block(bus::Addr addr, std::span<std::uint8_t> out) const override {
+    store_.read_block(addr - range_.base, out);
+  }
+  void poke_block(bus::Addr addr,
+                  std::span<const std::uint8_t> data) override {
+    store_.write_block(addr - range_.base, data);
   }
 
   // --- presets ----------------------------------------------------------
@@ -120,6 +141,25 @@ class MemorySlave : public bus::Slave {
   }
 
  private:
+  /// Completion time of an n-beat burst: first-beat wait, then
+  /// (n - 1) pipelined beats. Matches the per-beat accumulation exactly.
+  [[nodiscard]] sim::SimTime burst_done(sim::SimTime start,
+                                        std::size_t beats) const {
+    sim::SimTime t = clock_->after_cycles(start, timing_.burst_first_wait + 1);
+    if (beats > 1) {
+      t = t + clock_->cycles(timing_.burst_beat_cycles *
+                             static_cast<std::int64_t>(beats - 1));
+    }
+    return t;
+  }
+
+  /// SparseMemory blocks are little-endian byte streams; beats are
+  /// host-endian u64s, so the memcpy fast path is only valid when the two
+  /// agree. Big-endian hosts fall back to per-beat LE accesses.
+  static constexpr bool host_is_little_endian() {
+    return std::endian::native == std::endian::little;
+  }
+
   std::string name_;
   bus::AddressRange range_;
   sim::Clock* clock_;

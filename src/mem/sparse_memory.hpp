@@ -4,8 +4,17 @@
 // would be wasteful, so storage is paged in 64 KB chunks on first touch.
 // All multi-byte accesses are little-endian (a consistent internal
 // convention; the modelled software and hardware agree on it end to end).
+//
+// Hot-path design: every access first consults a one-entry cache of the
+// last page looked up (simulated traffic is overwhelmingly sequential or
+// loop-local, so the hit rate is near 1), falling back to the hash map
+// only on a page change. Multi-byte reads/writes that stay within one page
+// touch the page array directly, and read_block/write_block move whole
+// page-sized spans with memcpy. Page storage is stable (unique_ptr), so
+// cached pointers survive rehashing; pages are never evicted.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -25,7 +34,7 @@ class SparseMemory {
 
   [[nodiscard]] std::uint8_t read8(std::uint64_t off) const {
     RTR_CHECK(off < size_, "memory read out of range");
-    const Page* p = find_page(off);
+    const Page* p = page_at(off / kPageBytes);
     return p ? (*p)[off & kPageMask] : 0;
   }
 
@@ -36,6 +45,18 @@ class SparseMemory {
 
   /// Little-endian read of 1..8 bytes.
   [[nodiscard]] std::uint64_t read(std::uint64_t off, int bytes) const {
+    RTR_CHECK(bytes >= 1 && bytes <= 8 && off < size_ &&
+                  static_cast<std::uint64_t>(bytes) <= size_ - off,
+              "memory read out of range");
+    const std::uint64_t in_page = off & kPageMask;
+    if (in_page + static_cast<std::uint64_t>(bytes) <= kPageBytes) {
+      const Page* p = page_at(off / kPageBytes);
+      if (!p) return 0;
+      const std::uint8_t* src = p->data() + in_page;
+      std::uint64_t v = 0;
+      for (int i = bytes - 1; i >= 0; --i) v = (v << 8) | src[i];
+      return v;
+    }
     std::uint64_t v = 0;
     for (int i = bytes - 1; i >= 0; --i) {
       v = (v << 8) | read8(off + static_cast<std::uint64_t>(i));
@@ -45,6 +66,17 @@ class SparseMemory {
 
   /// Little-endian write of 1..8 bytes.
   void write(std::uint64_t off, std::uint64_t value, int bytes) {
+    RTR_CHECK(bytes >= 1 && bytes <= 8 && off < size_ &&
+                  static_cast<std::uint64_t>(bytes) <= size_ - off,
+              "memory write out of range");
+    const std::uint64_t in_page = off & kPageMask;
+    if (in_page + static_cast<std::uint64_t>(bytes) <= kPageBytes) {
+      std::uint8_t* dst = touch_page(off).data() + in_page;
+      for (int i = 0; i < bytes; ++i) {
+        dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
+      }
+      return;
+    }
     for (int i = 0; i < bytes; ++i) {
       write8(off + static_cast<std::uint64_t>(i),
              static_cast<std::uint8_t>(value >> (8 * i)));
@@ -52,10 +84,40 @@ class SparseMemory {
   }
 
   void write_block(std::uint64_t off, std::span<const std::uint8_t> data) {
-    for (std::size_t i = 0; i < data.size(); ++i) write8(off + i, data[i]);
+    RTR_CHECK(off <= size_ && data.size() <= size_ - off,
+              "memory write out of range");
+    const std::uint8_t* src = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const std::uint64_t in_page = off & kPageMask;
+      const std::size_t chunk =
+          std::min<std::size_t>(left, kPageBytes - in_page);
+      std::memcpy(touch_page(off).data() + in_page, src, chunk);
+      off += chunk;
+      src += chunk;
+      left -= chunk;
+    }
   }
+
   void read_block(std::uint64_t off, std::span<std::uint8_t> out) const {
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] = read8(off + i);
+    RTR_CHECK(off <= size_ && out.size() <= size_ - off,
+              "memory read out of range");
+    std::uint8_t* dst = out.data();
+    std::size_t left = out.size();
+    while (left > 0) {
+      const std::uint64_t in_page = off & kPageMask;
+      const std::size_t chunk =
+          std::min<std::size_t>(left, kPageBytes - in_page);
+      const Page* p = page_at(off / kPageBytes);
+      if (p) {
+        std::memcpy(dst, p->data() + in_page, chunk);
+      } else {
+        std::memset(dst, 0, chunk);  // untouched pages read as zero
+      }
+      off += chunk;
+      dst += chunk;
+      left -= chunk;
+    }
   }
 
   /// Pages currently materialised (observability for tests).
@@ -66,18 +128,32 @@ class SparseMemory {
   static constexpr std::uint64_t kPageMask = kPageBytes - 1;
   using Page = std::vector<std::uint8_t>;
 
-  [[nodiscard]] const Page* find_page(std::uint64_t off) const {
-    auto it = pages_.find(off / kPageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+  /// Cached page lookup. Returns nullptr for unmaterialised pages; absence
+  /// is cached too, which stays coherent because the only way a page comes
+  /// into existence is touch_page below, which refreshes the cache.
+  [[nodiscard]] Page* page_at(std::uint64_t page_idx) const {
+    if (page_idx == cached_idx_) return cached_page_;
+    auto it = pages_.find(page_idx);
+    cached_idx_ = page_idx;
+    cached_page_ = it == pages_.end() ? nullptr : it->second.get();
+    return cached_page_;
   }
+
   Page& touch_page(std::uint64_t off) {
-    auto& slot = pages_[off / kPageBytes];
-    if (!slot) slot = std::make_unique<Page>(kPageBytes, 0);
-    return *slot;
+    const std::uint64_t page_idx = off / kPageBytes;
+    Page* p = page_at(page_idx);
+    if (!p) {
+      auto& slot = pages_[page_idx];
+      slot = std::make_unique<Page>(kPageBytes, 0);
+      cached_page_ = slot.get();  // cached_idx_ set by the page_at miss
+    }
+    return *cached_page_;
   }
 
   std::uint64_t size_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  mutable std::uint64_t cached_idx_ = ~std::uint64_t{0};
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace rtr::mem

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,59 +8,189 @@
 
 namespace rtr::sim {
 
+void EventQueue::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+EventQueue::Entry EventQueue::heap_pop() {
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Sift the former last element down from the root, moving the best
+    // child up into the hole until `last` fits.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+const EventQueue::Entry* EventQueue::peek_next() {
+  while (staging_head_ < staging_.size() && stale(staging_[staging_head_])) {
+    ++staging_head_;
+  }
+  if (staging_head_ == staging_.size()) {
+    staging_.clear();
+    staging_head_ = 0;
+  }
+  while (!heap_.empty() && stale(heap_.front())) heap_pop();
+  const bool have_staging = staging_head_ < staging_.size();
+  if (heap_.empty()) {
+    return have_staging ? &staging_[staging_head_] : nullptr;
+  }
+  if (!have_staging || earlier(heap_.front(), staging_[staging_head_])) {
+    return &heap_.front();
+  }
+  return &staging_[staging_head_];
+}
+
+EventQueue::Entry EventQueue::pop_next() {
+  if (staging_head_ < staging_.size()) {
+    const Entry& s = staging_[staging_head_];
+    if (heap_.empty() || earlier(s, heap_.front())) {
+      const Entry e = s;
+      ++staging_head_;
+      // Keep the consumed prefix from pinning memory in steady state
+      // (schedule one / run one forever would otherwise grow the vector
+      // without ever emptying it).
+      if (staging_head_ >= 4096 && staging_head_ * 2 >= staging_.size()) {
+        staging_.erase(staging_.begin(),
+                       staging_.begin() +
+                           static_cast<std::ptrdiff_t>(staging_head_));
+        staging_head_ = 0;
+      }
+      return e;
+    }
+  }
+  return heap_pop();
+}
+
+EventQueue::Callback EventQueue::take(const Entry& e) {
+  Slot& s = slot(e.slot);
+  Callback cb = std::move(s.cb);  // leaves the slot's callback empty
+  ++s.gen;
+  free_slots_.push_back(e.slot);
+  --live_;
+  return cb;
+}
+
+void EventQueue::trace_dispatch(SimTime at) {
+  if (trace_track_ < 0) trace_track_ = tracer_->track("events");
+  tracer_->instant(trace_track_, "dispatch", at);
+  tracer_->counter("events.pending", static_cast<std::int64_t>(live_), at);
+}
+
 EventId EventQueue::schedule(SimTime at, Callback cb) {
-  const EventId id = slots_.size();
-  slots_.push_back(Slot{std::move(cb), /*live=*/true});
-  heap_.push(Entry{at, next_seq_++, id});
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slot_count_ == slot_chunks_.size() * kSlotChunkSize) {
+      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
+    idx = slot_count_++;
+  }
+  Slot& s = slot(idx);
+  s.cb = std::move(cb);
+  const Entry e{at, next_seq_++, idx, s.gen};
+  if (staging_.empty() || !earlier(e, staging_.back())) {
+    staging_.push_back(e);
+  } else {
+    heap_push(e);
+  }
   ++live_;
-  return id;
+  return (static_cast<EventId>(s.gen) << 32) | idx;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id >= slots_.size() || !slots_[id].live) return false;
-  slots_[id].live = false;
-  slots_[id].cb = nullptr;
+  const auto idx = static_cast<std::uint32_t>(id & 0xFFFF'FFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slot_count_ || slot(idx).gen != gen) return false;
+  Slot& s = slot(idx);
+  s.cb = Callback{};
+  ++s.gen;  // pending staging/heap entry goes stale and is skipped lazily
+  free_slots_.push_back(idx);
   --live_;
   return true;
 }
 
-void EventQueue::skip_dead() {
-  while (!heap_.empty() && !slots_[heap_.top().id].live) heap_.pop();
-}
-
 SimTime EventQueue::next_time() const {
-  // const access: copy-free scan is not possible with std::priority_queue,
-  // so keep a mutable view via const_cast-free approach: top() after lazily
-  // popping dead entries requires mutation; do it in the non-const callers.
-  // Here, walk without mutation: top may be dead, so conservatively report
-  // it only when live; callers that need exactness use run paths.
+  // Lazily dropping stale entries mutates the containers; the logical state
+  // (earliest live event) is unchanged.
   auto* self = const_cast<EventQueue*>(this);
-  self->skip_dead();
-  if (heap_.empty()) return SimTime::infinity();
-  return heap_.top().at;
+  const Entry* e = self->peek_next();
+  return e ? e->at : SimTime::infinity();
 }
 
 SimTime EventQueue::run_one() {
-  skip_dead();
-  assert(!heap_.empty() && "run_one on empty EventQueue");
-  const Entry e = heap_.top();
-  heap_.pop();
-  Callback cb = std::move(slots_[e.id].cb);
-  slots_[e.id].live = false;
-  --live_;
-  if (tracer_ && tracer_->enabled()) {
-    if (trace_track_ < 0) trace_track_ = tracer_->track("events");
-    tracer_->instant(trace_track_, "dispatch", e.at);
-    tracer_->counter("events.pending", static_cast<std::int64_t>(live_), e.at);
-  }
+  [[maybe_unused]] const Entry* p = peek_next();
+  assert(p != nullptr && "run_one on empty EventQueue");
+  const Entry e = pop_next();
+  Callback cb = take(e);
+  if (tracer_ && tracer_->enabled()) trace_dispatch(e.at);
   cb(e.at);
   return e.at;
 }
 
+std::size_t EventQueue::run_all_at(SimTime t) {
+  std::size_t n = 0;
+  // Reuse pooled batch storage; a reentrant call simply allocates afresh.
+  std::vector<Entry> batch = std::move(batch_pool_);
+  // Callbacks may schedule more events at `t`; each outer pass picks up
+  // what the previous batch added, preserving global FIFO order.
+  for (;;) {
+    const Entry* p = peek_next();
+    if (!p || p->at != t) break;
+    batch.clear();
+    while (p && p->at == t) {
+      batch.push_back(pop_next());
+      p = peek_next();
+    }
+    for (const Entry& e : batch) {
+      // A batch-mate's callback may have cancelled this event after it was
+      // popped; the generation check catches that.
+      if (stale(e)) continue;
+      Callback cb = take(e);
+      if (tracer_ && tracer_->enabled()) trace_dispatch(t);
+      cb(t);
+      ++n;
+    }
+  }
+  batch.clear();
+  batch_pool_ = std::move(batch);
+  return n;
+}
+
 std::size_t EventQueue::run_until(SimTime until) {
   std::size_t n = 0;
-  while (!empty() && next_time() <= until) {
-    run_one();
+  for (;;) {
+    const Entry* p = peek_next();
+    if (!p || p->at > until) break;
+    const Entry e = pop_next();
+    Callback cb = take(e);
+    if (tracer_ && tracer_->enabled()) trace_dispatch(e.at);
+    cb(e.at);
     ++n;
   }
   return n;
@@ -67,8 +198,13 @@ std::size_t EventQueue::run_until(SimTime until) {
 
 std::size_t EventQueue::drain() {
   std::size_t n = 0;
-  while (!empty()) {
-    run_one();
+  for (;;) {
+    const Entry* p = peek_next();
+    if (!p) break;
+    const Entry e = pop_next();
+    Callback cb = take(e);
+    if (tracer_ && tracer_->enabled()) trace_dispatch(e.at);
+    cb(e.at);
     ++n;
   }
   return n;

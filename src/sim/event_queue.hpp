@@ -4,14 +4,31 @@
 // take a start time and return a completion time. The event queue covers the
 // genuinely asynchronous parts -- DMA engines running while the CPU computes,
 // interrupt delivery, and module activity that is not driven by a bus access.
+//
+// Substrate notes (these are among the hottest host-side loops):
+//  * Callbacks are UniqueFunction (32-byte inline storage) -- scheduling
+//    never heap-allocates for the callback captures used in this codebase.
+//  * Callback slots live in fixed-size chunks that never relocate, and are
+//    recycled through a free list, so long simulations run in bounded
+//    memory instead of growing one slot per event ever scheduled -- and
+//    growth never move-constructs existing callbacks. Event ids carry a
+//    per-slot generation; an id stays cancel-safe (returns false) after
+//    its slot is reused.
+//  * The pending set is split into a sorted "staging run" that absorbs
+//    monotonically non-decreasing schedules (the dominant pattern: timers
+//    and completions are scheduled in time order) with O(1) append and O(1)
+//    pop, and a 4-ary min-heap fallback for out-of-order schedules.
+//    Dispatch merges the two fronts; FIFO order among equal times holds
+//    across both via the per-event sequence number.
+//  * run_all_at() dispatches every event of one timestamp as a batch.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/unique_function.hpp"
 
 namespace rtr::trace {
 class Tracer;
@@ -19,14 +36,16 @@ class Tracer;
 
 namespace rtr::sim {
 
-/// Identifier of a scheduled event, usable for cancellation.
+/// Identifier of a scheduled event, usable for cancellation. Encodes the
+/// slot index and its generation at scheduling time; ids of fired or
+/// cancelled events never alias a later event, even when slots are reused.
 using EventId = std::uint64_t;
 
 /// A time-ordered queue of callbacks. Events at equal times fire in
 /// scheduling order (FIFO), which makes simulations deterministic.
 class EventQueue {
  public:
-  using Callback = std::function<void(SimTime fire_time)>;
+  using Callback = UniqueFunction<void(SimTime fire_time)>;
 
   /// Schedule `cb` to fire at absolute time `at`. Returns an id that can be
   /// passed to `cancel`.
@@ -42,12 +61,24 @@ class EventQueue {
   /// Number of live (pending, uncancelled) events.
   [[nodiscard]] std::size_t size() const { return live_; }
 
+  /// Number of callback slots currently allocated (resident set
+  /// observability for tests: stays bounded by peak concurrency, not by the
+  /// total number of events ever scheduled).
+  [[nodiscard]] std::size_t slot_capacity() const { return slot_count_; }
+
   /// Time of the earliest live event; SimTime::infinity() when empty.
   [[nodiscard]] SimTime next_time() const;
 
   /// Pop and run the earliest event. Returns its fire time.
   /// Precondition: !empty().
   SimTime run_one();
+
+  /// Run every event with fire time exactly `t` (including events a
+  /// callback schedules at `t` while the batch runs) as one batch: the
+  /// same-timestamp entries are popped from the heap together, then
+  /// dispatched in FIFO order. Returns the number run. Events cancelled by
+  /// an earlier callback of the same batch do not fire.
+  std::size_t run_all_at(SimTime t);
 
   /// Run all events with fire time <= `until`. Returns the number run.
   std::size_t run_until(SimTime until);
@@ -65,28 +96,62 @@ class EventQueue {
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // tiebreaker: FIFO among equal times
-    EventId id;
-    // ordering for a max-heap turned min-heap
-    bool operator<(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t gen;  // slot generation at scheduling time
   };
+  /// Min-heap order: earliest time first, scheduling order among equals.
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;  // bumped every time the slot is released
+  };
+
+  // Slots are stored in fixed 256-entry chunks so growing the pool never
+  // relocates (move-constructs) live callbacks; a chunk address is stable
+  // for the queue's lifetime.
+  static constexpr std::uint32_t kSlotChunkShift = 8;
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    return slot_chunks_[idx >> kSlotChunkShift][idx & (kSlotChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    return slot_chunks_[idx >> kSlotChunkShift][idx & (kSlotChunkSize - 1)];
+  }
+
+  void heap_push(Entry e);
+  Entry heap_pop();  // precondition: !heap_.empty()
+  /// Drop stale entries (cancelled, or slot since recycled) from both
+  /// fronts, then return the earliest pending entry, or nullptr when none
+  /// remain. The pointer is invalidated by the next queue mutation.
+  const Entry* peek_next();
+  /// Pop the entry peek_next() returned. Precondition: peek_next() was just
+  /// called and returned non-null.
+  Entry pop_next();
+  [[nodiscard]] bool stale(const Entry& e) const {
+    return slot(e.slot).gen != e.gen;
+  }
+  /// Move the callback out and recycle the slot.
+  Callback take(const Entry& e);
+  void trace_dispatch(SimTime at);
 
   trace::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;
-  std::priority_queue<Entry> heap_;
-  // Callback + liveness, keyed by id. Cancelled entries stay in the heap
-  // and are skipped lazily.
-  struct Slot {
-    Callback cb;
-    bool live = false;
-  };
-  std::vector<Slot> slots_;
+  // Sorted monotone run: entries scheduled in non-decreasing time order.
+  // Consumed from staging_head_; the prefix is compacted opportunistically.
+  std::vector<Entry> staging_;
+  std::size_t staging_head_ = 0;
+  std::vector<Entry> heap_;  // 4-ary min-heap of out-of-order schedules
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Entry> batch_pool_;  // scratch reused by run_all_at
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
-
-  void skip_dead();
 };
 
 }  // namespace rtr::sim

@@ -1,0 +1,104 @@
+// Move-only callable with inline storage.
+//
+// std::function heap-allocates once a capture outgrows its (small) internal
+// buffer and always pays copyability machinery; event-queue callbacks are
+// scheduled, moved and destroyed millions of times per simulation, so they
+// get a dedicated type: a move-only wrapper with a 32-byte inline buffer.
+// Trivially copyable callables (lambdas capturing references, pointers and
+// scalars -- every callback in this codebase) are stored inline, which makes
+// a move a plain memcpy and destruction a no-op; anything larger or with a
+// non-trivial copy goes through a single heap allocation whose pointer is
+// equally memcpy-movable. Dispatch is one indirect call through a static ops
+// table; the schedule/move/destroy paths never make an indirect call.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rtr::sim {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  static constexpr std::size_t kInlineBytes = 32;
+
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  // Every stored representation is trivially relocatable (a trivially
+  // copyable callable or an owning raw pointer), so moves are memcpys.
+  UniqueFunction(UniqueFunction&& o) noexcept : ops_(o.ops_) {
+    std::memcpy(buf_, o.buf_, kInlineBytes);
+    o.ops_ = nullptr;
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& o) noexcept {
+    if (this != &o) {
+      if (ops_ && ops_->destroy) ops_->destroy(buf_);
+      ops_ = o.ops_;
+      std::memcpy(buf_, o.buf_, kInlineBytes);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() {
+    if (ops_ && ops_->destroy) ops_->destroy(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*destroy)(void*);  // null when destruction is a no-op
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p, Args&&... a) -> R {
+        return (*std::launder(static_cast<Fn*>(p)))(std::forward<Args>(a)...);
+      },
+      nullptr};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* p, Args&&... a) -> R {
+        return (**std::launder(static_cast<Fn**>(p)))(std::forward<Args>(a)...);
+      },
+      [](void* p) { delete *std::launder(static_cast<Fn**>(p)); }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rtr::sim

@@ -172,4 +172,50 @@ TEST(Cli, LogLevelControlsComponentLog) {
   EXPECT_EQ(re.output.find("OPB: wr"), std::string::npos) << re.output;
 }
 
+// Like run_cli but drops stderr: the sweep prints host wall-clock timing
+// there, which must not leak into determinism comparisons.
+RunResult run_cli_stdout(const std::string& args) {
+  const std::string cmd =
+      std::string(RTRSIM_CLI_PATH) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe)) out += buf.data();
+  const int status = pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, out};
+}
+
+TEST(Cli, SweepSmokeReportsAllScenariosOk) {
+  const auto r = run_cli_stdout("sweep --smoke -j 1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("aggregate:"), std::string::npos);
+  EXPECT_NE(r.output.find("sweep.mismatches"), std::string::npos);
+  EXPECT_EQ(r.output.find("MISMATCH"), std::string::npos) << r.output;
+}
+
+TEST(Cli, SweepStdoutIsByteIdenticalAcrossJobCounts) {
+  const auto r1 = run_cli_stdout("sweep --smoke -j 1");
+  const auto r2 = run_cli_stdout("sweep --smoke -j 2");
+  EXPECT_EQ(r1.exit_code, 0);
+  EXPECT_EQ(r2.exit_code, 0);
+  EXPECT_EQ(r1.output, r2.output);
+}
+
+TEST(Cli, SweepWritesBenchJson) {
+  const std::string path = "cli_sweep_bench.json";
+  const auto r =
+      run_cli_stdout("sweep --smoke -j 1 --bench-out " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("rtrsim-substrate-bench-v1"), std::string::npos);
+  EXPECT_NE(json.find("BM_SparseMemoryBlockCopy"), std::string::npos);
+  EXPECT_NE(json.find("BM_ConfigMemoryIncrementalDiff"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 }  // namespace

@@ -181,6 +181,63 @@ TEST(ConfigMemory, DiffAndSnapshot) {
   EXPECT_EQ(ConfigMemory::diff_frames(a, b), 2);
 }
 
+TEST(ConfigMemory, TouchedTrackingFollowsWrites) {
+  ConfigMemory cm{Device::xc2vp7()};
+  EXPECT_EQ(cm.touched_frames(), 0);
+  const FrameAddress a{ColumnType::kClb, 1, 1};
+  EXPECT_FALSE(cm.frame_touched(a));
+  const std::uint32_t one[1] = {0xFF};
+  cm.write_words(a, 5, one);
+  EXPECT_TRUE(cm.frame_touched(a));
+  EXPECT_EQ(cm.touched_frames(), 1);
+  EXPECT_FALSE(cm.frame_touched(FrameAddress{ColumnType::kClb, 1, 2}));
+}
+
+TEST(ConfigMemory, WritingZerosTouchesWithoutCreatingADiff) {
+  // A touched frame may still equal its untouched counterpart; the touched
+  // bit is an overapproximation and must not be counted as a difference.
+  ConfigMemory a{Device::xc2vp7()};
+  ConfigMemory b{Device::xc2vp7()};
+  const std::uint32_t zero[1] = {0};
+  a.write_words(FrameAddress{ColumnType::kClb, 2, 0}, 3, zero);
+  EXPECT_TRUE(a.frame_touched(FrameAddress{ColumnType::kClb, 2, 0}));
+  EXPECT_EQ(ConfigMemory::diff_frames(a, b), 0);
+}
+
+TEST(ConfigMemory, ClearResetsTouchedTracking) {
+  ConfigMemory cm{Device::xc2vp7()};
+  const std::uint32_t one[1] = {0xFF};
+  cm.write_words(FrameAddress{ColumnType::kClb, 0, 0}, 0, one);
+  cm.write_words(FrameAddress{ColumnType::kBramContent, 0, 4}, 0, one);
+  EXPECT_EQ(cm.touched_frames(), 2);
+  cm.clear();
+  EXPECT_EQ(cm.touched_frames(), 0);
+  EXPECT_FALSE(cm.frame_touched(FrameAddress{ColumnType::kClb, 0, 0}));
+  // Writes after a clear are tracked again.
+  cm.write_words(FrameAddress{ColumnType::kClb, 3, 1}, 1, one);
+  EXPECT_EQ(cm.touched_frames(), 1);
+}
+
+TEST(ConfigMemory, RestoreRecomputesTouchedFromContent) {
+  ConfigMemory a{Device::xc2vp7()};
+  ConfigMemory b{Device::xc2vp7()};
+  const std::uint32_t one[1] = {0xFF};
+  a.write_words(FrameAddress{ColumnType::kClb, 1, 1}, 5, one);
+  a.write_words(FrameAddress{ColumnType::kBramContent, 0, 9}, 0, one);
+  const auto snap = a.snapshot();
+  a.clear();
+  a.restore(snap);
+  EXPECT_EQ(a.touched_frames(), 2);
+  EXPECT_TRUE(a.frame_touched(FrameAddress{ColumnType::kClb, 1, 1}));
+  EXPECT_EQ(ConfigMemory::diff_frames(a, b), 2);
+  // Restoring the power-on snapshot drops every touched bit, so later
+  // diffs skip the whole device again.
+  const ConfigMemory fresh{Device::xc2vp7()};
+  a.restore(fresh.snapshot());
+  EXPECT_EQ(a.touched_frames(), 0);
+  EXPECT_EQ(ConfigMemory::diff_frames(a, b), 0);
+}
+
 TEST(ConfigMemory, LinearIndexIsDenseAndUnique) {
   const Device& d = Device::xc2vp7();
   ConfigMemory cm{d};

@@ -1,6 +1,7 @@
 // Unit tests for the simulation kernel: time, clocks, events, stats, RNG.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -126,6 +127,89 @@ TEST(EventQueue, NextTimeOnEmptyIsInfinity) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.next_time(), SimTime::infinity());
+}
+
+TEST(EventQueue, IdOfFiredEventStaysInvalidAcrossSlotReuse) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(SimTime::from_ns(1), [&](SimTime) { ++fired; });
+  q.drain();
+  EXPECT_EQ(fired, 1);
+  // The new event reuses a's slot; a's id must not alias it.
+  const EventId b = q.schedule(SimTime::from_ns(2), [&](SimTime) { ++fired; });
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+  q.drain();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, IdOfCancelledEventStaysInvalidAcrossSlotReuse) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(SimTime::from_ns(1), [&](SimTime) { ++fired; });
+  EXPECT_TRUE(q.cancel(a));
+  const EventId b = q.schedule(SimTime::from_ns(2), [&](SimTime) { ++fired; });
+  EXPECT_FALSE(q.cancel(a));  // stale id, slot now owned by b
+  q.drain();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.cancel(b));  // b already fired
+}
+
+TEST(EventQueue, SlotCapacityBoundedByPeakConcurrencyNotTotalEvents) {
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      q.schedule(SimTime::from_ns(round * 10 + i), [&](SimTime) { ++fired; });
+    }
+    q.drain();
+  }
+  EXPECT_EQ(fired, 1000);
+  // 1000 events ever scheduled, but never more than 10 pending at once:
+  // freed slots must be recycled instead of growing the pool per event.
+  EXPECT_LE(q.slot_capacity(), 10u);
+}
+
+TEST(EventQueue, OutOfOrderSchedulingKeepsGlobalOrder) {
+  // Mix monotone and regressing schedule times so both internal paths
+  // (sorted staging run and heap fallback) hold entries simultaneously.
+  EventQueue q;
+  Rng rng{7};
+  std::vector<std::pair<std::int64_t, int>> fires;
+  for (int i = 0; i < 500; ++i) {
+    const auto ns = static_cast<std::int64_t>(rng.next_u32() % 64);
+    q.schedule(SimTime::from_ns(ns),
+               [&fires, ns, i](SimTime) { fires.emplace_back(ns, i); });
+  }
+  EXPECT_EQ(q.drain(), 500u);
+  ASSERT_EQ(fires.size(), 500u);
+  for (std::size_t k = 1; k < fires.size(); ++k) {
+    // Time-ordered, FIFO among equal times.
+    EXPECT_LE(fires[k - 1].first, fires[k].first);
+    if (fires[k - 1].first == fires[k].first) {
+      EXPECT_LT(fires[k - 1].second, fires[k].second);
+    }
+  }
+}
+
+TEST(EventQueue, RunAllAtDispatchesBatchAndHonoursMidBatchCancel) {
+  EventQueue q;
+  const SimTime t = SimTime::from_ns(50);
+  std::vector<int> order;
+  EventId victim = 0;
+  q.schedule(t, [&](SimTime) {
+    order.push_back(0);
+    EXPECT_TRUE(q.cancel(victim));       // batch-mate cancelled mid-batch
+    q.schedule(t, [&](SimTime) { order.push_back(2); });  // same-time add
+  });
+  victim = q.schedule(t, [&](SimTime) { order.push_back(1); });
+  q.schedule(t + SimTime::from_ns(1), [&](SimTime) { order.push_back(9); });
+  EXPECT_EQ(q.run_all_at(t), 2u);  // first event + the one it scheduled
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(q.next_time(), t + SimTime::from_ns(1));
+  q.drain();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 9}));
 }
 
 TEST(Stats, CounterAndAccumulator) {
