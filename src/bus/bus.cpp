@@ -1,10 +1,20 @@
 #include "bus/bus.hpp"
 
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 
 namespace rtr::bus {
 
 using sim::SimTime;
+
+namespace {
+
+/// Watchdog interval before the arbiter abandons a transaction whose slave
+/// never responds. Poison pattern fills the data phase of a faulted read.
+constexpr int kBusTimeoutCycles = 64;
+constexpr std::uint64_t kBusPoison = 0xDEADDEADDEADDEADull;
+
+}  // namespace
 
 SlaveResult Slave::burst_read(Addr addr, std::span<std::uint64_t> out,
                               SimTime start, bool increment) {
@@ -121,6 +131,19 @@ void Bus::trace_txn(const char* op, Addr addr, SimTime started, SimTime done) {
 SlaveResult Bus::read(Addr addr, int bytes, SimTime start) {
   check_beat(addr, bytes);
   const SimTime data_start = begin_transaction(start, /*burst=*/false);
+  if (fault::FaultInjector* fi = sim_->faults()) {
+    const fault::BusFault f = fi->bus_fault(data_start);
+    if (f != fault::BusFault::kNone) {
+      // Slave error: immediate nack, poisoned data phase. Timeout: the
+      // slave never responds and the watchdog reclaims the bus.
+      const int wait =
+          f == fault::BusFault::kTimeout ? kBusTimeoutCycles : 1;
+      const SimTime done =
+          end_transaction(data_start + clock_->cycles(wait), start);
+      if (sim_->tracer().enabled()) trace_txn("rd_fault", addr, start, done);
+      return SlaveResult{kBusPoison, done};
+    }
+  }
   Slave& s = slave_at(addr, static_cast<std::uint64_t>(bytes));
   const SlaveResult r = s.read(addr, bytes, data_start);
   beats_->add();
@@ -139,6 +162,19 @@ SlaveResult Bus::read(Addr addr, int bytes, SimTime start) {
 SimTime Bus::write(Addr addr, std::uint64_t data, int bytes, SimTime start) {
   check_beat(addr, bytes);
   const SimTime data_start = begin_transaction(start, /*burst=*/false);
+  if (fault::FaultInjector* fi = sim_->faults()) {
+    const fault::BusFault f = fi->bus_fault(data_start);
+    if (f != fault::BusFault::kNone) {
+      // The beat never reaches the slave; the write is silently lost
+      // (detected downstream by the ICAP framing/CRC gates).
+      const int wait =
+          f == fault::BusFault::kTimeout ? kBusTimeoutCycles : 1;
+      const SimTime done =
+          end_transaction(data_start + clock_->cycles(wait), start);
+      if (sim_->tracer().enabled()) trace_txn("wr_fault", addr, start, done);
+      return done;
+    }
+  }
   Slave& s = slave_at(addr, static_cast<std::uint64_t>(bytes));
   const SimTime slave_done = s.write(addr, data, bytes, data_start);
   beats_->add();

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 
 namespace rtr::dma {
@@ -47,7 +48,11 @@ SimTime DmaEngine::run_chain(std::span<const DmaDescriptor> chain,
       const bus::Addr dst = d.dst + (d.dst_increment ? moved : 0);
       const SimTime burst_start = t;
       const auto r = plb_->burst_read(src, buf, t, d.src_increment);
-      t = plb_->burst_write(dst, buf, r.done, d.dst_increment);
+      if (fault::FaultInjector* fi = sim_->faults()) {
+        fi->filter_beats(buf, r.done);
+      }
+      t = buf.empty() ? r.done
+                      : plb_->burst_write(dst, buf, r.done, d.dst_increment);
       moved += chunk_bytes;
       if (tracing) {
         tr.complete(trace_track_, "burst", burst_start, t, "bytes",

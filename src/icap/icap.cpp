@@ -1,6 +1,7 @@
 #include "icap/icap.hpp"
 
 #include "bitstream/partial_config.hpp"
+#include "fault/fault.hpp"
 #include "sim/check.hpp"
 
 namespace rtr::icap {
@@ -189,7 +190,11 @@ bus::SlaveResult IcapController::read(bus::Addr addr, int bytes,
   } else if (off < kDataRegEnd) {
     // Readback: each data-register read pops one FDRO word (4 ICAP cycles
     // on the byte-wide datapath, like writes).
-    return {readback_word(), clock_->after_cycles(start, 5)};
+    std::uint32_t w = readback_word();
+    if (fault::FaultInjector* fi = sim_->faults()) {
+      w = fi->filter_readback_word(w, start);
+    }
+    return {w, clock_->after_cycles(start, 5)};
   }
   return {v, clock_->after_cycles(start, 2)};
 }
@@ -203,7 +208,11 @@ SimTime IcapController::write(bus::Addr addr, std::uint64_t data, int bytes,
     const bool buf_was_empty = frame_buf_.empty();
     const std::int64_t frames_before = frames_written_;
     const std::uint32_t far_packed = far_.pack();
-    feed_word(static_cast<std::uint32_t>(data));
+    std::uint32_t w = static_cast<std::uint32_t>(data);
+    if (fault::FaultInjector* fi = sim_->faults()) {
+      w = fi->filter_icap_word(w, start);
+    }
+    feed_word(w);
     // Byte-wide ICAP datapath: 4 ICAP cycles per word, plus one cycle of
     // peripheral overhead.
     const SimTime done = clock_->after_cycles(start, 5);

@@ -1,5 +1,5 @@
 // ModuleManager: on-demand module residency with *safe differential
-// reconfiguration*.
+// reconfiguration* and fault recovery.
 //
 // The paper (section 2.2) rules differential configurations out because
 // "the dynamic area is used for multiple configurations in an order that is
@@ -11,6 +11,14 @@
 // a validation failure it falls back to the always-safe complete
 // configuration. Fast in the common case, never less safe than the
 // BitLinker flow.
+//
+// Recovery (see docs/FAULTS.md for the full state machine): every failed
+// load is retried with bounded exponential backoff; a differential load
+// that keeps failing degrades the manager to complete-only; an optional
+// readback-verify after each successful load scrubs the dynamic area (a
+// complete reload against the golden linker output) when the verification
+// hash disagrees. All detection/retry/fallback events emit instants on the
+// "RTR.manager" trace track and bump rtr.recovery.* counters.
 #pragma once
 
 #include <cstdint>
@@ -20,17 +28,48 @@
 #include "fabric/config_memory.hpp"
 #include "hw/library.hpp"
 #include "rtr/platform.hpp"
+#include "rtr/readback.hpp"
 
 namespace rtr {
+
+/// Knobs of the manager's fault-recovery state machine. The defaults keep
+/// the pre-recovery behaviour (one attempt, no verification) except that a
+/// failed load is retried -- callers that must observe a single failed
+/// attempt set max_attempts = 1.
+struct RecoveryPolicy {
+  /// Load attempts per ensure() before giving up (>= 1).
+  int max_attempts = 3;
+  /// CPU cycles of backoff before retry `k` (scaled by 2^k): the driver
+  /// polls status, resets the ICAP and waits out transient upsets.
+  int backoff_cycles = 64;
+  /// Consecutive differential-load failures before the manager degrades to
+  /// complete configurations only (0 disables degradation).
+  int diff_failures_before_degrade = 2;
+  /// Readback-verify the dynamic area after every successful load; on a
+  /// hash mismatch, scrub (complete golden reload) and verify again.
+  bool verify_after_load = false;
+  /// Scrub attempts before a verification failure becomes a giveup.
+  int max_scrubs = 2;
+  /// Recover through the DMA load path when the platform has one
+  /// (Platform64::load_module_dma); ignored elsewhere.
+  bool use_dma = false;
+};
 
 struct EnsureStats {
   bool ok = false;
   bool already_resident = false;  // no reconfiguration needed
   bool used_differential = false; // loaded the small differential config
   bool fell_back = false;         // differential failed, complete retried
+  bool degraded = false;          // this call tripped diff -> complete-only
+  bool verified = false;          // post-load readback verification passed
+  bool detected = false;          // some failure was detected during ensure
   std::string error;
   sim::SimTime time;              // total simulated time spent
+  sim::SimTime detected_at;       // absolute time of the first detection
   std::int64_t stream_words = 0;  // words pushed through the HWICAP
+  int attempts = 0;               // complete-path load attempts
+  int retries = 0;                // backoff retries taken
+  int scrubs = 0;                 // verify-failure scrub reloads
 };
 
 /// Works with any platform exposing linker()/kernel()/fabric_state()/
@@ -40,11 +79,17 @@ class ModuleManager {
  public:
   explicit ModuleManager(Platform& p, bool enable_differential = true)
       : p_(&p), differential_(enable_differential) {}
+  ModuleManager(Platform& p, RecoveryPolicy policy,
+                bool enable_differential = true)
+      : p_(&p), policy_(policy), differential_(enable_differential) {}
+
+  [[nodiscard]] RecoveryPolicy& policy() { return policy_; }
 
   /// Make `id` the resident module (no-op when it already is). The whole
   /// swap is traced as one span on the "RTR.manager" track (load →
   /// reconfigure → activate; the inner reconfiguration span comes from the
-  /// platform), with instants marking residency hits and fallbacks.
+  /// platform), with instants marking residency hits, retries, fallbacks
+  /// and scrubs.
   EnsureStats ensure(hw::BehaviorId id, int dock_width) {
     trace::Tracer& tr = p_->sim().tracer();
     int track = -1;
@@ -63,6 +108,18 @@ class ModuleManager {
     return res;
   }
 
+  [[nodiscard]] int resident() const { return resident_; }
+  /// True once repeated differential failures locked the manager onto the
+  /// always-safe complete path.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Drop the manager's state assumption (e.g. after an external event
+  /// touched the fabric); the next ensure() uses the complete path.
+  void invalidate() {
+    have_snapshot_ = false;
+    resident_ = -1;
+  }
+
  private:
   EnsureStats ensure_impl(hw::BehaviorId id, int dock_width) {
     EnsureStats res;
@@ -75,7 +132,7 @@ class ModuleManager {
       return res;
     }
 
-    if (differential_ && have_snapshot_) {
+    if (differential_ && have_snapshot_ && !degraded_) {
       // Target state: the current (assumed) fabric with the complete
       // configuration applied -- then ship only the difference.
       const auto comp = hw::component_for(id, dock_width);
@@ -95,52 +152,127 @@ class ModuleManager {
       const ReconfigStats s = p_->load_config(diff);
       res.stream_words += s.stream_words;
       if (s.ok) {
-        res.ok = true;
+        diff_failures_ = 0;
         res.used_differential = true;
-        finish(id, res, t0);
-        return res;
+        return finish_load(id, res, t0);
       }
       // Stale assumption (or corruption): the validation gate refused to
       // bind. Fall back to the complete configuration.
+      detect(res);
       res.fell_back = true;
+      counter("rtr.recovery.fallbacks").add();
+      mark("fallback:complete");
+      if (policy_.diff_failures_before_degrade > 0 &&
+          ++diff_failures_ >= policy_.diff_failures_before_degrade) {
+        degraded_ = true;
+        res.degraded = true;
+        counter("rtr.recovery.degraded").add();
+        mark("degrade:complete-only");
+      }
     }
 
-    const ReconfigStats s = p_->load_module(id);
-    res.stream_words += s.stream_words;
-    res.ok = s.ok;
-    res.error = s.error;
-    if (s.ok) {
-      finish(id, res, t0);
-    } else {
-      resident_ = -1;
-      have_snapshot_ = false;
-      res.time = p_->kernel().now() - t0;
+    // Complete path: bounded retry with exponential backoff.
+    for (int attempt = 0;; ++attempt) {
+      ++res.attempts;
+      const ReconfigStats s = load_complete(id);
+      res.stream_words += s.stream_words;
+      if (s.ok) {
+        res.error.clear();
+        return finish_load(id, res, t0);
+      }
+      res.error = s.error;
+      detect(res);
+      if (attempt + 1 >= policy_.max_attempts) {
+        counter("rtr.recovery.giveups").add();
+        mark("giveup");
+        resident_ = -1;
+        have_snapshot_ = false;
+        res.time = p_->kernel().now() - t0;
+        return res;
+      }
+      ++res.retries;
+      counter("rtr.recovery.retries").add();
+      mark("retry");
+      p_->kernel().op(static_cast<std::int64_t>(policy_.backoff_cycles)
+                      << attempt);
     }
-    return res;
   }
 
- public:
-  [[nodiscard]] int resident() const { return resident_; }
-
-  /// Drop the manager's state assumption (e.g. after an external event
-  /// touched the fabric); the next ensure() uses the complete path.
-  void invalidate() {
-    have_snapshot_ = false;
-    resident_ = -1;
-  }
-
- private:
-  void finish(int id, EnsureStats& res, sim::SimTime t0) {
+  /// A load bound a module. Optionally readback-verify the dynamic area,
+  /// scrubbing (complete golden reload) on mismatch, then snapshot.
+  EnsureStats finish_load(hw::BehaviorId id, EnsureStats& res,
+                          sim::SimTime t0) {
+    res.ok = true;
+    if (policy_.verify_after_load) {
+      ReadbackStats rb =
+          readback_verify(p_->kernel(), Platform::kIcapRange.base,
+                          p_->region());
+      while (!rb.ok && res.scrubs < policy_.max_scrubs) {
+        detect(res);
+        ++res.scrubs;
+        counter("rtr.recovery.scrubs").add();
+        mark("scrub");
+        const ReconfigStats s = load_complete(id);
+        res.stream_words += s.stream_words;
+        if (!s.ok) continue;  // the scrub load itself failed; costs a scrub
+        rb = readback_verify(p_->kernel(), Platform::kIcapRange.base,
+                             p_->region());
+      }
+      if (!rb.ok) {
+        detect(res);
+        res.ok = false;
+        res.error = "readback verification failed after scrubbing";
+        counter("rtr.recovery.giveups").add();
+        mark("giveup");
+        resident_ = -1;
+        have_snapshot_ = false;
+        res.time = p_->kernel().now() - t0;
+        return res;
+      }
+      res.verified = true;
+    }
     resident_ = id;
     snapshot_ = p_->fabric_state().snapshot();
     have_snapshot_ = true;
     res.time = p_->kernel().now() - t0;
+    return res;
+  }
+
+  /// The complete-configuration load, routed through DMA when asked for
+  /// and the platform has it.
+  ReconfigStats load_complete(hw::BehaviorId id) {
+    if constexpr (requires(Platform& p) { p.load_module_dma(id); }) {
+      if (policy_.use_dma) return p_->load_module_dma(id);
+    }
+    return p_->load_module(id);
+  }
+
+  sim::Counter& counter(const char* name) {
+    return p_->sim().stats().counter(name);
+  }
+
+  void mark(const char* what) {
+    trace::Tracer& tr = p_->sim().tracer();
+    if (tr.enabled()) {
+      tr.instant(tr.track("RTR.manager"), what, p_->kernel().now());
+    }
+  }
+
+  void detect(EnsureStats& res) {
+    if (!res.detected) {
+      res.detected = true;
+      res.detected_at = p_->kernel().now();
+    }
+    counter("rtr.recovery.detections").add();
   }
 
   Platform* p_;
+  RecoveryPolicy policy_;
   bool differential_;
   int resident_ = -1;
   bool have_snapshot_ = false;
+  bool degraded_ = false;
+  int diff_failures_ = 0;
   std::vector<std::uint32_t> snapshot_;
 };
 

@@ -12,6 +12,26 @@ using bus::Addr;
 using sim::Frequency;
 using sim::SimTime;
 
+namespace {
+
+/// Build the platform's fault injector from its options: the explicit plan
+/// plus the deprecated corrupt_config_word alias. Null when nothing is
+/// scheduled, so the components' injection points stay on their fast path.
+std::unique_ptr<fault::FaultInjector> arm_faults(const PlatformOptions& opts,
+                                                 sim::Simulation& sim) {
+  fault::FaultPlan plan = opts.fault_plan;
+  if (opts.corrupt_config_word >= 0) {
+    plan.add(fault::FaultSpec::legacy_storage(opts.corrupt_config_word));
+  }
+  if (plan.empty()) return nullptr;
+  auto fi = std::make_unique<fault::FaultInjector>(std::move(plan));
+  fi->bind(sim);
+  sim.attach_faults(*fi);
+  return fi;
+}
+
+}  // namespace
+
 namespace detail {
 
 void icap_load_loop(cpu::Kernel& k, Addr staging, std::int64_t words,
@@ -69,11 +89,10 @@ void stream_and_bind(std::vector<std::uint32_t> words, bus::Bus& mem_bus,
                      const fabric::DynamicRegion& region,
                      const hw::BehaviorRegistry& registry, Dock& dock,
                      std::unique_ptr<hw::HwModule>& slot,
-                     std::int64_t corrupt_word, ReconfigStats& stats) {
+                     ReconfigStats& stats) {
   stats.stream_words = static_cast<std::int64_t>(words.size());
-  if (corrupt_word >= 0 &&
-      corrupt_word < static_cast<std::int64_t>(words.size())) {
-    words[static_cast<std::size_t>(corrupt_word)] ^= 0x0100;  // fault injection
+  if (fault::FaultInjector* fi = mem_bus.simulation().faults()) {
+    fi->corrupt_staged(words, kernel.now());
   }
 
   // Configurations are prepared offline and already resident in external
@@ -121,8 +140,7 @@ ReconfigStats do_load(hw::BehaviorId id, int dock_width,
                       const fabric::ConfigMemory& fabric_state,
                       const fabric::DynamicRegion& region,
                       const hw::BehaviorRegistry& registry, Dock& dock,
-                      std::unique_ptr<hw::HwModule>& slot,
-                      std::int64_t corrupt_word) {
+                      std::unique_ptr<hw::HwModule>& slot) {
   ReconfigStats stats;
   stats.started = kernel.now();
 
@@ -136,7 +154,7 @@ ReconfigStats do_load(hw::BehaviorId id, int dock_width,
   stats.config_bytes = linked.stats.payload_bytes;
   stream_and_bind(bitstream::serialize(*linked.config), mem_bus, staging,
                   icap_data, icap_control, icap_status, kernel, fabric_state,
-                  region, registry, dock, slot, corrupt_word, stats);
+                  region, registry, dock, slot, stats);
   account_reconfig(mem_bus.simulation(), /*differential=*/false, stats);
   return stats;
 }
@@ -150,14 +168,13 @@ ReconfigStats do_load_config(const bitstream::PartialConfig& cfg,
                              const fabric::ConfigMemory& fabric_state,
                              const fabric::DynamicRegion& region,
                              const hw::BehaviorRegistry& registry, Dock& dock,
-                             std::unique_ptr<hw::HwModule>& slot,
-                             std::int64_t corrupt_word) {
+                             std::unique_ptr<hw::HwModule>& slot) {
   ReconfigStats stats;
   stats.started = kernel.now();
   stats.config_bytes = cfg.payload_bytes();
   stream_and_bind(bitstream::serialize(cfg), mem_bus, staging, icap_data,
                   icap_control, icap_status, kernel, fabric_state, region,
-                  registry, dock, slot, corrupt_word, stats);
+                  registry, dock, slot, stats);
   account_reconfig(mem_bus.simulation(),
                    /*differential=*/!cfg.is_complete_for(region), stats);
   return stats;
@@ -169,6 +186,7 @@ ReconfigStats do_load_config(const bitstream::PartialConfig& cfg,
 
 Platform32::Platform32(PlatformOptions opts)
     : opts_(opts),
+      faults_(arm_faults(opts_, sim_)),
       cpu_clk_(sim_.add_clock("cpu", Frequency::from_mhz(200))),
       bus_clk_(sim_.add_clock("bus", Frequency::from_mhz(50))),
       plb_(sim_, bus_clk_),
@@ -213,7 +231,7 @@ ReconfigStats Platform32::load_module(hw::BehaviorId id) {
                          kIcapRange.base + icap::IcapController::kControlReg,
                          kIcapRange.base + icap::IcapController::kStatusReg,
                          *kernel_, fabric_, region_, registry_, *dock_,
-                         module_, opts_.corrupt_config_word);
+                         module_);
 }
 
 ReconfigStats Platform32::load_config(const bitstream::PartialConfig& cfg) {
@@ -222,7 +240,7 @@ ReconfigStats Platform32::load_config(const bitstream::PartialConfig& cfg) {
       kIcapRange.base + icap::IcapController::kDataReg,
       kIcapRange.base + icap::IcapController::kControlReg,
       kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
-      region_, registry_, *dock_, module_, opts_.corrupt_config_word);
+      region_, registry_, *dock_, module_);
 }
 
 void Platform32::unload() {
@@ -282,6 +300,7 @@ std::string Platform32::topology() const {
 
 Platform64::Platform64(PlatformOptions opts)
     : opts_(opts),
+      faults_(arm_faults(opts_, sim_)),
       cpu_clk_(sim_.add_clock("cpu", Frequency::from_mhz(300))),
       bus_clk_(sim_.add_clock("bus", Frequency::from_mhz(100))),
       plb_(sim_, bus_clk_),
@@ -331,7 +350,7 @@ ReconfigStats Platform64::load_module(hw::BehaviorId id) {
                          kIcapRange.base + icap::IcapController::kControlReg,
                          kIcapRange.base + icap::IcapController::kStatusReg,
                          *kernel_, fabric_, region_, registry_, *dock_,
-                         module_, opts_.corrupt_config_word);
+                         module_);
 }
 
 ReconfigStats Platform64::load_config(const bitstream::PartialConfig& cfg) {
@@ -340,7 +359,7 @@ ReconfigStats Platform64::load_config(const bitstream::PartialConfig& cfg) {
       kIcapRange.base + icap::IcapController::kDataReg,
       kIcapRange.base + icap::IcapController::kControlReg,
       kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
-      region_, registry_, *dock_, module_, opts_.corrupt_config_word);
+      region_, registry_, *dock_, module_);
 }
 
 ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
@@ -358,6 +377,7 @@ ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
   if (words.size() % 2 != 0) words.push_back(bitstream::kDummyWord);
   stats.stream_words = static_cast<std::int64_t>(words.size());
   stats.config_bytes = linked.stats.payload_bytes;
+  if (faults_) faults_->corrupt_staged(words, kernel_->now());
   for (std::size_t i = 0; i < words.size(); ++i) {
     plb_.poke(kConfigStaging + i * 4, words[i], 4);
   }

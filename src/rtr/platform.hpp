@@ -30,6 +30,7 @@
 #include "dock/opb_dock.hpp"
 #include "dock/plb_dock.hpp"
 #include "fabric/dynamic_region.hpp"
+#include "fault/fault.hpp"
 #include "hw/library.hpp"
 #include "icap/icap.hpp"
 #include "mem/memory_slave.hpp"
@@ -64,9 +65,13 @@ struct PlatformOptions {
   bool enable_dcache = false;
   /// Output FIFO depth of the PLB dock (64-bit system only).
   int fifo_depth = dock::PlbDock::kDefaultFifoDepth;
-  /// Fault injection for tests: when >= 0, the staged configuration's word
-  /// at this index gets a bit flipped before every load (modelling storage
-  /// corruption; the ICAP's CRC must catch it).
+  /// Scheduled faults along the reconfiguration path (storage, ICAP, DMA,
+  /// bus, readback). See fault/fault.hpp for sites, triggers and seeding.
+  fault::FaultPlan fault_plan;
+  /// Deprecated alias for fault_plan: when >= 0, equivalent to adding
+  /// FaultSpec::legacy_storage(index) -- the staged configuration's word at
+  /// this index gets bit 8 flipped before every load (storage corruption;
+  /// the ICAP's CRC must catch it). Prefer fault_plan for new code.
   std::int64_t corrupt_config_word = -1;
   /// External tracer to record against (CLI --trace-out, benches, examples).
   /// When null the simulation uses its own disabled instance; the tracer
@@ -115,6 +120,8 @@ class Platform32 {
   [[nodiscard]] const fabric::DynamicRegion& region() const { return region_; }
   [[nodiscard]] bitlinker::BitLinker& linker() { return *linker_; }
   [[nodiscard]] const fabric::ConfigMemory& fabric_state() const { return fabric_; }
+  /// The armed fault injector, or null when the options carried no plan.
+  [[nodiscard]] fault::FaultInjector* faults() { return faults_.get(); }
 
   /// Dock data register address (32-bit programmed I/O).
   [[nodiscard]] static constexpr bus::Addr dock_data() {
@@ -145,6 +152,7 @@ class Platform32 {
  private:
   PlatformOptions opts_;
   sim::Simulation sim_;
+  std::unique_ptr<fault::FaultInjector> faults_;
   sim::Clock& cpu_clk_;
   sim::Clock& bus_clk_;
   bus::PlbBus plb_;
@@ -198,6 +206,8 @@ class Platform64 {
   [[nodiscard]] const fabric::DynamicRegion& region() const { return region_; }
   [[nodiscard]] bitlinker::BitLinker& linker() { return *linker_; }
   [[nodiscard]] const fabric::ConfigMemory& fabric_state() const { return fabric_; }
+  /// See Platform32::faults.
+  [[nodiscard]] fault::FaultInjector* faults() { return faults_.get(); }
 
   [[nodiscard]] static constexpr bus::Addr dock_data() {
     return kDockRange.base + dock::PlbDock::kPioData;
@@ -231,6 +241,7 @@ class Platform64 {
  private:
   PlatformOptions opts_;
   sim::Simulation sim_;
+  std::unique_ptr<fault::FaultInjector> faults_;
   sim::Clock& cpu_clk_;
   sim::Clock& bus_clk_;
   bus::PlbBus plb_;

@@ -19,6 +19,10 @@
 #include "sim/time.hpp"
 #include "trace/tracer.hpp"
 
+namespace rtr::fault {
+class FaultInjector;
+}  // namespace rtr::fault
+
 namespace rtr::sim {
 
 /// Shared simulation services. Non-copyable; components hold a reference.
@@ -61,6 +65,12 @@ class Simulation {
     events_.set_tracer(tracer_);
   }
 
+  /// The fault injector components consult at their injection points; null
+  /// (the default) means no fault plan is armed and every site is clean.
+  /// Owned by whoever assembles the platform; must outlive the simulation.
+  [[nodiscard]] fault::FaultInjector* faults() const { return faults_; }
+  void attach_faults(fault::FaultInjector& f) { faults_ = &f; }
+
   /// Advance the simulation's notion of "latest observed time". Components
   /// report completion times here so that utilisation statistics have a
   /// horizon and so tests can assert on the global clock.
@@ -82,6 +92,7 @@ class Simulation {
   Logger logger_;
   trace::Tracer default_tracer_;
   trace::Tracer* tracer_ = &default_tracer_;
+  fault::FaultInjector* faults_ = nullptr;
   SimTime horizon_;
 };
 

@@ -202,6 +202,32 @@ TEST(Cli, SweepStdoutIsByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(r1.output, r2.output);
 }
 
+TEST(Cli, FaultsSmokeIsDeterministicAndPasses) {
+  const auto r1 = run_cli_stdout("faults --smoke --seed 1");
+  const auto r2 = run_cli_stdout("faults --smoke --seed 1");
+  EXPECT_EQ(r1.exit_code, 0) << r1.output;
+  EXPECT_EQ(r2.exit_code, 0);
+  EXPECT_EQ(r1.output, r2.output);  // identical seed: byte-identical report
+  EXPECT_NE(r1.output.find("fault matrix:"), std::string::npos);
+  EXPECT_NE(r1.output.find("all scenarios matched expectations"),
+            std::string::npos);
+  EXPECT_EQ(r1.output.find("MISMATCH"), std::string::npos) << r1.output;
+}
+
+TEST(Cli, FaultSpecFlagInjectsAndRejectsGarbage) {
+  const auto bad =
+      run_cli("reconfig --system 32 --task jenkins --fault-spec bogus");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("bad --fault-spec"), std::string::npos);
+
+  // A seeded ICAP upset makes the raw (manager-less) reconfig fail with a
+  // CRC error and a per-site injection summary.
+  const auto r = run_cli("reconfig --system 32 --task jenkins "
+                         "--fault-spec icap:once@20000:1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("faults: injected=1"), std::string::npos);
+}
+
 TEST(Cli, SweepWritesBenchJson) {
   const std::string path = "cli_sweep_bench.json";
   const auto r =

@@ -2,9 +2,13 @@
 // recovery, and the safety properties the runtime must keep under faults.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "apps/drivers.hpp"
 #include "apps/golden.hpp"
 #include "apps/memio.hpp"
+#include "fault/fault.hpp"
+#include "rtr/manager.hpp"
 #include "rtr/platform.hpp"
 #include "rtr/readback.hpp"
 
@@ -115,6 +119,173 @@ TEST(FaultInjection, ReadbackCatchesPostLoadCorruption) {
   EXPECT_TRUE(readback_verify(p.kernel(), Platform32::kIcapRange.base,
                               p.region())
                   .ok);
+}
+
+// --- seeded FaultPlan injection + ModuleManager recovery --------------------
+
+fault::FaultSpec spec_of(const char* text) {
+  fault::FaultSpec s;
+  RTR_CHECK(fault::FaultSpec::parse(text, &s), "bad spec in test");
+  return s;
+}
+
+// Full-device configuration snapshot of a clean platform after loading
+// `id`: the golden state recovery must converge to. Comparing whole-device
+// snapshots proves both halves of the recovery invariant at once -- the
+// dynamic area matches the golden linker output AND the static region was
+// never touched.
+template <typename P>
+std::vector<std::uint32_t> golden_snapshot(hw::BehaviorId id) {
+  P q;
+  RTR_CHECK(q.load_module(id).ok, "golden load failed");
+  return q.fabric_state().snapshot();
+}
+
+TEST(FaultRecovery, IcapBitFlipIsDetectedRetriedAndVerified) {
+  PlatformOptions opts;
+  opts.fault_plan.add(spec_of("icap:once@20000:1"));
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+
+  const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.detected);
+  EXPECT_GE(res.retries, 1);
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(p.faults()->injected(fault::Site::kIcap), 1);
+  EXPECT_GT(res.detected_at, SimTime::zero());
+  EXPECT_EQ(p.fabric_state().snapshot(),
+            golden_snapshot<Platform32>(hw::kBrightness));
+}
+
+TEST(FaultRecovery, BusTransactionFaultIsDetectedAndRecovered) {
+  PlatformOptions opts;
+  opts.fault_plan.add(spec_of("bus:once@60000:1"));
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+
+  const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.detected);
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(p.faults()->injected(fault::Site::kBus), 1);
+  EXPECT_EQ(p.fabric_state().snapshot(),
+            golden_snapshot<Platform32>(hw::kBrightness));
+}
+
+TEST(FaultRecovery, StorageFaultWithPinnedWordIsDetectedAndRecovered) {
+  fault::FaultSpec s = spec_of("storage:once@0:1");
+  s.word = 5000;
+  s.mask = 0x0100;
+  PlatformOptions opts;
+  opts.fault_plan.add(s);
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+
+  const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.detected);
+  EXPECT_GE(res.retries, 1);
+  EXPECT_EQ(p.faults()->injected(fault::Site::kConfigStorage), 1);
+  EXPECT_EQ(p.fabric_state().snapshot(),
+            golden_snapshot<Platform32>(hw::kBrightness));
+}
+
+TEST(FaultRecovery, ReadbackCorruptionTriggersScrubThenVerifies) {
+  // The verification hash only covers region rows, so aim the flipped FDRO
+  // word at the middle of the hashed window of a covered frame.
+  const fabric::DynamicRegion region = fabric::DynamicRegion::xc2vp7_region();
+  const auto wpf =
+      static_cast<std::uint64_t>(region.device().words_per_frame());
+  fault::FaultSpec s = spec_of("readback:once@0:1");
+  s.n = 10 * wpf + static_cast<std::uint64_t>(region.first_word()) +
+        static_cast<std::uint64_t>(region.word_count()) / 2;
+  PlatformOptions opts;
+  opts.fault_plan.add(s);
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+
+  const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.detected);
+  EXPECT_EQ(res.scrubs, 1);
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(p.faults()->injected(fault::Site::kReadback), 1);
+  EXPECT_EQ(p.fabric_state().snapshot(),
+            golden_snapshot<Platform32>(hw::kBrightness));
+}
+
+TEST(FaultRecovery, DmaBeatFaultRecoveredThroughTheDmaPath) {
+  PlatformOptions opts;
+  opts.fault_plan.add(spec_of("dma:once@1500:1"));
+  Platform64 p{opts};
+  RecoveryPolicy policy;
+  policy.verify_after_load = true;
+  policy.use_dma = true;
+  ModuleManager<Platform64> mgr{p, policy};
+
+  const EnsureStats res = mgr.ensure(hw::kJenkinsHash, 64);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.detected);
+  EXPECT_GE(res.retries, 1);
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(p.faults()->injected(fault::Site::kDma), 1);
+  // The DMA-loaded fabric must equal a clean PIO load of the same module.
+  EXPECT_EQ(p.fabric_state().snapshot(),
+            golden_snapshot<Platform64>(hw::kJenkinsHash));
+}
+
+TEST(FaultRecovery, StickyIcapFaultExhaustsRetriesThenRepairRecovers) {
+  PlatformOptions opts;
+  opts.fault_plan.add(spec_of("icap:stuck@15000:1"));
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+
+  const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.detected);
+  EXPECT_EQ(res.attempts, 3);  // default max_attempts
+  EXPECT_EQ(res.retries, 2);
+  EXPECT_EQ(p.active_module(), nullptr);
+
+  // Fix the part; the very next ensure() succeeds and verifies golden.
+  p.faults()->repair_all();
+  const EnsureStats again = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.verified);
+  EXPECT_EQ(p.fabric_state().snapshot(),
+            golden_snapshot<Platform32>(hw::kBrightness));
+}
+
+TEST(FaultRecovery, LegacyCorruptOptionIsAnAliasForTheStoragePlan) {
+  PlatformOptions legacy;
+  legacy.corrupt_config_word = 5000;
+  Platform32 a{legacy};
+  const ReconfigStats sa = a.load_module(hw::kJenkinsHash);
+
+  PlatformOptions plan;
+  plan.fault_plan.add(fault::FaultSpec::legacy_storage(5000));
+  Platform32 b{plan};
+  const ReconfigStats sb = b.load_module(hw::kJenkinsHash);
+
+  EXPECT_FALSE(sa.ok);
+  EXPECT_FALSE(sb.ok);
+  EXPECT_EQ(sa.error, sb.error);
+  EXPECT_EQ(sa.duration().ps(), sb.duration().ps());
+}
+
+TEST(FaultRecovery, SeededInjectionIsDeterministicAcrossRuns) {
+  auto run = [] {
+    PlatformOptions opts;
+    opts.fault_plan.add(spec_of("icap:rand:7"));
+    Platform32 p{opts};
+    ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+    const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+    return std::tuple{res.ok, res.retries, res.error,
+                      p.faults()->injected(fault::Site::kIcap),
+                      p.kernel().now().ps()};
+  };
+  EXPECT_EQ(run(), run());
 }
 
 TEST(FaultInjection, TraceLoggingObservesBusTraffic) {

@@ -9,7 +9,9 @@
 #include "dma/dma.hpp"
 #include "fabric/device.hpp"
 #include "fabric/dynamic_region.hpp"
+#include "fault/fault.hpp"
 #include "icap/icap.hpp"
+#include "rtr/manager.hpp"
 #include "rtr/platform.hpp"
 #include "sim/random.hpp"
 
@@ -145,6 +147,112 @@ TEST(IcapRobustness, CrcDisabledStreamStillLoads) {
   fx.icap.feed(bitstream::serialize(cfg, /*with_crc=*/false));
   EXPECT_TRUE(fx.icap.done());
   EXPECT_EQ(ConfigMemory::diff_frames(fx.cm, target), 0);
+}
+
+// --- fault-spec parsing (the CLI's --fault-spec surface) -----------------------------
+
+TEST(FaultSpecParse, AcceptsCanonicalFormsAndRoundTrips) {
+  fault::FaultSpec s;
+  ASSERT_TRUE(fault::FaultSpec::parse("icap:once@20000:7", &s));
+  EXPECT_EQ(s.site, fault::Site::kIcap);
+  EXPECT_EQ(s.kind, fault::TriggerKind::kOnce);
+  EXPECT_EQ(s.n, 20000u);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.to_string(), "icap:once@20000:7");
+
+  ASSERT_TRUE(fault::FaultSpec::parse("bus:stuck@50:1", &s));
+  EXPECT_EQ(s.site, fault::Site::kBus);
+  EXPECT_EQ(s.kind, fault::TriggerKind::kStuck);
+
+  ASSERT_TRUE(fault::FaultSpec::parse("storage:every@3:9", &s));
+  EXPECT_EQ(s.kind, fault::TriggerKind::kEvery);
+  EXPECT_EQ(s.n, 3u);
+
+  ASSERT_TRUE(fault::FaultSpec::parse("dma:rand:42", &s));
+  EXPECT_EQ(s.site, fault::Site::kDma);
+  EXPECT_EQ(s.kind, fault::TriggerKind::kRand);
+  EXPECT_EQ(s.to_string(), "dma:rand:42");
+}
+
+TEST(FaultSpecParse, RejectsMalformedSpecsUntouched) {
+  const char* bad[] = {
+      "",                    // empty
+      "icap",                // no trigger, no seed
+      "icap:once@5",         // missing seed field
+      "icap:rand",           // rand still needs a seed
+      "nowhere:once@1:1",    // unknown site
+      "ICAP:once@1:1",       // sites are case-sensitive
+      "icap:never@1:1",      // unknown trigger kind
+      "icap:once:1",         // once/every/stuck need @N
+      "icap:once@:1",        // empty opportunity index
+      "icap:once@banana:1",  // non-numeric index
+      "icap:once@-5:1",      // negative index
+      "icap:every@0:1",      // a period of zero never fires
+      "icap:once@5:",        // empty seed
+      "icap:once@5:12x",     // trailing garbage in the seed
+  };
+  for (const char* text : bad) {
+    fault::FaultSpec s;
+    s.n = 123456;  // sentinel: parse failure must leave *out untouched
+    EXPECT_FALSE(fault::FaultSpec::parse(text, &s)) << text;
+    EXPECT_EQ(s.n, 123456u) << text;
+  }
+}
+
+// --- recovery-policy edges ------------------------------------------------------------
+
+TEST(ManagerDegrade, RepeatedDiffFailuresDegradeToCompleteOnly) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};  // default: degrade after 2 failures
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+
+  // Rewrite a frame the differentials never touch, behind the manager's
+  // back: only the payload-hash gate can catch the stale assumption.
+  auto poke = [&p] {
+    std::vector<std::uint32_t> junk(
+        static_cast<std::size_t>(p.fabric_state().words_per_frame()), 0x77777);
+    bitstream::PartialConfig rogue{p.region().device()};
+    rogue.add_run({FrameAddress{ColumnType::kClb,
+                                p.region().rect().col0 + 15, 2},
+                   1, junk});
+    for (std::uint32_t word : bitstream::serialize(rogue)) {
+      p.cpu().store32(Platform32::kIcapRange.base, word);
+    }
+  };
+
+  poke();
+  const auto s1 = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s1.ok) << s1.error;
+  EXPECT_TRUE(s1.fell_back);
+  EXPECT_FALSE(s1.degraded);
+  EXPECT_FALSE(mgr.degraded());
+
+  poke();
+  const auto s2 = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(s2.ok) << s2.error;
+  EXPECT_TRUE(s2.fell_back);
+  EXPECT_TRUE(s2.degraded);  // second consecutive diff failure trips it
+  EXPECT_TRUE(mgr.degraded());
+
+  // Degraded: the next swap goes straight to the complete path without
+  // even attempting (and paying for) a differential.
+  const auto s3 = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s3.ok) << s3.error;
+  EXPECT_FALSE(s3.used_differential);
+  EXPECT_FALSE(s3.fell_back);
+}
+
+TEST(ManagerRetry, SingleAttemptPolicyObservesOneFailure) {
+  // Callers that must see a load fail exactly once opt out of retry.
+  PlatformOptions opts;
+  opts.fault_plan.add(fault::FaultSpec::legacy_storage(5000));
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.max_attempts = 1}};
+  const auto res = mgr.ensure(hw::kBrightness, 32);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.detected);
+  EXPECT_EQ(res.attempts, 1);
+  EXPECT_EQ(res.retries, 0);
 }
 
 // --- invariant deaths across the stack ---------------------------------------------------

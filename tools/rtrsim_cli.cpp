@@ -6,12 +6,21 @@
 //                        [--dma] [--cache]
 //   rtrsim_cli reconfig  --system 32|64 --task <name> [--dma]
 //   rtrsim_cli sweep     [-j N] [--smoke] [--bench-out FILE]
+//   rtrsim_cli faults    [--smoke] [--seed N]
 //
 // `sweep` runs a fixed list of Platform32/Platform64 scenarios across a
 // worker-thread pool (each simulation is single-threaded and owns all its
 // state; only independent simulations run concurrently), so stdout is
 // byte-identical for any -j. Host wall-clock goes to stderr; --bench-out
 // additionally records substrate primitive timings and sweep throughput.
+//
+// `faults` sweeps a fixed fault matrix: one seeded fault per site
+// (storage, icap, dma, bus, readback) on both platforms, recovered through
+// the ModuleManager's retry/fallback/scrub machinery, reporting detection
+// latency and recovery outcome per scenario (docs/FAULTS.md). Output is a
+// pure function of --seed, so identical invocations are byte-identical.
+// run/reconfig also accept --fault-spec <site:trigger:seed> (repeatable)
+// to arm individual faults.
 //
 // Observability (run/reconfig):
 //   --trace-out FILE      record spans and write a trace
@@ -40,10 +49,13 @@
 #include "apps/memio.hpp"
 #include "apps/sw_kernels.hpp"
 #include "fabric/config_memory.hpp"
+#include "fault/fault.hpp"
 #include "mem/sparse_memory.hpp"
 #include "report/table.hpp"
+#include "rtr/manager.hpp"
 #include "rtr/platform.hpp"
 #include "rtr/platform_dual.hpp"
+#include "rtr/readback.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
@@ -70,20 +82,26 @@ struct Args {
   std::string stats_format = "json";
   std::string log_level;  // empty: logging off
   int jobs = 0;           // sweep worker threads; 0 = hardware concurrency
-  bool smoke = false;     // sweep: small scenario subset (CI)
+  bool smoke = false;     // sweep/faults: small scenario subset (CI)
   std::string bench_out;  // sweep: substrate benchmark JSON
+  std::vector<std::string> fault_specs;  // run/reconfig: --fault-spec
+  std::uint64_t fault_seed = 1;          // faults: --seed
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rtrsim_cli <topology|resources|run|reconfig|sweep> "
+               "usage: rtrsim_cli <topology|resources|run|reconfig|sweep|"
+               "faults> "
                "[--system 32|64|dual] [--task NAME] [--bytes N] "
                "[--image WxH] [--dma] [--cache]\n"
                "       [--trace-out FILE] [--trace-format chrome|text]\n"
                "       [--stats-out FILE] [--stats-format json|csv]\n"
                "       [--log-level err|warn|info|trace]\n"
                "       [-j N|--jobs N] [--smoke] [--bench-out FILE]\n"
-               "tasks: jenkins sha1 patmatch brightness blend fade loopback\n");
+               "       [--fault-spec site:trigger:seed]... [--seed N]\n"
+               "tasks: jenkins sha1 patmatch brightness blend fade loopback\n"
+               "fault sites: storage icap dma bus readback; triggers: once@N "
+               "every@N stuck@N rand\n");
   return 2;
 }
 
@@ -162,6 +180,14 @@ bool parse(int argc, char** argv, Args& a) {
       a.jobs = static_cast<int>(n);
     } else if (opt == "--smoke") {
       a.smoke = true;
+    } else if (opt == "--fault-spec") {
+      const char* v = value();
+      if (!v) return false;
+      a.fault_specs.emplace_back(v);
+    } else if (opt == "--seed") {
+      long long n = 0;
+      if (!parse_i64(value(), &n) || n < 0) return false;
+      a.fault_seed = static_cast<std::uint64_t>(n);
     } else if (opt == "--bench-out") {
       const char* v = value();
       if (!v) return false;
@@ -222,6 +248,37 @@ int dump_observability(sim::Simulation& sim, const trace::Tracer& tracer,
     }
   }
   return 0;
+}
+
+/// Parse every --fault-spec into `plan`. False (with a stderr note) on a
+/// malformed spec.
+bool build_fault_plan(const Args& a, fault::FaultPlan* plan) {
+  for (const std::string& s : a.fault_specs) {
+    fault::FaultSpec spec;
+    if (!fault::FaultSpec::parse(s, &spec)) {
+      std::fprintf(stderr,
+                   "bad --fault-spec '%s' (want site:trigger:seed, e.g. "
+                   "icap:once@20000:1)\n",
+                   s.c_str());
+      return false;
+    }
+    plan->add(spec);
+  }
+  return true;
+}
+
+/// Deterministic one-line injection summary for run/reconfig with faults
+/// armed (simulated quantities only).
+void print_fault_summary(fault::FaultInjector* fi) {
+  if (fi == nullptr) return;
+  std::printf("faults: injected=%lld (storage=%lld icap=%lld dma=%lld "
+              "bus=%lld readback=%lld)\n",
+              static_cast<long long>(fi->injected_total()),
+              static_cast<long long>(fi->injected(fault::Site::kConfigStorage)),
+              static_cast<long long>(fi->injected(fault::Site::kIcap)),
+              static_cast<long long>(fi->injected(fault::Site::kDma)),
+              static_cast<long long>(fi->injected(fault::Site::kBus)),
+              static_cast<long long>(fi->injected(fault::Site::kReadback)));
 }
 
 hw::BehaviorId behavior_of(const std::string& task) {
@@ -416,9 +473,11 @@ int run_task(const Args& a) {
   PlatformOptions opts;
   opts.enable_dcache = a.cache;
   opts.tracer = &tracer;
+  if (!build_fault_plan(a, &opts.fault_plan)) return 2;
   Platform p{opts};
   apply_log_level(p.sim(), a);
   const int rc = run_task_inner(a, p);
+  if (!a.fault_specs.empty()) print_fault_summary(p.faults());
   const int dump_rc = dump_observability(p.sim(), tracer, a);
   return rc != 0 ? rc : dump_rc;
 }
@@ -677,6 +736,159 @@ int sweep(const Args& a) {
   return all_ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// faults: deterministic fault matrix with recovery reporting.
+// ---------------------------------------------------------------------------
+
+struct FaultScenario {
+  const char* name;
+  int system;                // 32 or 64
+  const char* task;          // module the manager ensures
+  const char* site_trigger;  // "site:trigger"; ":<seed>" appended at runtime
+  std::int64_t word;         // storage only: pinned staged word (-1 = seeded)
+  bool dma;                  // recover through DMA loads (Platform64)
+  bool verify;               // RecoveryPolicy::verify_after_load
+  const char* second_task;   // non-empty: second (differential-path) ensure
+  const char* expect;        // clean | tolerated | recovered | failed
+};
+
+// One seeded fault per site on both platforms. Trigger indexes are placed
+// inside the first faulted operation's opportunity stream (a complete
+// Platform32 load streams ~33k ICAP words and ~130k bus beats; a DMA load
+// moves ~16k beats; a region readback pops tens of thousands of FDRO
+// words). The sticky ICAP scenario is expected to exhaust retries and
+// fail; the diff scenario faults the differential load and must fall back
+// to the complete configuration.
+constexpr FaultScenario kFaultScenarios[] = {
+    {"p32-storage", 32, "brightness", "storage:once@0", 5000, false, true, "",
+     "recovered"},
+    {"p32-icap", 32, "brightness", "icap:once@20000", -1, false, true, "",
+     "recovered"},
+    {"p32-bus", 32, "brightness", "bus:once@60000", -1, false, true, "",
+     "recovered"},
+    {"p32-readback", 32, "brightness", "readback:once@0", -1, false, true,
+     "", "recovered"},
+    {"p32-icap-sticky", 32, "brightness", "icap:stuck@15000", -1, false, true,
+     "", "failed"},
+    {"p32-diff-fallback", 32, "brightness", "icap:once@33500", -1, false,
+     false, "fade", "recovered"},
+    {"p64-icap", 64, "jenkins", "icap:once@20000", -1, false, true, "",
+     "recovered"},
+    {"p64-dma", 64, "jenkins", "dma:once@1500", -1, true, true, "",
+     "recovered"},
+    {"p64-bus", 64, "jenkins", "bus:once@60000", -1, false, true, "",
+     "recovered"},
+    {"p64-readback", 64, "jenkins", "readback:once@0", -1, false, true, "",
+     "recovered"},
+};
+
+/// CI subset: every injection site once across both platforms.
+constexpr std::size_t kFaultSmokeIndices[] = {0, 1, 2, 7, 9};
+
+/// Run one fault scenario: arm the spec, drive the manager, classify the
+/// end state. Everything printed is simulated, so output is a pure
+/// function of (scenario, seed).
+template <typename Platform>
+std::string fault_one(const FaultScenario& sc, std::uint64_t seed, bool* ok) {
+  fault::FaultSpec spec;
+  RTR_CHECK(fault::FaultSpec::parse(
+                std::string(sc.site_trigger) + ":" + std::to_string(seed),
+                &spec),
+            "bad built-in fault spec");
+  if (sc.word >= 0) {
+    spec.word = sc.word;
+    spec.mask = 0x0100;
+  }
+  if (spec.site == fault::Site::kReadback) {
+    // The verifier only hashes the region's row window of each frame; aim
+    // the fault at the middle of that window in the 10th covered frame so
+    // the flip is always observable.
+    const fabric::DynamicRegion region =
+        std::is_same_v<Platform, Platform64>
+            ? fabric::DynamicRegion::xc2vp30_region()
+            : fabric::DynamicRegion::xc2vp7_region();
+    spec.n = 10u * static_cast<std::uint64_t>(
+                       region.device().words_per_frame()) +
+             static_cast<std::uint64_t>(region.first_word()) +
+             static_cast<std::uint64_t>(region.word_count()) / 2;
+  }
+  const std::string text = spec.to_string();
+  PlatformOptions opts;
+  opts.fault_plan.add(spec);
+  Platform p{opts};
+  RecoveryPolicy pol;
+  pol.verify_after_load = sc.verify;
+  pol.use_dma = sc.dma;
+  ModuleManager<Platform> mgr{p, pol};
+  const int w = std::is_same_v<Platform, Platform64> ? 64 : 32;
+
+  EnsureStats res = mgr.ensure(behavior_of(sc.task), w);
+  if (sc.second_task[0] != '\0') {
+    res = mgr.ensure(behavior_of(sc.second_task), w);
+  }
+
+  fault::FaultInjector* fi = p.faults();
+  // The scenario is over: disarm everything so the final golden check
+  // observes the fabric, not the fault model.
+  fi->repair_all();
+  const int target =
+      behavior_of(sc.second_task[0] != '\0' ? sc.second_task : sc.task);
+  const bool golden =
+      res.ok && p.region().scan_signature(p.fabric_state()) == target &&
+      readback_verify(p.kernel(), Platform::kIcapRange.base, p.region()).ok;
+
+  const char* outcome = "failed";
+  if (fi->injected_total() == 0) {
+    outcome = "clean";
+  } else if (!res.detected) {
+    if (golden) outcome = "tolerated";
+  } else if (golden) {
+    outcome = "recovered";
+  }
+  *ok = std::string(outcome) == sc.expect;
+
+  const std::string latency =
+      res.detected && fi->injected_total() > 0
+          ? (res.detected_at - fi->first_injection()).to_string()
+          : "-";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%-18s spec=%-22s inj=%-2lld det=%s lat=%-10s att=%d ret=%d "
+                "scr=%d fb=%s outcome=%-9s expect=%-9s %s",
+                sc.name, text.c_str(),
+                static_cast<long long>(fi->injected_total()),
+                res.detected ? "y" : "n", latency.c_str(), res.attempts,
+                res.retries, res.scrubs, res.fell_back ? "y" : "n", outcome,
+                sc.expect, *ok ? "ok" : "MISMATCH");
+  return buf;
+}
+
+int faults_cmd(const Args& a) {
+  std::vector<std::size_t> idx;
+  if (a.smoke) {
+    idx.assign(std::begin(kFaultSmokeIndices), std::end(kFaultSmokeIndices));
+  } else {
+    for (std::size_t i = 0; i < std::size(kFaultScenarios); ++i) {
+      idx.push_back(i);
+    }
+  }
+  std::printf("fault matrix: %zu scenarios, seed=%llu\n", idx.size(),
+              static_cast<unsigned long long>(a.fault_seed));
+  bool all_ok = true;
+  for (const std::size_t i : idx) {
+    const FaultScenario& sc = kFaultScenarios[i];
+    bool ok = false;
+    const std::string line = sc.system == 32
+                                 ? fault_one<Platform32>(sc, a.fault_seed, &ok)
+                                 : fault_one<Platform64>(sc, a.fault_seed, &ok);
+    std::printf("%s\n", line.c_str());
+    all_ok = all_ok && ok;
+  }
+  std::printf("%s\n", all_ok ? "all scenarios matched expectations"
+                             : "EXPECTATION MISMATCH");
+  return all_ok ? 0 : 1;
+}
+
 template <typename Platform>
 int resources() {
   Platform p;
@@ -714,6 +926,7 @@ int main(int argc, char** argv) {
     tracer.enable(!a.trace_out.empty());
     PlatformOptions opts;
     opts.tracer = &tracer;
+    if (!build_fault_plan(a, &opts.fault_plan)) return 2;
     if (a.system == 32) {
       Platform32 p{opts};
       apply_log_level(p.sim(), a);
@@ -721,6 +934,7 @@ int main(int argc, char** argv) {
       std::printf("%s: %s (%lld words)\n", a.task.c_str(),
                   s.ok ? s.duration().to_string().c_str() : s.error.c_str(),
                   static_cast<long long>(s.stream_words));
+      if (!a.fault_specs.empty()) print_fault_summary(p.faults());
       const int dump_rc = dump_observability(p.sim(), tracer, a);
       return s.ok ? dump_rc : 1;
     }
@@ -732,6 +946,7 @@ int main(int argc, char** argv) {
                 a.dma ? " [dma]" : "",
                 s.ok ? s.duration().to_string().c_str() : s.error.c_str(),
                 static_cast<long long>(s.stream_words));
+    if (!a.fault_specs.empty()) print_fault_summary(p.faults());
     const int dump_rc = dump_observability(p.sim(), tracer, a);
     return s.ok ? dump_rc : 1;
   }
@@ -740,6 +955,9 @@ int main(int argc, char** argv) {
   }
   if (a.command == "sweep") {
     return sweep(a);
+  }
+  if (a.command == "faults") {
+    return faults_cmd(a);
   }
   return usage();
 }
