@@ -1,5 +1,7 @@
 #include "apps/sw_kernels.hpp"
 
+#include "hw/library.hpp"
+
 namespace rtr::apps {
 
 using bus::Addr;
@@ -243,6 +245,21 @@ void sw_fade(Kernel& k, Addr a, Addr b, Addr dst, int n, int f) {
     k.op(3);  // clamp + address update
     k.stb(dst + static_cast<Addr>(i), fade_px(pa, pb, f));
     k.branch();
+  }
+}
+
+bool has_sw_equivalent(int behavior_id) {
+  switch (behavior_id) {
+    case hw::kPatternMatcher:
+    case hw::kPatternMatcherXl:
+    case hw::kJenkinsHash:
+    case hw::kSha1:
+    case hw::kBrightness:
+    case hw::kBlendAdd:
+    case hw::kFade:
+      return true;
+    default:
+      return false;
   }
 }
 

@@ -45,4 +45,10 @@ void sw_blend(cpu::Kernel& k, bus::Addr a, bus::Addr b, bus::Addr dst, int n);
 void sw_fade(cpu::Kernel& k, bus::Addr a, bus::Addr b, bus::Addr dst, int n,
              int f);
 
+/// True when a hardware behaviour (hw::BehaviorId) has a software kernel the
+/// serving layer can degrade to. Test circuits (loopback, sink) do not; both
+/// pattern matcher variants share sw_pattern_match (the software loop has no
+/// image-capacity limit).
+bool has_sw_equivalent(int behavior_id);
+
 }  // namespace rtr::apps

@@ -1,21 +1,16 @@
 #include "fault/fault.hpp"
 
-#include <charconv>
-
 #include "sim/kernel.hpp"
+#include "sim/parse.hpp"
 
 namespace rtr::fault {
 
 namespace {
 
+using sim::parse_u64;
+
 constexpr const char* kSiteNames[kSiteCount] = {"storage", "icap", "dma",
                                                 "bus", "readback"};
-
-bool parse_u64(std::string_view s, std::uint64_t* out) {
-  if (s.empty()) return false;
-  const auto r = std::from_chars(s.data(), s.data() + s.size(), *out, 10);
-  return r.ec == std::errc{} && r.ptr == s.data() + s.size();
-}
 
 /// Per-spec RNG stream: the seed combined with the site so two specs with
 /// the same seed at different sites make independent choices.

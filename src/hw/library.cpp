@@ -53,6 +53,35 @@ Shape shape_of(BehaviorId id) {
 }
 }  // namespace
 
+const char* task_name(BehaviorId id) {
+  switch (id) {
+    case kPatternMatcher: return "patmatch";
+    case kJenkinsHash: return "jenkins";
+    case kSha1: return "sha1";
+    case kBrightness: return "brightness";
+    case kBlendAdd: return "blend";
+    case kFade: return "fade";
+    case kLoopback: return "loopback";
+    case kSink: return "sink";
+    case kPatternMatcherXl: return "patmatch-xl";
+  }
+  RTR_CHECK(false, "unknown behaviour id");
+  __builtin_unreachable();
+}
+
+bool behavior_from_task_name(std::string_view name, BehaviorId* out) {
+  constexpr BehaviorId kAll[] = {kPatternMatcher, kJenkinsHash, kSha1,
+                                 kBrightness,     kBlendAdd,    kFade,
+                                 kLoopback,       kSink,        kPatternMatcherXl};
+  for (const BehaviorId id : kAll) {
+    if (name == task_name(id)) {
+      *out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
 bitlinker::ComponentDescriptor component_for(BehaviorId id, int dock_width) {
   const Shape s = shape_of(id);
   bitlinker::ComponentDescriptor c;

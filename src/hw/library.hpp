@@ -7,6 +7,8 @@
 // 32-bit system"), which only the 64-bit system's 32x24 region can host.
 #pragma once
 
+#include <string_view>
+
 #include "bitlinker/component.hpp"
 #include "hw/module.hpp"
 
@@ -56,6 +58,14 @@ class SinkModule : public HwModule {
  private:
   std::int64_t received_ = 0;
 };
+
+/// User-facing task name for a behaviour ("jenkins", "sha1", "patmatch",
+/// ...). The vocabulary shared by the CLI's --task flag, the serve layer's
+/// workload specs and the trace/stat labels.
+const char* task_name(BehaviorId id);
+
+/// Inverse of task_name. False (untouched *out) for unknown names.
+bool behavior_from_task_name(std::string_view name, BehaviorId* out);
 
 /// Component descriptor for a task module, with the dock interface of the
 /// given `dock_width` (32 or 64). Footprints and logic use are the same for

@@ -63,6 +63,7 @@ struct EnsureStats {
   bool degraded = false;          // this call tripped diff -> complete-only
   bool verified = false;          // post-load readback verification passed
   bool detected = false;          // some failure was detected during ensure
+  bool watchdog = false;          // a load was aborted by the load deadline
   std::string error;
   sim::SimTime time;              // total simulated time spent
   sim::SimTime detected_at;       // absolute time of the first detection
@@ -120,6 +121,14 @@ class ModuleManager {
     resident_ = -1;
   }
 
+  /// Lift the diff -> complete-only degradation (e.g. after the fault that
+  /// caused it was repaired and a probe load succeeded); the next ensure()
+  /// may use the differential path again.
+  void reset_degraded() {
+    degraded_ = false;
+    diff_failures_ = 0;
+  }
+
  private:
   EnsureStats ensure_impl(hw::BehaviorId id, int dock_width) {
     EnsureStats res;
@@ -156,9 +165,16 @@ class ModuleManager {
         res.used_differential = true;
         return finish_load(id, res, t0);
       }
+      detect(res);
+      if (s.watchdog) {
+        // The load deadline expired mid-stream: no time budget remains for
+        // the complete fallback either. Give up now; the caller's watchdog
+        // owns what happens next (degrade, breaker, ...).
+        res.error = s.error;
+        return watchdog_giveup(res, t0);
+      }
       // Stale assumption (or corruption): the validation gate refused to
       // bind. Fall back to the complete configuration.
-      detect(res);
       res.fell_back = true;
       counter("rtr.recovery.fallbacks").add();
       mark("fallback:complete");
@@ -182,6 +198,7 @@ class ModuleManager {
       }
       res.error = s.error;
       detect(res);
+      if (s.watchdog) return watchdog_giveup(res, t0);
       if (attempt + 1 >= policy_.max_attempts) {
         counter("rtr.recovery.giveups").add();
         mark("giveup");
@@ -196,6 +213,21 @@ class ModuleManager {
       p_->kernel().op(static_cast<std::int64_t>(policy_.backoff_cycles)
                       << attempt);
     }
+  }
+
+  /// A watchdog-aborted load: retrying past the deadline is pointless, so
+  /// every abort is an immediate giveup (distinct counter + instant so the
+  /// trace separates deadline kills from device failures).
+  EnsureStats watchdog_giveup(EnsureStats& res, sim::SimTime t0) {
+    res.watchdog = true;
+    counter("rtr.recovery.watchdog_aborts").add();
+    mark("watchdog_abort");
+    counter("rtr.recovery.giveups").add();
+    mark("giveup");
+    resident_ = -1;
+    have_snapshot_ = false;
+    res.time = p_->kernel().now() - t0;
+    return res;
   }
 
   /// A load bound a module. Optionally readback-verify the dynamic area,

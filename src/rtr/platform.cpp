@@ -34,16 +34,20 @@ std::unique_ptr<fault::FaultInjector> arm_faults(const PlatformOptions& opts,
 
 namespace detail {
 
-void icap_load_loop(cpu::Kernel& k, Addr staging, std::int64_t words,
-                    Addr icap_data) {
+std::int64_t icap_load_loop(cpu::Kernel& k, Addr staging, std::int64_t words,
+                            Addr icap_data, sim::SimTime deadline) {
   // for (i = 0; i < n; ++i) { w = cfg[i]; HWICAP_DATA = w; }
   k.call();
   for (std::int64_t i = 0; i < words; ++i) {
+    if (deadline.ps() > 0 && k.now() >= deadline) {
+      return i;  // watchdog: abandon the stream mid-load
+    }
     const std::uint32_t w = k.lw(staging + static_cast<Addr>(i) * 4);
     k.sw(icap_data, w);
     k.op(2);  // index increment + compare
     k.branch();
   }
+  return words;
 }
 
 bool region_validates(const fabric::ConfigMemory& cm,
@@ -67,6 +71,7 @@ void account_reconfig(sim::Simulation& sim, bool differential,
       .counter(differential ? "reconfig.differential_bytes"
                             : "reconfig.complete_bytes")
       .add(stats.config_bytes);
+  if (stats.watchdog) sim.stats().counter("reconfig.watchdog_aborts").add();
   trace::Tracer& tr = sim.tracer();
   if (tr.enabled()) {
     const int track = tr.track("RTR");
@@ -74,7 +79,11 @@ void account_reconfig(sim::Simulation& sim, bool differential,
                 differential ? "reconfig:differential" : "reconfig:complete",
                 stats.started, stats.finished, "stream_words",
                 stats.stream_words);
-    if (!stats.ok) tr.instant(track, "reconfig:failed", stats.finished);
+    if (stats.watchdog) {
+      tr.instant(track, "reconfig:watchdog_abort", stats.finished);
+    } else if (!stats.ok) {
+      tr.instant(track, "reconfig:failed", stats.finished);
+    }
   }
 }
 
@@ -89,7 +98,7 @@ void stream_and_bind(std::vector<std::uint32_t> words, bus::Bus& mem_bus,
                      const fabric::DynamicRegion& region,
                      const hw::BehaviorRegistry& registry, Dock& dock,
                      std::unique_ptr<hw::HwModule>& slot,
-                     ReconfigStats& stats) {
+                     ReconfigStats& stats, sim::SimTime deadline) {
   stats.stream_words = static_cast<std::int64_t>(words.size());
   if (fault::FaultInjector* fi = mem_bus.simulation().faults()) {
     fi->corrupt_staged(words, kernel.now());
@@ -107,7 +116,18 @@ void stream_and_bind(std::vector<std::uint32_t> words, bus::Bus& mem_bus,
 
   cpu::Ppc405& cpu = kernel.cpu();
   cpu.store32(icap_control, 1);  // reset the ICAP state machine
-  icap_load_loop(kernel, staging, stats.stream_words, icap_data);
+  const std::int64_t streamed =
+      icap_load_loop(kernel, staging, stats.stream_words, icap_data, deadline);
+  if (streamed < stats.stream_words) {
+    // Watchdog abort: the partial stream never reaches the done state; the
+    // next load's ICAP reset discards it.
+    stats.finished = kernel.now();
+    stats.watchdog = true;
+    stats.error = "watchdog: load deadline expired after " +
+                  std::to_string(streamed) + "/" +
+                  std::to_string(stats.stream_words) + " words";
+    return;
+  }
   const std::uint32_t status = cpu.load32(icap_status);
   stats.finished = kernel.now();
 
@@ -140,7 +160,8 @@ ReconfigStats do_load(hw::BehaviorId id, int dock_width,
                       const fabric::ConfigMemory& fabric_state,
                       const fabric::DynamicRegion& region,
                       const hw::BehaviorRegistry& registry, Dock& dock,
-                      std::unique_ptr<hw::HwModule>& slot) {
+                      std::unique_ptr<hw::HwModule>& slot,
+                      sim::SimTime deadline) {
   ReconfigStats stats;
   stats.started = kernel.now();
 
@@ -154,7 +175,7 @@ ReconfigStats do_load(hw::BehaviorId id, int dock_width,
   stats.config_bytes = linked.stats.payload_bytes;
   stream_and_bind(bitstream::serialize(*linked.config), mem_bus, staging,
                   icap_data, icap_control, icap_status, kernel, fabric_state,
-                  region, registry, dock, slot, stats);
+                  region, registry, dock, slot, stats, deadline);
   account_reconfig(mem_bus.simulation(), /*differential=*/false, stats);
   return stats;
 }
@@ -168,13 +189,14 @@ ReconfigStats do_load_config(const bitstream::PartialConfig& cfg,
                              const fabric::ConfigMemory& fabric_state,
                              const fabric::DynamicRegion& region,
                              const hw::BehaviorRegistry& registry, Dock& dock,
-                             std::unique_ptr<hw::HwModule>& slot) {
+                             std::unique_ptr<hw::HwModule>& slot,
+                             sim::SimTime deadline) {
   ReconfigStats stats;
   stats.started = kernel.now();
   stats.config_bytes = cfg.payload_bytes();
   stream_and_bind(bitstream::serialize(cfg), mem_bus, staging, icap_data,
                   icap_control, icap_status, kernel, fabric_state, region,
-                  registry, dock, slot, stats);
+                  registry, dock, slot, stats, deadline);
   account_reconfig(mem_bus.simulation(),
                    /*differential=*/!cfg.is_complete_for(region), stats);
   return stats;
@@ -231,7 +253,7 @@ ReconfigStats Platform32::load_module(hw::BehaviorId id) {
                          kIcapRange.base + icap::IcapController::kControlReg,
                          kIcapRange.base + icap::IcapController::kStatusReg,
                          *kernel_, fabric_, region_, registry_, *dock_,
-                         module_);
+                         module_, load_deadline_);
 }
 
 ReconfigStats Platform32::load_config(const bitstream::PartialConfig& cfg) {
@@ -240,7 +262,7 @@ ReconfigStats Platform32::load_config(const bitstream::PartialConfig& cfg) {
       kIcapRange.base + icap::IcapController::kDataReg,
       kIcapRange.base + icap::IcapController::kControlReg,
       kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
-      region_, registry_, *dock_, module_);
+      region_, registry_, *dock_, module_, load_deadline_);
 }
 
 void Platform32::unload() {
@@ -350,7 +372,7 @@ ReconfigStats Platform64::load_module(hw::BehaviorId id) {
                          kIcapRange.base + icap::IcapController::kControlReg,
                          kIcapRange.base + icap::IcapController::kStatusReg,
                          *kernel_, fabric_, region_, registry_, *dock_,
-                         module_);
+                         module_, load_deadline_);
 }
 
 ReconfigStats Platform64::load_config(const bitstream::PartialConfig& cfg) {
@@ -359,12 +381,19 @@ ReconfigStats Platform64::load_config(const bitstream::PartialConfig& cfg) {
       kIcapRange.base + icap::IcapController::kDataReg,
       kIcapRange.base + icap::IcapController::kControlReg,
       kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
-      region_, registry_, *dock_, module_);
+      region_, registry_, *dock_, module_, load_deadline_);
 }
 
 ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
   ReconfigStats stats;
   stats.started = kernel_->now();
+  if (load_deadline_.ps() > 0 && stats.started >= load_deadline_) {
+    stats.finished = stats.started;
+    stats.watchdog = true;
+    stats.error = "watchdog: load deadline already expired at DMA issue";
+    detail::account_reconfig(sim_, /*differential=*/false, stats);
+    return stats;
+  }
 
   const auto comp = hw::component_for(id, 64);
   const auto linked = linker_->link_single(comp);
@@ -394,6 +423,17 @@ ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
                              static_cast<std::uint64_t>(words.size()) * 4,
                              true, false};
   const sim::SimTime done = dma_->run_one(d, kernel_->now());
+  if (load_deadline_.ps() > 0 && done > load_deadline_) {
+    // The completion interrupt would arrive after the deadline: the watchdog
+    // fires instead, the CPU abandons the wait and the partial stream is
+    // discarded by the next load's ICAP reset.
+    cpu_->idle_until(load_deadline_);
+    stats.finished = kernel_->now();
+    stats.watchdog = true;
+    stats.error = "watchdog: DMA reconfiguration missed the load deadline";
+    detail::account_reconfig(sim_, /*differential=*/false, stats);
+    return stats;
+  }
   dock_->signal_done(done);
   cpu_->take_interrupt(intc_->assertion_time(kDockIrq));
   (void)cpu_->load32(kIntcRange.base + cpu::InterruptController::kStatusReg);

@@ -41,6 +41,7 @@ namespace rtr {
 /// Outcome of a timed module load.
 struct ReconfigStats {
   bool ok = false;
+  bool watchdog = false;  // aborted by the load deadline, not by the device
   std::string error;
   sim::SimTime started;
   sim::SimTime finished;
@@ -82,8 +83,13 @@ struct PlatformOptions {
 namespace detail {
 /// Timed inner loop of the reconfiguration driver: the CPU fetches each
 /// bitstream word from memory and stores it to the HWICAP data register.
-void icap_load_loop(cpu::Kernel& k, bus::Addr staging, std::int64_t words,
-                    bus::Addr icap_data);
+/// A non-zero `deadline` arms the serving layer's watchdog: the loop checks
+/// the clock between words and bails out once the deadline has passed.
+/// Returns the number of words actually streamed (== `words` when the whole
+/// bitstream went through).
+std::int64_t icap_load_loop(cpu::Kernel& k, bus::Addr staging,
+                            std::int64_t words, bus::Addr icap_data,
+                            sim::SimTime deadline = {});
 /// Signature + payload-hash validation (runs after the ICAP reports done).
 bool region_validates(const fabric::ConfigMemory& cm,
                       const fabric::DynamicRegion& region, int* behavior_id);
@@ -122,6 +128,13 @@ class Platform32 {
   [[nodiscard]] const fabric::ConfigMemory& fabric_state() const { return fabric_; }
   /// The armed fault injector, or null when the options carried no plan.
   [[nodiscard]] fault::FaultInjector* faults() { return faults_.get(); }
+
+  /// Arm (or, with SimTime::zero(), disarm) a watchdog deadline for the
+  /// following loads: a reconfiguration still streaming at `t` is aborted
+  /// with a typed watchdog error instead of running to completion. The
+  /// serving layer's defence against hung ICAP/DMA operations.
+  void set_load_deadline(sim::SimTime t) { load_deadline_ = t; }
+  [[nodiscard]] sim::SimTime load_deadline() const { return load_deadline_; }
 
   /// Dock data register address (32-bit programmed I/O).
   [[nodiscard]] static constexpr bus::Addr dock_data() {
@@ -172,6 +185,7 @@ class Platform32 {
   std::unique_ptr<cpu::Ppc405> cpu_;
   std::unique_ptr<cpu::Kernel> kernel_;
   std::unique_ptr<hw::HwModule> module_;
+  sim::SimTime load_deadline_{};
   ResetBlock reset_block_;
   JtagPpc jtag_;
 };
@@ -208,6 +222,11 @@ class Platform64 {
   [[nodiscard]] const fabric::ConfigMemory& fabric_state() const { return fabric_; }
   /// See Platform32::faults.
   [[nodiscard]] fault::FaultInjector* faults() { return faults_.get(); }
+
+  /// See Platform32::set_load_deadline. On this platform the DMA load path
+  /// honours the same deadline (checked at issue and at completion).
+  void set_load_deadline(sim::SimTime t) { load_deadline_ = t; }
+  [[nodiscard]] sim::SimTime load_deadline() const { return load_deadline_; }
 
   [[nodiscard]] static constexpr bus::Addr dock_data() {
     return kDockRange.base + dock::PlbDock::kPioData;
@@ -262,6 +281,7 @@ class Platform64 {
   std::unique_ptr<cpu::Ppc405> cpu_;
   std::unique_ptr<cpu::Kernel> kernel_;
   std::unique_ptr<hw::HwModule> module_;
+  sim::SimTime load_deadline_{};
   ResetBlock reset_block_;
   JtagPpc jtag_;
 };

@@ -1,0 +1,88 @@
+// Per-module-type circuit breaker.
+//
+// Classic three-state machine against simulated time: closed (hardware
+// allowed, counting consecutive failures) -> open after K failures (all
+// requests degrade to software without touching the hardware path) ->
+// half-open once the cooldown elapses (exactly one probe request tries the
+// hardware; success closes the breaker, failure reopens it and restarts
+// the cooldown). No wall clock anywhere: the cooldown is simulated time,
+// so breaker behaviour is deterministic per seed.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rtr::serve {
+
+enum class BreakerState : int { kClosed = 0, kOpen, kHalfOpen };
+const char* breaker_state_name(BreakerState s);
+
+struct BreakerPolicy {
+  /// Consecutive hardware failures that trip closed -> open.
+  int failures_to_open = 3;
+  /// Simulated time the breaker stays open before a half-open probe.
+  sim::SimTime cooldown = sim::SimTime::from_ms(5);
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerPolicy p) : pol_(p) {}
+
+  [[nodiscard]] BreakerState state() const { return st_; }
+  [[nodiscard]] int consecutive_failures() const { return failures_; }
+  [[nodiscard]] int opens() const { return opens_; }
+
+  /// May this request try the hardware path? In the open state, a call at
+  /// or past the cooldown transitions to half-open and admits the caller
+  /// as the probe (detect the transition by comparing state() before and
+  /// after).
+  bool allow_hw(sim::SimTime now) {
+    switch (st_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kOpen:
+        if (now >= opened_at_ + pol_.cooldown) {
+          st_ = BreakerState::kHalfOpen;
+          return true;
+        }
+        return false;
+      case BreakerState::kHalfOpen:
+        return true;  // the probe itself (single-threaded server)
+    }
+    return true;
+  }
+
+  /// Returns true when this success closed the breaker (probe succeeded).
+  bool record_success() {
+    failures_ = 0;
+    if (st_ != BreakerState::kClosed) {
+      st_ = BreakerState::kClosed;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns true when this failure opened the breaker (K-th consecutive
+  /// failure, or a failed half-open probe).
+  bool record_failure(sim::SimTime now) {
+    ++failures_;
+    const bool trip = st_ == BreakerState::kHalfOpen ||
+                      (st_ == BreakerState::kClosed &&
+                       failures_ >= pol_.failures_to_open);
+    if (trip) {
+      st_ = BreakerState::kOpen;
+      opened_at_ = now;
+      ++opens_;
+    }
+    return trip;
+  }
+
+ private:
+  BreakerPolicy pol_;
+  BreakerState st_ = BreakerState::kClosed;
+  int failures_ = 0;
+  int opens_ = 0;
+  sim::SimTime opened_at_;
+};
+
+}  // namespace rtr::serve

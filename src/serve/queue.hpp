@@ -1,0 +1,60 @@
+// Bounded priority request queue (admission control).
+//
+// Three FIFOs, one per priority; pop takes the highest non-empty priority,
+// FIFO within it, so ordering is a pure function of (priority, admission
+// order) and independent of anything host-side. A full queue rejects with
+// a typed error instead of growing -- shedding at admission is the serving
+// layer's first line of overload defence.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "serve/request.hpp"
+#include "sim/check.hpp"
+
+namespace rtr::serve {
+
+enum class AdmitError : int {
+  kNone = 0,
+  kQueueFull,    // bounded queue at capacity: shed
+  kUnservable,   // behaviour has neither hw module nor sw kernel
+};
+const char* admit_error_name(AdmitError e);
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : cap_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] std::size_t size() const {
+    return q_[0].size() + q_[1].size() + q_[2].size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Admit `r` or reject with a typed error. Never grows past capacity.
+  AdmitError admit(const Request& r) {
+    if (size() >= cap_) return AdmitError::kQueueFull;
+    q_[static_cast<std::size_t>(r.priority)].push_back(r);
+    return AdmitError::kNone;
+  }
+
+  /// Highest priority first, FIFO within a priority.
+  Request pop() {
+    for (auto& q : q_) {
+      if (!q.empty()) {
+        Request r = q.front();
+        q.pop_front();
+        return r;
+      }
+    }
+    RTR_CHECK(false, "pop from an empty request queue");
+    __builtin_unreachable();
+  }
+
+ private:
+  std::size_t cap_;
+  std::deque<Request> q_[kPriorityCount];
+};
+
+}  // namespace rtr::serve

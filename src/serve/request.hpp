@@ -1,0 +1,73 @@
+// Request/completion vocabulary of the serving layer.
+//
+// A Request is one client's ask to run a hardware task (by behaviour id)
+// with a priority and an absolute deadline; a Completion records how the
+// server disposed of it. Output integrity is tracked as an FNV-1a 64
+// digest over the result bytes: the software kernels and the hardware
+// behavioural models are both exact, so a request served on either path
+// must produce the same digest for the same seeded input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/library.hpp"
+#include "sim/time.hpp"
+
+namespace rtr::serve {
+
+enum class Priority : int { kHigh = 0, kNormal = 1, kLow = 2 };
+constexpr int kPriorityCount = 3;
+const char* priority_name(Priority p);
+
+struct Request {
+  std::int64_t id = 0;
+  int client = 0;  // closed-loop workload: which client submitted it
+  hw::BehaviorId behavior = hw::kJenkinsHash;
+  Priority priority = Priority::kNormal;
+  sim::SimTime submitted;  // absolute submission time
+  sim::SimTime deadline;   // absolute; zero = none
+};
+
+/// How the server disposed of a request.
+enum class Outcome : int {
+  kHw = 0,   // executed on the hardware path
+  kSw,       // degraded: executed on the matching software kernel
+  kShed,     // rejected at admission (queue full)
+  kExpired,  // deadline passed while queued; dropped before execution
+  kFailed,   // no path could serve it (no hw, no sw equivalent)
+};
+const char* outcome_name(Outcome o);
+
+struct Completion {
+  Request req;
+  Outcome outcome = Outcome::kFailed;
+  std::string error;
+  sim::SimTime started;
+  sim::SimTime finished;
+  std::uint64_t digest = 0;  // FNV-1a 64 over the output bytes
+  bool golden_ok = false;    // output matched the untimed golden model
+  bool deadline_met = true;
+};
+
+/// FNV-1a 64, the digest used to compare hw- and sw-path outputs.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                           std::uint64_t h = kFnvOffset) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u32(std::uint32_t v, std::uint64_t h = kFnvOffset) {
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  return fnv1a(b, 4, h);
+}
+
+}  // namespace rtr::serve

@@ -1,0 +1,112 @@
+#include "serve/breaker.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+namespace rtr::serve {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kHw: return "hw";
+    case Outcome::kSw: return "sw";
+    case Outcome::kShed: return "shed";
+    case Outcome::kExpired: return "expired";
+    case Outcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* admit_error_name(AdmitError e) {
+  switch (e) {
+    case AdmitError::kNone: return "none";
+    case AdmitError::kQueueFull: return "queue-full";
+    case AdmitError::kUnservable: return "unservable";
+  }
+  return "?";
+}
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+const std::vector<WorkloadSpec>& workloads() {
+  // Think times are deliberately short against a ~10 ms reconfiguration so
+  // queues actually build; "burst" shrinks the queue below the client
+  // population to exercise shedding. "hash" includes SHA-1, which cannot be
+  // placed on the 32-bit system's region -- on that platform its breaker
+  // opens and the task is served by the software kernel permanently.
+  static const std::vector<WorkloadSpec> kAll = {
+      {"mixed", 4, 3, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(90).ps(), 4,
+       {{hw::kJenkinsHash, 3},
+        {hw::kBrightness, 2},
+        {hw::kBlendAdd, 2},
+        {hw::kFade, 1}}},
+      {"hash", 3, 3, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(90).ps(), 4,
+       {{hw::kJenkinsHash, 1}, {hw::kSha1, 1}}},
+      {"image", 3, 3, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(120).ps(), 4,
+       {{hw::kBrightness, 2},
+        {hw::kBlendAdd, 2},
+        {hw::kFade, 1},
+        {hw::kPatternMatcher, 1}}},
+      {"burst", 8, 2, sim::SimTime::from_us(100).ps(),
+       sim::SimTime::from_ms(150).ps(), 2,
+       {{hw::kJenkinsHash, 2}, {hw::kBrightness, 1}}},
+      // Single behaviour, no deadline: every failure lands on one circuit
+      // breaker, making the open -> half-open -> close cycle observable
+      // under an injected stuck fault (the serve matrix's fault scenarios).
+      {"steady", 3, 4, sim::SimTime::from_ms(1).ps(), 0, 4,
+       {{hw::kJenkinsHash, 1}}},
+  };
+  return kAll;
+}
+
+const WorkloadSpec* workload_by_name(std::string_view name) {
+  for (const WorkloadSpec& w : workloads()) {
+    if (name == w.name) return &w;
+  }
+  return nullptr;
+}
+
+std::int64_t draw_think_ps(sim::Rng& rng, const WorkloadSpec& w) {
+  // Uniform on [0, 2x mean] without going through doubles: mean * u/1000
+  // with u uniform on [0, 2000].
+  return w.think_mean_ps / 1000 * static_cast<std::int64_t>(rng.below(2001));
+}
+
+hw::BehaviorId draw_behavior(sim::Rng& rng, const WorkloadSpec& w) {
+  int total = 0;
+  for (const TaskMix& m : w.mix) total += m.weight;
+  auto pick = static_cast<int>(rng.below(static_cast<std::uint64_t>(total)));
+  for (const TaskMix& m : w.mix) {
+    pick -= m.weight;
+    if (pick < 0) return m.behavior;
+  }
+  return w.mix.back().behavior;
+}
+
+Priority draw_priority(sim::Rng& rng) {
+  const std::uint64_t d = rng.below(10);  // 10% high, 80% normal, 10% low
+  if (d == 0) return Priority::kHigh;
+  if (d == 9) return Priority::kLow;
+  return Priority::kNormal;
+}
+
+}  // namespace rtr::serve

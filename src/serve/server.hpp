@@ -1,0 +1,360 @@
+// TaskServer: deterministic request serving on top of the module manager.
+//
+// One server drives one platform (single-threaded, like the embedded system
+// it models). Per request the server:
+//
+//   1. drops it if its deadline already passed while queued (kExpired);
+//   2. consults the behaviour's circuit breaker; if the hardware path is
+//      allowed, arms the platform's load-deadline watchdog and asks the
+//      ModuleManager to make the module resident;
+//   3. on success runs the hardware driver (kHw); on failure records the
+//      breaker failure and degrades the request to the matching software
+//      kernel (kSw), bit-identical by construction;
+//   4. records the outcome on the SERVE trace track and serve.* stats.
+//
+// The breaker is the piece the manager lacks: the manager recovers one
+// load at a time, the breaker remembers *across* requests that a module
+// type keeps failing and stops burning reconfiguration time on it until a
+// cooldown has passed. A successful half-open probe closes the breaker and
+// also lifts the manager's diff->complete degradation, restoring full
+// hardware service. See docs/SERVING.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "apps/sw_kernels.hpp"
+#include "rtr/manager.hpp"
+#include "serve/breaker.hpp"
+#include "serve/exec.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/workload.hpp"
+#include "sim/random.hpp"
+
+namespace rtr::serve {
+
+struct ServeOptions {
+  RecoveryPolicy recovery;
+  BreakerPolicy breaker;
+  /// Watchdog budget for one hardware attempt (module swap): the load
+  /// deadline is armed at now + min(budget, time to request deadline).
+  /// The default is ~2x the slowest clean reconfiguration (a complete
+  /// Platform64 PIO load is ~27 ms), so healthy loads always pass while a
+  /// stuck load's retry ladder is cut off mid-stream.
+  sim::SimTime hw_attempt_budget = sim::SimTime::from_ms(60);
+};
+
+/// Aggregate disposition counts of one serve run (mirrors the serve.*
+/// counters, collected per-run for reports and tests).
+struct ServeReport {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t shed = 0;       // queue full at admission
+  std::int64_t unservable = 0; // no hw driver and no sw kernel
+  std::int64_t expired = 0;    // deadline passed while queued
+  std::int64_t served_hw = 0;
+  std::int64_t degraded = 0;   // served by the software kernel
+  std::int64_t failed = 0;
+  std::int64_t deadline_miss = 0;    // served, but past the deadline
+  std::int64_t watchdog_aborts = 0;  // loads killed by the load deadline
+  std::int64_t breaker_opens = 0;
+  std::int64_t breaker_probes = 0;
+  std::int64_t breaker_closes = 0;
+  bool digests_ok = true;  // every served output matched its golden model
+  std::vector<Completion> completions;
+};
+
+template <typename Platform>
+class TaskServer {
+ public:
+  TaskServer(Platform& p, std::size_t queue_capacity, ServeOptions opts = {},
+             std::uint64_t seed = 1)
+      : p_(&p),
+        mgr_(p, opts.recovery),
+        opts_(opts),
+        queue_(queue_capacity),
+        seed_(seed) {}
+
+  [[nodiscard]] RequestQueue& queue() { return queue_; }
+  [[nodiscard]] ModuleManager<Platform>& manager() { return mgr_; }
+  [[nodiscard]] const ServeReport& report() const { return report_; }
+  [[nodiscard]] CircuitBreaker& breaker(hw::BehaviorId id) {
+    auto it = breakers_.find(id);
+    if (it == breakers_.end()) {
+      it = breakers_.emplace(id, CircuitBreaker{opts_.breaker}).first;
+    }
+    return it->second;
+  }
+
+  /// Admission control: typed rejection, never an unbounded queue.
+  AdmitError submit(const Request& r) {
+    ++report_.submitted;
+    counter("serve.submitted").add();
+    if (!apps::has_sw_equivalent(r.behavior)) {
+      // The serving layer requires a degradation path: a behaviour with no
+      // software kernel (test circuits, unknown ids) is refused up front
+      // rather than failed after burning reconfiguration time.
+      ++report_.unservable;
+      counter("serve.unservable").add();
+      mark("reject:unservable", r.id);
+      return AdmitError::kUnservable;
+    }
+    const AdmitError e = queue_.admit(r);
+    if (e == AdmitError::kNone) {
+      ++report_.admitted;
+      counter("serve.admitted").add();
+    } else {
+      ++report_.shed;
+      counter("serve.shed").add();
+      mark("shed", r.id);
+      report_.completions.push_back(make_completion(r, Outcome::kShed));
+    }
+    return e;
+  }
+
+  [[nodiscard]] bool pending() const { return !queue_.empty(); }
+
+  /// Pop and serve the highest-priority request. Advances simulated time.
+  Completion serve_one() {
+    const Request req = queue_.pop();
+    trace::Tracer& tr = p_->sim().tracer();
+    const int track = tr.enabled() ? tr.track("SERVE") : -1;
+    if (track >= 0) {
+      tr.begin(track,
+               std::string(hw::task_name(req.behavior)) + ":" +
+                   std::to_string(req.id),
+               now());
+    }
+    Completion c = dispatch(req);
+    c.finished = now();
+    c.deadline_met = req.deadline.ps() == 0 || c.finished <= req.deadline;
+    if (!c.deadline_met &&
+        (c.outcome == Outcome::kHw || c.outcome == Outcome::kSw)) {
+      ++report_.deadline_miss;
+      counter("serve.deadline_miss").add();
+      mark("deadline_miss", req.id);
+    }
+    if (c.outcome == Outcome::kHw || c.outcome == Outcome::kSw) {
+      p_->sim().stats().histogram("serve.latency_ps").sample(
+          (c.finished - c.req.submitted).ps());
+      if (!c.golden_ok) report_.digests_ok = false;
+    }
+    if (track >= 0) {
+      tr.instant(track, std::string("done:") + outcome_name(c.outcome), now(),
+                 "req", c.req.id);
+      tr.end(track, now());
+    }
+    report_.completions.push_back(c);
+    return c;
+  }
+
+ private:
+  [[nodiscard]] sim::SimTime now() const { return p_->kernel().now(); }
+  static constexpr int dock_width() {
+    return std::is_same_v<Platform, Platform64> ? 64 : 32;
+  }
+
+  Completion make_completion(const Request& r, Outcome o) {
+    Completion c;
+    c.req = r;
+    c.outcome = o;
+    c.started = now();
+    c.finished = now();
+    return c;
+  }
+
+  /// Input seed for a request: a pure function of the server seed and the
+  /// request id, so replays and -j settings cannot disturb it.
+  [[nodiscard]] std::uint64_t input_seed(const Request& r) const {
+    std::uint64_t h = kFnvOffset;
+    h = fnv1a_u32(static_cast<std::uint32_t>(seed_), h);
+    h = fnv1a_u32(static_cast<std::uint32_t>(seed_ >> 32), h);
+    h = fnv1a_u32(static_cast<std::uint32_t>(r.id), h);
+    return h;
+  }
+
+  Completion dispatch(const Request& req) {
+    Completion c = make_completion(req, Outcome::kFailed);
+
+    if (req.deadline.ps() > 0 && now() >= req.deadline) {
+      ++report_.expired;
+      counter("serve.expired").add();
+      mark("expired", req.id);
+      c.outcome = Outcome::kExpired;
+      c.deadline_met = false;
+      return c;
+    }
+
+    CircuitBreaker& br = breaker(req.behavior);
+    const BreakerState before = br.state();
+    const bool try_hw = br.allow_hw(now());
+    if (try_hw && before == BreakerState::kOpen) {
+      // The cooldown elapsed: this request is the half-open probe.
+      ++report_.breaker_probes;
+      counter("serve.breaker_probes").add();
+      mark("breaker:probe", req.id);
+    }
+
+    if (try_hw) {
+      // Arm the watchdog: one hardware attempt may not outlive its budget
+      // or the request's own deadline, whichever is sooner.
+      sim::SimTime dl = now() + opts_.hw_attempt_budget;
+      if (req.deadline.ps() > 0 && req.deadline < dl) dl = req.deadline;
+      p_->set_load_deadline(dl);
+      const EnsureStats es = mgr_.ensure(req.behavior, dock_width());
+      p_->set_load_deadline(sim::SimTime{});
+      if (es.watchdog) {
+        ++report_.watchdog_aborts;
+        counter("serve.watchdog_aborts").add();
+        mark("watchdog_abort", req.id);
+      }
+      if (es.ok) {
+        const ExecResult r =
+            exec_request(*p_, req.behavior, input_seed(req), /*hw=*/true);
+        if (r.ok) {
+          if (br.record_success()) {
+            // Probe succeeded: hardware service is restored. Also lift the
+            // manager's diff->complete degradation -- the fault that caused
+            // it is evidently gone.
+            ++report_.breaker_closes;
+            counter("serve.breaker_closes").add();
+            mark("breaker:close", req.id);
+            mgr_.reset_degraded();
+          }
+          ++report_.served_hw;
+          counter("serve.hw").add();
+          c.outcome = Outcome::kHw;
+          c.digest = r.digest;
+          c.golden_ok = r.golden_ok;
+          return c;
+        }
+        c.error = "hardware execution produced no result";
+      } else {
+        c.error = es.error;
+      }
+      if (br.record_failure(now())) {
+        ++report_.breaker_opens;
+        counter("serve.breaker_opens").add();
+        mark("breaker:open", req.id);
+      }
+    }
+
+    // Graceful degradation: the software kernel, bit-identical to the
+    // hardware path (admission guaranteed it exists).
+    const ExecResult r =
+        exec_request(*p_, req.behavior, input_seed(req), /*hw=*/false);
+    if (r.ok) {
+      ++report_.degraded;
+      counter("serve.degraded").add();
+      mark("degrade:sw", req.id);
+      c.outcome = Outcome::kSw;
+      c.digest = r.digest;
+      c.golden_ok = r.golden_ok;
+    } else {
+      ++report_.failed;
+      counter("serve.failed").add();
+      mark("failed", req.id);
+    }
+    return c;
+  }
+
+  sim::Counter& counter(const char* name) {
+    return p_->sim().stats().counter(name);
+  }
+
+  void mark(const char* what, std::int64_t req_id) {
+    trace::Tracer& tr = p_->sim().tracer();
+    if (tr.enabled()) {
+      tr.instant(tr.track("SERVE"), what, now(), "req", req_id);
+    }
+  }
+
+  Platform* p_;
+  ModuleManager<Platform> mgr_;
+  ServeOptions opts_;
+  RequestQueue queue_;
+  std::uint64_t seed_;
+  std::map<int, CircuitBreaker> breakers_;
+  ServeReport report_;
+};
+
+/// Drive a closed-loop workload to completion: each client submits its next
+/// request a think-time after its previous one was disposed of. When the
+/// queue drains, the CPU idles to the next submission (there is no wall
+/// clock -- everything, including idle periods, is simulated time).
+///
+/// `repair_at_completion` models field repair: after that many requests
+/// have been disposed of, every armed fault is repaired (FaultInjector::
+/// repair_all), so a subsequent half-open probe finds working hardware.
+template <typename Platform>
+ServeReport run_workload(Platform& p, const WorkloadSpec& w,
+                         std::uint64_t seed, ServeOptions opts = {},
+                         int repair_at_completion = -1) {
+  TaskServer<Platform> srv(p, w.queue_capacity, opts, seed);
+  sim::Rng rng{seed};
+
+  struct Pending {
+    std::int64_t at_ps;
+    int client;
+    bool operator>(const Pending& o) const {
+      return at_ps != o.at_ps ? at_ps > o.at_ps : client > o.client;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> events;
+  std::vector<int> remaining(static_cast<std::size_t>(w.clients), w.rounds);
+  for (int cl = 0; cl < w.clients; ++cl) {
+    events.push({p.kernel().now().ps() + draw_think_ps(rng, w), cl});
+  }
+
+  std::int64_t next_id = 1;
+  std::int64_t disposed = 0;
+  const auto dispose = [&](int client, std::int64_t at_ps) {
+    ++disposed;
+    if (repair_at_completion >= 0 && disposed == repair_at_completion &&
+        p.faults() != nullptr) {
+      p.faults()->repair_all();
+    }
+    if (remaining[static_cast<std::size_t>(client)] > 0) {
+      events.push({at_ps + draw_think_ps(rng, w), client});
+    }
+  };
+
+  while (!events.empty() || srv.pending()) {
+    if (!srv.pending() && !events.empty() &&
+        events.top().at_ps > p.kernel().now().ps()) {
+      p.cpu().idle_until(sim::SimTime::from_ps(events.top().at_ps));
+    }
+    while (!events.empty() && events.top().at_ps <= p.kernel().now().ps()) {
+      const Pending e = events.top();
+      events.pop();
+      Request r;
+      r.id = next_id++;
+      r.client = e.client;
+      r.behavior = draw_behavior(rng, w);
+      r.priority = draw_priority(rng);
+      r.submitted = sim::SimTime::from_ps(e.at_ps);
+      if (w.rel_deadline_ps > 0) {
+        r.deadline = sim::SimTime::from_ps(e.at_ps + w.rel_deadline_ps);
+      }
+      --remaining[static_cast<std::size_t>(e.client)];
+      if (srv.submit(r) != AdmitError::kNone) {
+        // Shed (or refused): the round is lost; the client thinks, then
+        // moves on to its next round.
+        dispose(e.client, p.kernel().now().ps());
+      }
+    }
+    if (srv.pending()) {
+      const Completion c = srv.serve_one();
+      dispose(c.req.client, c.finished.ps());
+    }
+  }
+  return srv.report();
+}
+
+}  // namespace rtr::serve

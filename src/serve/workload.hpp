@@ -1,0 +1,46 @@
+// Seeded closed-loop workload specifications.
+//
+// A workload is a population of logical clients, each submitting its next
+// request a think-time after its previous one completed (closed loop). All
+// randomness -- think times, task mix, priorities -- comes from sim::Rng
+// seeded by the CLI --seed, with integer-only arithmetic, so a workload's
+// request stream (and therefore the whole serve run) is byte-reproducible
+// across hosts and across -j settings. No wall clock anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hw/library.hpp"
+#include "serve/request.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rtr::serve {
+
+struct TaskMix {
+  hw::BehaviorId behavior;
+  int weight;
+};
+
+struct WorkloadSpec {
+  const char* name;
+  int clients;                   // closed-loop client population
+  int rounds;                    // requests per client
+  std::int64_t think_mean_ps;    // mean think time (uniform on [0, 2x mean])
+  std::int64_t rel_deadline_ps;  // per-request budget; 0 = no deadline
+  std::size_t queue_capacity;    // admission bound
+  std::vector<TaskMix> mix;
+};
+
+/// The named workload set ("mixed", "hash", "image", "burst", "steady").
+const std::vector<WorkloadSpec>& workloads();
+const WorkloadSpec* workload_by_name(std::string_view name);
+
+/// Draw think time / task / priority for one submission. Integer-only.
+std::int64_t draw_think_ps(sim::Rng& rng, const WorkloadSpec& w);
+hw::BehaviorId draw_behavior(sim::Rng& rng, const WorkloadSpec& w);
+Priority draw_priority(sim::Rng& rng);
+
+}  // namespace rtr::serve

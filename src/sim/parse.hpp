@@ -1,0 +1,35 @@
+// Strict numeric parsing shared by every user-facing text surface (the
+// CLI's flag values, the fault-spec grammar). The whole input must be one
+// decimal number: empty strings, signs where none are allowed, trailing
+// garbage and overflow all fail -- atoi-style silent zero-on-garbage is
+// how "--bytes 4k" becomes a 0-byte run.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+
+namespace rtr::sim {
+
+/// Parse an unsigned decimal. False (untouched *out) on anything but a
+/// complete, in-range number.
+inline bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (r.ec != std::errc{} || r.ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Parse a signed decimal (leading '-' allowed), same strictness.
+inline bool parse_i64(std::string_view s, std::int64_t* out) {
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (r.ec != std::errc{} || r.ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace rtr::sim

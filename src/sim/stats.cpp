@@ -29,6 +29,36 @@ void write_json_string(std::ostream& os, const std::string& s) {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
+void Accumulator::merge(const Accumulator& o) {
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(o.count_);
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += o.m2_ + delta * delta * (na * nb / n);
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        o.buckets_[static_cast<std::size_t>(b)];
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
 double Histogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   const double target =
@@ -58,6 +88,13 @@ void StatRegistry::reset_all() {
   for (auto& [k, v] : accs_) v.reset();
   for (auto& [k, v] : busy_) v.reset();
   for (auto& [k, v] : hists_) v.reset();
+}
+
+void StatRegistry::merge(const StatRegistry& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k].add(v.value());
+  for (const auto& [k, v] : other.accs_) accs_[k].merge(v);
+  for (const auto& [k, v] : other.busy_) busy_[k].merge(v);
+  for (const auto& [k, v] : other.hists_) hists_[k].merge(v);
 }
 
 void StatRegistry::print(std::ostream& os) const {

@@ -53,6 +53,10 @@ class Accumulator {
     return count_ ? m2_ / static_cast<double>(count_) : 0.0;
   }
   [[nodiscard]] double stddev() const;
+  /// Fold another accumulator in, as if its samples had been seen here
+  /// (Chan et al. parallel-Welford combination; order-independent up to
+  /// floating-point rounding).
+  void merge(const Accumulator& o);
   void reset() { *this = Accumulator{}; }
 
  private:
@@ -103,6 +107,9 @@ class Histogram {
     return std::min(lg + 1, kBuckets - 1);
   }
 
+  /// Fold another histogram in (exact: buckets add).
+  void merge(const Histogram& o);
+
  private:
   std::array<std::int64_t, kBuckets> buckets_{};
   std::int64_t count_ = 0;
@@ -123,6 +130,7 @@ class BusyTime {
     if (horizon.ps() <= 0) return 0.0;
     return static_cast<double>(busy_.ps()) / static_cast<double>(horizon.ps());
   }
+  void merge(const BusyTime& o) { busy_ += o.busy_; }
   void reset() { busy_ = SimTime::zero(); }
 
  private:
@@ -144,6 +152,11 @@ class StatRegistry {
   [[nodiscard]] const std::map<std::string, Histogram>& histograms() const { return hists_; }
 
   void reset_all();
+  /// Fold another registry in by name: counters and busy times add,
+  /// histograms merge bucket-wise, accumulators combine their moments.
+  /// Stats absent here are created. The aggregation primitive of the
+  /// multi-scenario CLI runners (sweep, serve).
+  void merge(const StatRegistry& other);
   /// Dump all statistics, one per line, sorted by name.
   void print(std::ostream& os) const;
   /// Machine-readable exports of everything in the registry.

@@ -104,6 +104,12 @@ void Tracer::instant(int track, std::string name, sim::SimTime at) {
   record({Phase::kInstant, track, at.ps(), 0, std::move(name), "", 0});
 }
 
+void Tracer::instant(int track, std::string name, sim::SimTime at,
+                     std::string arg_name, std::int64_t arg_value) {
+  record({Phase::kInstant, track, at.ps(), 0, std::move(name),
+          std::move(arg_name), arg_value});
+}
+
 void Tracer::counter(std::string name, std::int64_t value, sim::SimTime at) {
   record({Phase::kCounter, kCounterTrack, at.ps(), 0, std::move(name),
           "value", value});
@@ -189,6 +195,9 @@ void Tracer::export_timeline(std::ostream& os) const {
         break;
       case Phase::kInstant:
         os << "! " << e.name;
+        if (!e.arg_name.empty()) {
+          os << " " << e.arg_name << "=" << e.arg_value;
+        }
         break;
       case Phase::kCounter:
         os << e.name << " = " << e.arg_value;

@@ -73,6 +73,8 @@ class Tracer {
                 sim::SimTime end, std::string arg_name, std::int64_t arg_value);
   /// A zero-duration marker.
   void instant(int track, std::string name, sim::SimTime at);
+  void instant(int track, std::string name, sim::SimTime at,
+               std::string arg_name, std::int64_t arg_value);
   /// One sample of a numeric counter track (FIFO occupancy, queue depth...).
   void counter(std::string name, std::int64_t value, sim::SimTime at);
 

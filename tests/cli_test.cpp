@@ -228,6 +228,70 @@ TEST(Cli, FaultSpecFlagInjectsAndRejectsGarbage) {
   EXPECT_NE(r.output.find("faults: injected=1"), std::string::npos);
 }
 
+TEST(Cli, UnknownOptionAndCommandAreNamed) {
+  // Rejections must say WHAT was wrong, not just dump the usage text.
+  const auto opt = run_cli("run --frobnicate");
+  EXPECT_EQ(opt.exit_code, 2);
+  EXPECT_NE(opt.output.find("unknown option '--frobnicate'"),
+            std::string::npos);
+  EXPECT_NE(opt.output.find("usage:"), std::string::npos);
+
+  const auto cmd = run_cli("explode");
+  EXPECT_EQ(cmd.exit_code, 2);
+  EXPECT_NE(cmd.output.find("unknown command 'explode'"), std::string::npos);
+  EXPECT_NE(cmd.output.find("usage:"), std::string::npos);
+
+  const auto val = run_cli("run --bytes 4k");
+  EXPECT_EQ(val.exit_code, 2);
+  EXPECT_NE(val.output.find("invalid value '4k' for '--bytes'"),
+            std::string::npos);
+
+  const auto missing = run_cli("run --bytes");
+  EXPECT_EQ(missing.exit_code, 2);
+  EXPECT_NE(missing.output.find("missing value for '--bytes'"),
+            std::string::npos);
+
+  // Overflow is a parse failure, not a silent wrap.
+  EXPECT_EQ(run_cli("run --bytes 99999999999999999999").exit_code, 2);
+}
+
+TEST(Cli, ServeSmokeMatchesExpectations) {
+  const auto r = run_cli_stdout("serve --smoke -j 1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("serve matrix:"), std::string::npos);
+  EXPECT_NE(r.output.find("p32-icap-stuck"), std::string::npos);
+  EXPECT_NE(r.output.find("serve.watchdog_aborts"), std::string::npos);
+  EXPECT_NE(r.output.find("serve.breaker_closes"), std::string::npos);
+  EXPECT_NE(r.output.find("all scenarios matched expectations"),
+            std::string::npos);
+  EXPECT_EQ(r.output.find("MISMATCH"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ServeStdoutIsByteIdenticalAcrossJobsAndRuns) {
+  const auto r1 = run_cli_stdout("serve --smoke -j 1 --seed 3");
+  const auto r2 = run_cli_stdout("serve --smoke -j 4 --seed 3");
+  EXPECT_EQ(r1.exit_code, 0) << r1.output;
+  EXPECT_EQ(r2.exit_code, 0);
+  EXPECT_EQ(r1.output, r2.output);
+}
+
+TEST(Cli, ServeSingleWorkloadWithFaultRecovers) {
+  const auto r = run_cli_stdout(
+      "serve --workload steady --system 32 --seed 5 "
+      "--fault-spec icap:stuck@15000:5 --repair-at 6");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("workload steady"), std::string::npos);
+  EXPECT_NE(r.output.find("serve.degraded"), std::string::npos);
+  EXPECT_NE(r.output.find("digests: ok"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsUnknownWorkload) {
+  const auto r = run_cli("serve --workload nope");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("invalid value 'nope' for '--workload'"),
+            std::string::npos);
+}
+
 TEST(Cli, SweepWritesBenchJson) {
   const std::string path = "cli_sweep_bench.json";
   const auto r =

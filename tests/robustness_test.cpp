@@ -255,6 +255,93 @@ TEST(ManagerRetry, SingleAttemptPolicyObservesOneFailure) {
   EXPECT_EQ(res.retries, 0);
 }
 
+TEST(ManagerRecoveryEdges, StickyGiveupThenManualReloadAfterRepair) {
+  // A stuck fault exhausts every retry: the manager gives up and drops its
+  // residency state. After a field repair (repair_all) the SAME manager
+  // must come back with a plain ensure() -- give-ups are not terminal.
+  fault::FaultSpec spec;
+  ASSERT_TRUE(fault::FaultSpec::parse("icap:stuck@15000:1", &spec));
+  PlatformOptions opts;
+  opts.fault_plan.add(spec);
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p};
+
+  const auto fail = mgr.ensure(hw::kBrightness, 32);
+  EXPECT_FALSE(fail.ok);
+  EXPECT_TRUE(fail.detected);
+  EXPECT_EQ(fail.attempts, 3);  // full retry ladder, then give-up
+  EXPECT_EQ(mgr.resident(), -1);
+
+  // Still stuck: a second ensure must fail again (the give-up cleared the
+  // snapshot, so this is a complete-path retry, not a differential).
+  const auto again = mgr.ensure(hw::kBrightness, 32);
+  EXPECT_FALSE(again.ok);
+  EXPECT_FALSE(again.used_differential);
+
+  p.faults()->repair_all();
+  const auto ok = mgr.ensure(hw::kBrightness, 32);
+  EXPECT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(mgr.resident(), hw::kBrightness);
+  // And the module actually works.
+  EXPECT_EQ(p.region().scan_signature(p.fabric_state()), hw::kBrightness);
+}
+
+TEST(ManagerRecoveryEdges, ResetDegradedRestoresTheDifferentialPath) {
+  // Degrade the manager to complete-only (two diff failures), then lift it
+  // with reset_degraded() -- the hook the serving layer's breaker-close
+  // uses -- and check the differential path is genuinely back.
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+
+  auto poke = [&p] {
+    std::vector<std::uint32_t> junk(
+        static_cast<std::size_t>(p.fabric_state().words_per_frame()), 0x3A3A3);
+    bitstream::PartialConfig rogue{p.region().device()};
+    rogue.add_run({FrameAddress{ColumnType::kClb,
+                                p.region().rect().col0 + 15, 2},
+                   1, junk});
+    for (std::uint32_t word : bitstream::serialize(rogue)) {
+      p.cpu().store32(Platform32::kIcapRange.base, word);
+    }
+  };
+  poke();
+  ASSERT_TRUE(mgr.ensure(hw::kFade, 32).fell_back);
+  poke();
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).degraded);
+  ASSERT_TRUE(mgr.degraded());
+
+  mgr.reset_degraded();
+  EXPECT_FALSE(mgr.degraded());
+  const auto s = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_TRUE(s.used_differential);  // fast path restored, not just the flag
+  EXPECT_FALSE(s.fell_back);
+}
+
+TEST(ManagerRecoveryEdges, WatchdogAbortShortCircuitsTheRetryLadder) {
+  // With a load deadline armed, a stuck load is aborted mid-stream and the
+  // manager must NOT burn the remaining retries: watchdog aborts are
+  // immediate give-ups with a typed error.
+  fault::FaultSpec spec;
+  ASSERT_TRUE(fault::FaultSpec::parse("icap:stuck@15000:1", &spec));
+  PlatformOptions opts;
+  opts.fault_plan.add(spec);
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p};
+
+  p.set_load_deadline(p.kernel().now() + SimTime::from_ms(40));
+  const auto res = mgr.ensure(hw::kBrightness, 32);
+  p.set_load_deadline(SimTime{});
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.watchdog);
+  EXPECT_LT(res.attempts, 3);  // the ladder was cut off by the deadline
+  EXPECT_NE(res.error.find("watchdog"), std::string::npos) << res.error;
+  // The abort left no residual deadline: a healthy reload works.
+  p.faults()->repair_all();
+  EXPECT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+}
+
 // --- invariant deaths across the stack ---------------------------------------------------
 
 TEST(InvariantDeaths, FullHeightRegionRejected) {

@@ -231,6 +231,73 @@ TEST(Stats, CounterAndAccumulator) {
   EXPECT_EQ(reg.accumulator("xfer.us").count(), 0);
 }
 
+TEST(Stats, AccumulatorMergeMatchesOneCombinedStream) {
+  // Chan parallel-Welford: merging two partial accumulators must equal one
+  // accumulator that saw every sample (up to floating-point rounding).
+  Accumulator a, b, all;
+  for (int i = 0; i < 40; ++i) {
+    const double v = static_cast<double>((i * 37) % 11) + 0.25;
+    (i % 2 ? a : b).sample(v);
+    all.sample(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+
+  // Merging into/from an empty accumulator is the identity.
+  Accumulator empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), a.count());
+  a.merge(Accumulator{});
+  EXPECT_EQ(empty.count(), a.count());
+}
+
+TEST(Stats, HistogramMergeIsExact) {
+  Histogram a, b, all;
+  for (std::int64_t v : {1, 5, 900, 12, 7, 100000, 3}) {
+    a.sample(v);
+    all.sample(v);
+  }
+  for (std::int64_t v : {2, 64, 4096}) {
+    b.sample(v);
+    all.sample(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.p50(), all.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), all.p99());
+}
+
+TEST(Stats, RegistryMergeFoldsByName) {
+  // The aggregation primitive of the multi-scenario CLI runners: counters
+  // and busy times add, histograms/accumulators merge, and stats that only
+  // exist in the source registry are created.
+  StatRegistry a, b;
+  a.counter("serve.hw").add(3);
+  b.counter("serve.hw").add(4);
+  b.counter("serve.shed").add(1);  // absent in `a`
+  a.histogram("serve.latency_ps").sample(100);
+  b.histogram("serve.latency_ps").sample(300);
+  a.busy("ICAP").add(SimTime::from_ns(0), SimTime::from_ns(10));
+  b.busy("ICAP").add(SimTime::from_ns(0), SimTime::from_ns(5));
+  b.accumulator("x").sample(2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("serve.hw").value(), 7);
+  EXPECT_EQ(a.counter("serve.shed").value(), 1);
+  EXPECT_EQ(a.histogram("serve.latency_ps").count(), 2);
+  EXPECT_EQ(a.histogram("serve.latency_ps").sum(), 400);
+  EXPECT_EQ(a.busy("ICAP").total(), SimTime::from_ns(15));
+  EXPECT_EQ(a.accumulator("x").count(), 1);
+}
+
 TEST(Stats, BusyTimeUtilisation) {
   BusyTime b;
   b.add(SimTime::from_ns(0), SimTime::from_ns(30));

@@ -289,6 +289,24 @@ TEST(Tracer, TimelineGolden) {
             "2.000 us [DMA] -\n");
 }
 
+TEST(Tracer, InstantWithArgAppearsInBothExports) {
+  // The serving layer tags its instants with the request id; the timeline
+  // and the Chrome export must both carry the argument through.
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("SERVE");
+  tr.instant(t, "breaker:open", us(3), "req", 42);
+
+  std::ostringstream timeline;
+  tr.export_timeline(timeline);
+  EXPECT_EQ(timeline.str(), "3.000 us [SERVE] ! breaker:open req=42\n");
+
+  std::ostringstream chrome;
+  tr.export_chrome(chrome);
+  EXPECT_NE(chrome.str().find("\"req\":42"), std::string::npos);
+  EXPECT_NE(chrome.str().find("breaker:open"), std::string::npos);
+}
+
 TEST(Tracer, ClearResetsEventsButKeepsTracks) {
   Tracer tr;
   tr.enable();

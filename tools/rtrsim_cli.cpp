@@ -7,6 +7,9 @@
 //   rtrsim_cli reconfig  --system 32|64 --task <name> [--dma]
 //   rtrsim_cli sweep     [-j N] [--smoke] [--bench-out FILE]
 //   rtrsim_cli faults    [--smoke] [--seed N]
+//   rtrsim_cli serve     [-j N] [--smoke] [--seed N]
+//   rtrsim_cli serve     --workload NAME --system 32|64 [--seed N]
+//                        [--fault-spec ...] [--repair-at N] [--dma]
 //
 // `sweep` runs a fixed list of Platform32/Platform64 scenarios across a
 // worker-thread pool (each simulation is single-threaded and owns all its
@@ -21,6 +24,15 @@
 // pure function of --seed, so identical invocations are byte-identical.
 // run/reconfig also accept --fault-spec <site:trigger:seed> (repeatable)
 // to arm individual faults.
+//
+// `serve` drives the request-serving layer (docs/SERVING.md): closed-loop
+// seeded workloads through a TaskServer with admission control, deadline
+// watchdogs, per-module circuit breakers and graceful degradation to the
+// software kernels. Without --workload it runs a fixed self-checking
+// scenario matrix (including stuck-fault scenarios that must watchdog,
+// open the breaker, degrade, and recover through a half-open probe) across
+// the same worker pool as `sweep`; with --workload it runs one named
+// workload on one platform. Output is a pure function of --seed.
 //
 // Observability (run/reconfig):
 //   --trace-out FILE      record spans and write a trace
@@ -56,7 +68,9 @@
 #include "rtr/platform.hpp"
 #include "rtr/platform_dual.hpp"
 #include "rtr/readback.hpp"
+#include "serve/server.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/parse.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "trace/tracer.hpp"
@@ -84,14 +98,16 @@ struct Args {
   int jobs = 0;           // sweep worker threads; 0 = hardware concurrency
   bool smoke = false;     // sweep/faults: small scenario subset (CI)
   std::string bench_out;  // sweep: substrate benchmark JSON
-  std::vector<std::string> fault_specs;  // run/reconfig: --fault-spec
-  std::uint64_t fault_seed = 1;          // faults: --seed
+  std::vector<std::string> fault_specs;  // run/reconfig/serve: --fault-spec
+  std::uint64_t fault_seed = 1;          // faults/serve: --seed
+  std::string workload;                  // serve: named workload (single mode)
+  int repair_at = -1;                    // serve: repair_all after N requests
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: rtrsim_cli <topology|resources|run|reconfig|sweep|"
-               "faults> "
+               "faults|serve> "
                "[--system 32|64|dual] [--task NAME] [--bytes N] "
                "[--image WxH] [--dma] [--cache]\n"
                "       [--trace-out FILE] [--trace-format chrome|text]\n"
@@ -99,50 +115,67 @@ int usage() {
                "       [--log-level err|warn|info|trace]\n"
                "       [-j N|--jobs N] [--smoke] [--bench-out FILE]\n"
                "       [--fault-spec site:trigger:seed]... [--seed N]\n"
+               "       [--workload NAME] [--repair-at N]\n"
                "tasks: jenkins sha1 patmatch brightness blend fade loopback\n"
+               "workloads: mixed hash image burst steady\n"
                "fault sites: storage icap dma bus readback; triggers: once@N "
                "every@N stuck@N rand\n");
   return 2;
 }
 
-/// Strict decimal parse: the whole string must be a number (atoi-style
-/// silent zero-on-garbage is how "--bytes 4k" becomes a 0-byte run).
+/// Strict decimal parse (sim/parse.hpp: whole-string, overflow-checked --
+/// atoi-style silent zero-on-garbage is how "--bytes 4k" becomes a 0-byte
+/// run). Null-tolerant so `value()` can feed it directly.
 bool parse_i64(const char* s, long long* out) {
-  if (!s || *s == '\0') return false;
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0') return false;
+  std::int64_t v = 0;
+  if (s == nullptr || !sim::parse_i64(s, &v)) return false;
   *out = v;
   return true;
 }
 
+/// Parse the command line. Every rejection names the failing flag on
+/// stderr (the caller follows up with the usage text), so "--bytes 4k"
+/// fails as "invalid value '4k' for '--bytes'", not as a silent exit 2.
 bool parse(int argc, char** argv, Args& a) {
-  if (argc < 2) return false;
+  if (argc < 2) {
+    std::fprintf(stderr, "rtrsim_cli: missing command\n");
+    return false;
+  }
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string opt = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    auto bad = [&](const char* v) {
+      if (v == nullptr) {
+        std::fprintf(stderr, "rtrsim_cli: missing value for '%s'\n",
+                     opt.c_str());
+      } else {
+        std::fprintf(stderr, "rtrsim_cli: invalid value '%s' for '%s'\n", v,
+                     opt.c_str());
+      }
+      return false;
+    };
     if (opt == "--system") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       if (std::string(v) == "dual") {
         a.dual = true;
         a.system = 64;
       } else {
         long long n = 0;
-        if (!parse_i64(v, &n)) return false;
+        if (!parse_i64(v, &n) || (n != 32 && n != 64)) return bad(v);
         a.system = static_cast<int>(n);
       }
     } else if (opt == "--task") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.task = v;
     } else if (opt == "--bytes") {
+      const char* v = value();
       long long n = 0;
-      if (!parse_i64(value(), &n) || n < 0 || n > UINT32_MAX) return false;
+      if (!parse_i64(v, &n) || n < 0 || n > UINT32_MAX) return bad(v);
       a.bytes = static_cast<std::uint32_t>(n);
     } else if (opt == "--image") {
       const char* v = value();
@@ -150,7 +183,7 @@ bool parse(int argc, char** argv, Args& a) {
       if (!v ||
           std::sscanf(v, "%dx%d%c", &a.img_w, &a.img_h, &trailing) != 2 ||
           a.img_w <= 0 || a.img_h <= 0) {
-        return false;
+        return bad(v);
       }
     } else if (opt == "--dma") {
       a.dma = true;
@@ -158,53 +191,67 @@ bool parse(int argc, char** argv, Args& a) {
       a.cache = true;
     } else if (opt == "--trace-out") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.trace_out = v;
     } else if (opt == "--trace-format") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.trace_format = v;
-      if (a.trace_format != "chrome" && a.trace_format != "text") return false;
+      if (a.trace_format != "chrome" && a.trace_format != "text") {
+        return bad(v);
+      }
     } else if (opt == "--stats-out") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.stats_out = v;
     } else if (opt == "--stats-format") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.stats_format = v;
-      if (a.stats_format != "json" && a.stats_format != "csv") return false;
+      if (a.stats_format != "json" && a.stats_format != "csv") return bad(v);
     } else if (opt == "-j" || opt == "--jobs") {
+      const char* v = value();
       long long n = 0;
-      if (!parse_i64(value(), &n) || n < 0 || n > 1024) return false;
+      if (!parse_i64(v, &n) || n < 0 || n > 1024) return bad(v);
       a.jobs = static_cast<int>(n);
     } else if (opt == "--smoke") {
       a.smoke = true;
     } else if (opt == "--fault-spec") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.fault_specs.emplace_back(v);
     } else if (opt == "--seed") {
+      const char* v = value();
       long long n = 0;
-      if (!parse_i64(value(), &n) || n < 0) return false;
+      if (!parse_i64(v, &n) || n < 0) return bad(v);
       a.fault_seed = static_cast<std::uint64_t>(n);
     } else if (opt == "--bench-out") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.bench_out = v;
+    } else if (opt == "--workload") {
+      const char* v = value();
+      if (!v || serve::workload_by_name(v) == nullptr) return bad(v);
+      a.workload = v;
+    } else if (opt == "--repair-at") {
+      const char* v = value();
+      long long n = 0;
+      if (!parse_i64(v, &n) || n < 0) return bad(v);
+      a.repair_at = static_cast<int>(n);
     } else if (opt == "--log-level") {
       const char* v = value();
-      if (!v) return false;
+      if (!v) return bad(v);
       a.log_level = v;
       if (a.log_level != "err" && a.log_level != "warn" &&
           a.log_level != "info" && a.log_level != "trace") {
-        return false;
+        return bad(v);
       }
     } else {
+      std::fprintf(stderr, "rtrsim_cli: unknown option '%s'\n", opt.c_str());
       return false;
     }
   }
-  return a.system == 32 || a.system == 64;
+  return true;
 }
 
 /// Apply --log-level: install the stderr sink at the requested threshold.
@@ -889,6 +936,233 @@ int faults_cmd(const Args& a) {
   return all_ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// serve: request-serving scenario matrix / single named workload.
+// ---------------------------------------------------------------------------
+
+struct ServeScenario {
+  const char* name;
+  int system;            // 32 or 64
+  const char* workload;  // named WorkloadSpec
+  const char* fault;     // "" = none; "site:trigger" (":<seed>" appended)
+  bool dma;              // recover module loads through DMA (Platform64)
+  int repair_at;         // FaultInjector::repair_all after N dispositions
+  int budget_ms;         // watchdog budget; 0 = ServeOptions default
+  // Self-check expectations: what this scenario MUST exhibit (and, for
+  // clean scenarios, must not).
+  bool expect_shed;
+  bool expect_watchdog;
+  bool expect_breaker_cycle;  // breaker opened AND a probe closed it again
+  bool expect_degraded;
+};
+
+// Clean scenarios cover both platforms and every workload shape (including
+// "burst", whose queue is smaller than its client population, and "hash"
+// on the 32-bit system, where SHA-1 cannot be placed and is served by the
+// software kernel for the whole run). The stuck-fault scenarios are the
+// acceptance path of docs/SERVING.md: the watchdog must abort the hung
+// load, the breaker must open, requests must degrade instead of hanging,
+// and after field repair a half-open probe must restore hardware service.
+// The stuck scenarios tighten the watchdog budget to just above one clean
+// load on their platform (a clean p32 PIO load is ~24 ms, a p64 DMA load
+// ~12 ms), so the stuck retry ladder is cut off on its second attempt.
+constexpr ServeScenario kServeScenarios[] = {
+    {"p32-mixed", 32, "mixed", "", false, -1, 0, false, false, false, false},
+    {"p32-hash", 32, "hash", "", false, -1, 0, false, false, false, true},
+    {"p32-burst", 32, "burst", "", false, -1, 0, true, false, false, false},
+    {"p64-mixed", 64, "mixed", "", false, -1, 0, false, false, false, false},
+    {"p64-image", 64, "image", "", false, -1, 0, false, false, false, false},
+    {"p64-hash-dma", 64, "hash", "", true, -1, 0, false, false, false,
+     false},
+    {"p32-icap-stuck", 32, "steady", "icap:stuck@15000", false, 6, 40, false,
+     true, true, true},
+    {"p64-dma-stuck", 64, "steady", "dma:stuck@1500", true, 6, 20, false,
+     true, true, true},
+};
+
+/// CI subset: one clean scenario per platform, shedding, both stuck faults.
+constexpr std::size_t kServeSmokeIndices[] = {0, 2, 6, 7};
+
+struct ServeScenarioOutcome {
+  std::string line;
+  bool ok = false;
+  sim::StatRegistry stats;  // the scenario's whole registry, for merging
+};
+
+/// One scenario on a freshly built platform: a pure function of
+/// (scenario, seed), independent of worker scheduling.
+template <typename Platform>
+ServeScenarioOutcome serve_scenario(const ServeScenario& sc,
+                                    std::uint64_t seed) {
+  const serve::WorkloadSpec* w = serve::workload_by_name(sc.workload);
+  RTR_CHECK(w != nullptr, "unknown built-in workload");
+  PlatformOptions opts;
+  if (sc.fault[0] != '\0') {
+    fault::FaultSpec spec;
+    RTR_CHECK(fault::FaultSpec::parse(
+                  std::string(sc.fault) + ":" + std::to_string(seed), &spec),
+              "bad built-in fault spec");
+    opts.fault_plan.add(spec);
+  }
+  Platform p{opts};
+  serve::ServeOptions so;
+  so.recovery.use_dma = sc.dma;
+  if (sc.budget_ms > 0) {
+    so.hw_attempt_budget = sim::SimTime::from_ms(sc.budget_ms);
+  }
+  const serve::ServeReport r =
+      serve::run_workload(p, *w, seed, so, sc.repair_at);
+
+  bool ok = r.digests_ok && r.failed == 0 && r.unservable == 0;
+  ok = ok && sc.expect_shed == (r.shed > 0);
+  ok = ok && sc.expect_watchdog == (r.watchdog_aborts > 0);
+  ok = ok && sc.expect_breaker_cycle ==
+                 (r.breaker_opens > 0 && r.breaker_closes > 0);
+  ok = ok && sc.expect_degraded == (r.degraded > 0);
+
+  const auto& lat = p.sim().stats().histogram("serve.latency_ps");
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%-15s wl=%-7s sub=%-3lld hw=%-3lld sw=%-3lld shed=%-2lld exp=%-2lld "
+      "miss=%-2lld wd=%-2lld brk=%lld/%lld p50=%-10s %s",
+      sc.name, sc.workload, static_cast<long long>(r.submitted),
+      static_cast<long long>(r.served_hw), static_cast<long long>(r.degraded),
+      static_cast<long long>(r.shed), static_cast<long long>(r.expired),
+      static_cast<long long>(r.deadline_miss),
+      static_cast<long long>(r.watchdog_aborts),
+      static_cast<long long>(r.breaker_opens),
+      static_cast<long long>(r.breaker_closes),
+      sim::SimTime::from_ps(static_cast<std::int64_t>(lat.p50()))
+          .to_string()
+          .c_str(),
+      ok ? "ok" : "MISMATCH");
+
+  ServeScenarioOutcome o;
+  o.line = buf;
+  o.ok = ok;
+  o.stats = p.sim().stats();
+  return o;
+}
+
+/// Print the serve.* slice of a (merged) registry: the serving layer's
+/// counters plus latency percentiles, nothing from the lower layers.
+void print_serve_stats(const sim::StatRegistry& reg) {
+  for (const auto& [name, c] : reg.counters()) {
+    if (name.rfind("serve.", 0) == 0) {
+      std::printf("  %-24s %lld\n", name.c_str(),
+                  static_cast<long long>(c.value()));
+    }
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    if (name.rfind("serve.", 0) == 0 && h.count() > 0) {
+      std::printf("  %-24s count=%lld p50=%s p90=%s p99=%s\n", name.c_str(),
+                  static_cast<long long>(h.count()),
+                  sim::SimTime::from_ps(static_cast<std::int64_t>(h.p50()))
+                      .to_string()
+                      .c_str(),
+                  sim::SimTime::from_ps(static_cast<std::int64_t>(h.p90()))
+                      .to_string()
+                      .c_str(),
+                  sim::SimTime::from_ps(static_cast<std::int64_t>(h.p99()))
+                      .to_string()
+                      .c_str());
+    }
+  }
+}
+
+/// Single named workload on one platform, with optional --fault-spec /
+/// --repair-at and the full observability surface (--trace-out records the
+/// SERVE track, --stats-out the serve.* stats).
+template <typename Platform>
+int serve_single(const Args& a) {
+  const serve::WorkloadSpec* w = serve::workload_by_name(a.workload);
+  RTR_CHECK(w != nullptr, "workload validated at parse time");
+  trace::Tracer tracer;
+  tracer.enable(!a.trace_out.empty());
+  PlatformOptions opts;
+  opts.tracer = &tracer;
+  if (!build_fault_plan(a, &opts.fault_plan)) return 2;
+  Platform p{opts};
+  apply_log_level(p.sim(), a);
+
+  serve::ServeOptions so;
+  so.recovery.use_dma = a.dma;
+  const serve::ServeReport r =
+      serve::run_workload(p, *w, a.fault_seed, so, a.repair_at);
+
+  std::printf("serve: system %d, workload %s, seed %llu\n", a.system,
+              a.workload.c_str(),
+              static_cast<unsigned long long>(a.fault_seed));
+  print_serve_stats(p.sim().stats());
+  std::printf("digests: %s\n", r.digests_ok ? "ok" : "MISMATCH");
+  if (!a.fault_specs.empty()) print_fault_summary(p.faults());
+  const int dump_rc = dump_observability(p.sim(), tracer, a);
+  return r.digests_ok && r.failed == 0 ? dump_rc : 1;
+}
+
+int serve_cmd(const Args& a) {
+  if (!a.workload.empty()) {
+    return a.system == 32 ? serve_single<Platform32>(a)
+                          : serve_single<Platform64>(a);
+  }
+
+  std::vector<ServeScenario> list;
+  if (a.smoke) {
+    for (const std::size_t i : kServeSmokeIndices) {
+      list.push_back(kServeScenarios[i]);
+    }
+  } else {
+    list.assign(std::begin(kServeScenarios), std::end(kServeScenarios));
+  }
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int jobs = a.jobs > 0 ? a.jobs : static_cast<int>(hc > 0 ? hc : 1);
+
+  // Same pool shape as `sweep`: scenarios are claimed by an atomic cursor
+  // but land in a results slot fixed by scenario index, so stdout is
+  // byte-identical for any -j.
+  std::vector<ServeScenarioOutcome> results(list.size());
+  std::atomic<std::size_t> next{0};
+  const auto wall0 = std::chrono::steady_clock::now();
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= list.size()) return;
+      results[i] = list[i].system == 32
+                       ? serve_scenario<Platform32>(list[i], a.fault_seed)
+                       : serve_scenario<Platform64>(list[i], a.fault_seed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs) - 1);
+  for (int j = 1; j < jobs; ++j) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall0)
+                             .count();
+
+  std::printf("serve matrix: %zu scenarios, seed=%llu\n", list.size(),
+              static_cast<unsigned long long>(a.fault_seed));
+  sim::StatRegistry agg;
+  bool all_ok = true;
+  for (const ServeScenarioOutcome& o : results) {
+    std::printf("%s\n", o.line.c_str());
+    all_ok = all_ok && o.ok;
+    agg.merge(o.stats);
+  }
+  std::printf("aggregate:\n");
+  print_serve_stats(agg);
+  std::printf("%s\n", all_ok ? "all scenarios matched expectations"
+                             : "EXPECTATION MISMATCH");
+
+  // Host-side timing is non-deterministic by nature: stderr only.
+  std::fprintf(stderr, "serve: %zu scenarios, %d jobs, %.1f ms wall\n",
+               list.size(), jobs, wall_ms);
+  return all_ok ? 0 : 1;
+}
+
 template <typename Platform>
 int resources() {
   Platform p;
@@ -959,5 +1233,10 @@ int main(int argc, char** argv) {
   if (a.command == "faults") {
     return faults_cmd(a);
   }
+  if (a.command == "serve") {
+    return serve_cmd(a);
+  }
+  std::fprintf(stderr, "rtrsim_cli: unknown command '%s'\n",
+               a.command.c_str());
   return usage();
 }
