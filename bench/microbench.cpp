@@ -9,6 +9,7 @@
 #include "bitstream/partial_config.hpp"
 #include "fabric/config_memory.hpp"
 #include "mem/sparse_memory.hpp"
+#include "rtr/manager.hpp"
 #include "rtr/platform.hpp"
 #include "sim/event_queue.hpp"
 
@@ -119,6 +120,46 @@ static void BM_BitLinkerAssembly(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BitLinkerAssembly);
+
+// The manager's steady-state swap with warm plans: alternate two modules,
+// every ensure hits the differential-plan cache and streams pre-encoded
+// words. Host work per swap is the simulated streaming loop only.
+static void BM_EnsureCachedDiff(benchmark::State& state) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  (void)mgr.ensure(hw::kBrightness, 32);
+  (void)mgr.ensure(hw::kFade, 32);  // warm both diff directions
+  (void)mgr.ensure(hw::kBrightness, 32);
+  hw::BehaviorId next = hw::kFade;
+  for (auto _ : state) {
+    const EnsureStats s = mgr.ensure(next, 32);
+    benchmark::DoNotOptimize(s.ok);
+    next = next == hw::kFade ? hw::kBrightness : hw::kFade;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnsureCachedDiff);
+
+// The same alternation with memoization disabled: every swap re-links both
+// components, rebuilds two full-fabric states, diffs and re-encodes. The
+// simulated result is byte-identical to the cached run -- this is the
+// honest uncached host-time baseline for BM_EnsureCachedDiff.
+static void BM_EnsureUncachedDiff(benchmark::State& state) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  mgr.set_plan_cache_enabled(false);
+  (void)mgr.ensure(hw::kBrightness, 32);
+  (void)mgr.ensure(hw::kFade, 32);
+  (void)mgr.ensure(hw::kBrightness, 32);
+  hw::BehaviorId next = hw::kFade;
+  for (auto _ : state) {
+    const EnsureStats s = mgr.ensure(next, 32);
+    benchmark::DoNotOptimize(s.ok);
+    next = next == hw::kFade ? hw::kBrightness : hw::kFade;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnsureUncachedDiff);
 
 static void BM_DmaBlock(benchmark::State& state) {
   Platform64 p;

@@ -49,6 +49,7 @@ std::span<const std::uint32_t> ConfigMemory::frame(FrameAddress a) const {
 std::span<std::uint32_t> ConfigMemory::frame_mut(FrameAddress a) {
   const auto f = static_cast<std::size_t>(linear_index(a));
   touched_[f] = 1;  // the caller holds a mutable view; assume it writes
+  ++generation_;
   return {words_.data() + f * wpf_, static_cast<std::size_t>(wpf_)};
 }
 
@@ -91,6 +92,7 @@ int ConfigMemory::touched_frames() const {
 
 void ConfigMemory::restore(std::span<const std::uint32_t> snap) {
   RTR_CHECK(snap.size() == words_.size(), "snapshot size mismatch");
+  ++generation_;
   std::copy(snap.begin(), snap.end(), words_.begin());
   // Recompute touched bits from the restored content so the invariant
   // (untouched => all-zero) holds and diffs stay cheap after a restore.
@@ -105,6 +107,7 @@ void ConfigMemory::restore(std::span<const std::uint32_t> snap) {
 }
 
 void ConfigMemory::clear() {
+  ++generation_;
   std::fill(words_.begin(), words_.end(), 0);
   std::fill(touched_.begin(), touched_.end(), 0);
 }

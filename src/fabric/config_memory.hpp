@@ -61,6 +61,19 @@ class ConfigMemory {
   /// Zero every frame (power-on state). Resets all touched bits.
   void clear();
 
+  /// Monotonic mutation tag: bumped by every write path (frame_mut and the
+  /// operations built on it), by restore()/clear(), and by bump_generation().
+  /// Cached reconfiguration plans are validated by comparing the generation
+  /// they were established under against the current one -- a cheap staleness
+  /// check that replaces keeping (and diffing) full-fabric snapshots.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Invalidate every generation-tagged assumption about this memory without
+  /// changing its content. Used for events that may have gone around the
+  /// write paths entirely (fault detection on a readback, an explicit
+  /// ModuleManager::invalidate()).
+  void bump_generation() { ++generation_; }
+
   /// True when the frame has ever been handed out for writing since the
   /// last clear()/restore() recomputation. Untouched implies all-zero.
   [[nodiscard]] bool frame_touched(FrameAddress a) const {
@@ -85,6 +98,7 @@ class ConfigMemory {
   std::vector<std::uint32_t> words_;  // total_frames_ * wpf_
   // One byte per frame (not vector<bool>: the diff loop reads these hot).
   std::vector<std::uint8_t> touched_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace rtr::fabric

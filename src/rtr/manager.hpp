@@ -19,14 +19,24 @@
 // complete reload against the golden linker output) when the verification
 // hash disagrees. All detection/retry/fallback events emit instants on the
 // "RTR.manager" trace track and bump rtr.recovery.* counters.
+//
+// Plans (link + diff + packet encoding) are memoized in a PlanCache: a
+// post-load fabric state is a pure function of the loaded module (see
+// plan_cache.hpp), so instead of snapshotting config memory after every
+// load the manager records the fabric *generation* at which residency was
+// established and validates cached differentials against it. External
+// fabric writes bump the generation (fabric/config_memory.cpp) and route
+// the next ensure() through the same fallback bookkeeping a failed
+// differential load would take -- minus the doomed load itself.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <string>
 
 #include "bitstream/partial_config.hpp"
 #include "fabric/config_memory.hpp"
 #include "hw/library.hpp"
+#include "rtr/plan_cache.hpp"
 #include "rtr/platform.hpp"
 #include "rtr/readback.hpp"
 
@@ -64,6 +74,7 @@ struct EnsureStats {
   bool verified = false;          // post-load readback verification passed
   bool detected = false;          // some failure was detected during ensure
   bool watchdog = false;          // a load was aborted by the load deadline
+  bool plan_cached = false;       // the streamed plan came from the cache
   std::string error;
   sim::SimTime time;              // total simulated time spent
   sim::SimTime detected_at;       // absolute time of the first detection
@@ -106,6 +117,18 @@ class ModuleManager {
       if (res.ok && !res.already_resident) tr.instant(track, "activate", now);
       tr.end(track, now);
     }
+    if (res.ok) {
+      // Per-path latency: "cached" means the differential plan came out of
+      // the plan cache; "differential"/"complete" are cold-plan loads.
+      const char* path = res.already_resident ? "resident"
+                         : res.used_differential
+                             ? (res.plan_cached ? "cached" : "differential")
+                             : "complete";
+      p_->sim()
+          .stats()
+          .histogram(std::string("rtr.ensure.latency_ps.") + path)
+          .sample(res.time.ps());
+    }
     return res;
   }
 
@@ -114,11 +137,47 @@ class ModuleManager {
   /// always-safe complete path.
   [[nodiscard]] bool degraded() const { return degraded_; }
 
+  /// Enable/disable plan memoization. Disabling clears the cache and makes
+  /// every ensure() re-link, re-diff and re-encode from scratch -- the
+  /// honest uncached baseline for A/B benchmarking. Simulated behaviour is
+  /// identical either way (the cache only removes host-side work).
+  void set_plan_cache_enabled(bool on) {
+    cache_enabled_ = on;
+    if (!on) cache_.clear();
+  }
+  [[nodiscard]] bool plan_cache_enabled() const { return cache_enabled_; }
+  [[nodiscard]] const PlanCache& plan_cache() const { return cache_; }
+
+  /// Build (off the simulated clock) the plans a future ensure(id) would
+  /// need: the complete plan always, plus the differential plan from the
+  /// current resident when the differential path is live and the fabric
+  /// generation still matches the manager's assumption. Returns false when
+  /// the cache is disabled or the component does not link.
+  bool warm(hw::BehaviorId id, int dock_width) {
+    if (!cache_enabled_) return false;
+    std::string err;
+    if (cache_.complete(p_->linker(), id, dock_width, &err, nullptr) ==
+        nullptr) {
+      return false;
+    }
+    if (differential_ && have_base_ && !degraded_ && resident_ >= 0 &&
+        resident_ != id &&
+        p_->fabric_state().generation() == resident_gen_) {
+      (void)cache_.differential(p_->linker(),
+                                static_cast<hw::BehaviorId>(resident_), id,
+                                dock_width, &err, nullptr);
+    }
+    return true;
+  }
+
   /// Drop the manager's state assumption (e.g. after an external event
-  /// touched the fabric); the next ensure() uses the complete path.
+  /// touched the fabric); the next ensure() uses the complete path. Also
+  /// bumps the fabric generation so any plan warmed against the old
+  /// assumption fails its tag check.
   void invalidate() {
-    have_snapshot_ = false;
+    have_base_ = false;
     resident_ = -1;
+    p_->bump_fabric_generation();
   }
 
   /// Lift the diff -> complete-only degradation (e.g. after the fault that
@@ -141,60 +200,91 @@ class ModuleManager {
       return res;
     }
 
-    if (differential_ && have_snapshot_ && !degraded_) {
-      // Target state: the current (assumed) fabric with the complete
-      // configuration applied -- then ship only the difference.
-      const auto comp = hw::component_for(id, dock_width);
-      const auto linked = p_->linker().link_single(comp);
-      if (!linked.ok()) {
-        res.error = linked.errors.front();
-        res.time = p_->kernel().now() - t0;
-        return res;
-      }
-      fabric::ConfigMemory assumed{p_->region().device()};
-      assumed.restore(snapshot_);
-      fabric::ConfigMemory target{p_->region().device()};
-      target.restore(snapshot_);
-      linked.config->apply_to(target);
-      const auto diff = bitstream::PartialConfig::diff(assumed, target);
+    // Scratch store for the disabled-cache baseline: the same builders run,
+    // but every plan is rebuilt from scratch and dropped afterwards.
+    PlanCache scratch{1};
+    PlanCache& plans = cache_enabled_ ? cache_ : scratch;
 
-      const ReconfigStats s = p_->load_config(diff);
-      res.stream_words += s.stream_words;
-      if (s.ok) {
-        diff_failures_ = 0;
-        res.used_differential = true;
-        return finish_load(id, res, t0);
-      }
-      detect(res);
-      if (s.watchdog) {
-        // The load deadline expired mid-stream: no time budget remains for
-        // the complete fallback either. Give up now; the caller's watchdog
-        // owns what happens next (degrade, breaker, ...).
-        res.error = s.error;
-        return watchdog_giveup(res, t0);
-      }
-      // Stale assumption (or corruption): the validation gate refused to
-      // bind. Fall back to the complete configuration.
-      res.fell_back = true;
-      counter("rtr.recovery.fallbacks").add();
-      mark("fallback:complete");
-      if (policy_.diff_failures_before_degrade > 0 &&
-          ++diff_failures_ >= policy_.diff_failures_before_degrade) {
-        degraded_ = true;
-        res.degraded = true;
-        counter("rtr.recovery.degraded").add();
-        mark("degrade:complete-only");
+    if (differential_ && have_base_ && !degraded_) {
+      if (p_->fabric_state().generation() != resident_gen_) {
+        // Something outside the manager wrote the fabric (debugger poke,
+        // injected fault, scrub) since residency was established: the
+        // assumed base state is stale, so any differential against it would
+        // fail the validation gate. Detect it up front -- same fallback
+        // bookkeeping as a failed differential load, minus the doomed load.
+        detect(res);
+        counter("rtr.plan_cache.gen_invalidations").add();
+        res.fell_back = true;
+        counter("rtr.recovery.fallbacks").add();
+        mark("fallback:complete");
+        if (policy_.diff_failures_before_degrade > 0 &&
+            ++diff_failures_ >= policy_.diff_failures_before_degrade) {
+          degraded_ = true;
+          res.degraded = true;
+          counter("rtr.recovery.degraded").add();
+          mark("degrade:complete-only");
+        }
+      } else {
+        bool hit = false;
+        const PlanCache::Plan* plan = plans.differential(
+            p_->linker(), static_cast<hw::BehaviorId>(resident_), id,
+            dock_width, &res.error, &hit);
+        counter(hit ? "rtr.plan_cache.hits" : "rtr.plan_cache.misses").add();
+        if (plan == nullptr) {
+          res.time = p_->kernel().now() - t0;
+          return res;
+        }
+        const ReconfigStats s =
+            p_->load_stream(plan->words, plan->payload_bytes,
+                            /*differential=*/true);
+        res.stream_words += s.stream_words;
+        if (s.ok) {
+          diff_failures_ = 0;
+          res.used_differential = true;
+          res.plan_cached = hit;
+          return finish_load(id, dock_width, res, t0);
+        }
+        detect(res);
+        if (s.watchdog) {
+          // The load deadline expired mid-stream: no time budget remains
+          // for the complete fallback either. Give up now; the caller's
+          // watchdog owns what happens next (degrade, breaker, ...).
+          res.error = s.error;
+          return watchdog_giveup(res, t0);
+        }
+        // Stale assumption (or corruption): the validation gate refused to
+        // bind. Fall back to the complete configuration.
+        res.fell_back = true;
+        counter("rtr.recovery.fallbacks").add();
+        mark("fallback:complete");
+        if (policy_.diff_failures_before_degrade > 0 &&
+            ++diff_failures_ >= policy_.diff_failures_before_degrade) {
+          degraded_ = true;
+          res.degraded = true;
+          counter("rtr.recovery.degraded").add();
+          mark("degrade:complete-only");
+        }
       }
     }
 
     // Complete path: bounded retry with exponential backoff.
     for (int attempt = 0;; ++attempt) {
       ++res.attempts;
-      const ReconfigStats s = load_complete(id);
+      bool hit = false;
+      ReconfigStats s;
+      const PlanCache::Plan* plan =
+          plans.complete(p_->linker(), id, dock_width, &res.error, &hit);
+      counter(hit ? "rtr.plan_cache.hits" : "rtr.plan_cache.misses").add();
+      if (plan == nullptr) {
+        res.time = p_->kernel().now() - t0;
+        return res;
+      }
+      s = load_complete(*plan);
       res.stream_words += s.stream_words;
       if (s.ok) {
         res.error.clear();
-        return finish_load(id, res, t0);
+        res.plan_cached = hit;
+        return finish_load(id, dock_width, res, t0);
       }
       res.error = s.error;
       detect(res);
@@ -203,7 +293,7 @@ class ModuleManager {
         counter("rtr.recovery.giveups").add();
         mark("giveup");
         resident_ = -1;
-        have_snapshot_ = false;
+        have_base_ = false;
         res.time = p_->kernel().now() - t0;
         return res;
       }
@@ -225,14 +315,15 @@ class ModuleManager {
     counter("rtr.recovery.giveups").add();
     mark("giveup");
     resident_ = -1;
-    have_snapshot_ = false;
+    have_base_ = false;
     res.time = p_->kernel().now() - t0;
     return res;
   }
 
   /// A load bound a module. Optionally readback-verify the dynamic area,
-  /// scrubbing (complete golden reload) on mismatch, then snapshot.
-  EnsureStats finish_load(hw::BehaviorId id, EnsureStats& res,
+  /// scrubbing (complete golden reload) on mismatch, then record residency
+  /// plus the fabric generation it was established at.
+  EnsureStats finish_load(hw::BehaviorId id, int dock_width, EnsureStats& res,
                           sim::SimTime t0) {
     res.ok = true;
     if (policy_.verify_after_load) {
@@ -244,7 +335,13 @@ class ModuleManager {
         ++res.scrubs;
         counter("rtr.recovery.scrubs").add();
         mark("scrub");
-        const ReconfigStats s = load_complete(id);
+        std::string scrub_err;
+        PlanCache scratch{1};
+        PlanCache& plans = cache_enabled_ ? cache_ : scratch;
+        const PlanCache::Plan* plan =
+            plans.complete(p_->linker(), id, dock_width, &scrub_err, nullptr);
+        if (plan == nullptr) continue;  // link failure still costs a scrub
+        const ReconfigStats s = load_complete(*plan);
         res.stream_words += s.stream_words;
         if (!s.ok) continue;  // the scrub load itself failed; costs a scrub
         rb = readback_verify(p_->kernel(), Platform::kIcapRange.base,
@@ -257,26 +354,33 @@ class ModuleManager {
         counter("rtr.recovery.giveups").add();
         mark("giveup");
         resident_ = -1;
-        have_snapshot_ = false;
+        have_base_ = false;
         res.time = p_->kernel().now() - t0;
         return res;
       }
       res.verified = true;
     }
     resident_ = id;
-    snapshot_ = p_->fabric_state().snapshot();
-    have_snapshot_ = true;
+    resident_gen_ = p_->fabric_state().generation();
+    have_base_ = true;
     res.time = p_->kernel().now() - t0;
     return res;
   }
 
-  /// The complete-configuration load, routed through DMA when asked for
-  /// and the platform has it.
-  ReconfigStats load_complete(hw::BehaviorId id) {
-    if constexpr (requires(Platform& p) { p.load_module_dma(id); }) {
-      if (policy_.use_dma) return p_->load_module_dma(id);
+  /// Stream a pre-built complete plan, routed through DMA when asked for
+  /// and the platform has one.
+  ReconfigStats load_complete(const PlanCache::Plan& plan) {
+    if constexpr (requires(Platform& p) {
+                    p.load_stream_dma(std::span<const std::uint32_t>{},
+                                      std::int64_t{}, bool{});
+                  }) {
+      if (policy_.use_dma) {
+        return p_->load_stream_dma(plan.words, plan.payload_bytes,
+                                   /*differential=*/false);
+      }
     }
-    return p_->load_module(id);
+    return p_->load_stream(plan.words, plan.payload_bytes,
+                           /*differential=*/false);
   }
 
   sim::Counter& counter(const char* name) {
@@ -296,16 +400,24 @@ class ModuleManager {
       res.detected_at = p_->kernel().now();
     }
     counter("rtr.recovery.detections").add();
+    // Any detected failure may have left the fabric (or our picture of it)
+    // inconsistent -- readback faults in particular never write config
+    // memory. Move the generation so plans warmed against the pre-fault
+    // state fail their tag check; successful recovery re-reads the tag in
+    // finish_load, so the differential path resumes immediately after.
+    p_->bump_fabric_generation();
   }
 
   Platform* p_;
   RecoveryPolicy policy_;
   bool differential_;
   int resident_ = -1;
-  bool have_snapshot_ = false;
+  bool have_base_ = false;        // residency + generation tag are valid
+  std::uint64_t resident_gen_ = 0;
   bool degraded_ = false;
   int diff_failures_ = 0;
-  std::vector<std::uint32_t> snapshot_;
+  bool cache_enabled_ = true;
+  PlanCache cache_;
 };
 
 }  // namespace rtr

@@ -89,9 +89,12 @@ void account_reconfig(sim::Simulation& sim, bool differential,
 
 /// Stage a serialised stream in memory, drive it through the HWICAP with
 /// the CPU, validate the region and bind the behaviour. Shared by the
-/// component loads and the raw-configuration loads.
+/// component loads, the raw-configuration loads and the cached-plan
+/// streaming loads. The span is read in place (cached word streams are
+/// staged without a host-side copy); only an armed fault plan -- which has
+/// to mutate the staged words -- forces a local copy.
 template <typename Dock>
-void stream_and_bind(std::vector<std::uint32_t> words, bus::Bus& mem_bus,
+void stream_and_bind(std::span<const std::uint32_t> words, bus::Bus& mem_bus,
                      Addr staging, Addr icap_data, Addr icap_control,
                      Addr icap_status, cpu::Kernel& kernel,
                      const fabric::ConfigMemory& fabric_state,
@@ -100,8 +103,11 @@ void stream_and_bind(std::vector<std::uint32_t> words, bus::Bus& mem_bus,
                      std::unique_ptr<hw::HwModule>& slot,
                      ReconfigStats& stats, sim::SimTime deadline) {
   stats.stream_words = static_cast<std::int64_t>(words.size());
+  std::vector<std::uint32_t> faulted;  // copy-on-fault only
   if (fault::FaultInjector* fi = mem_bus.simulation().faults()) {
-    fi->corrupt_staged(words, kernel.now());
+    faulted.assign(words.begin(), words.end());
+    fi->corrupt_staged(faulted, kernel.now());
+    words = faulted;
   }
 
   // Configurations are prepared offline and already resident in external
@@ -173,10 +179,34 @@ ReconfigStats do_load(hw::BehaviorId id, int dock_width,
     return stats;
   }
   stats.config_bytes = linked.stats.payload_bytes;
-  stream_and_bind(bitstream::serialize(*linked.config), mem_bus, staging,
+  const auto words = bitstream::serialize(*linked.config);
+  stream_and_bind(std::span<const std::uint32_t>{words}, mem_bus, staging,
                   icap_data, icap_control, icap_status, kernel, fabric_state,
                   region, registry, dock, slot, stats, deadline);
   account_reconfig(mem_bus.simulation(), /*differential=*/false, stats);
+  return stats;
+}
+
+/// Shared implementation of the pre-encoded streaming load (cached plans;
+/// also the tail of the raw-configuration load once it has serialised).
+template <typename Dock>
+ReconfigStats do_load_stream(std::span<const std::uint32_t> words,
+                             std::int64_t config_bytes, bool differential,
+                             bus::Bus& mem_bus, Addr staging, Addr icap_data,
+                             Addr icap_control, Addr icap_status,
+                             cpu::Kernel& kernel,
+                             const fabric::ConfigMemory& fabric_state,
+                             const fabric::DynamicRegion& region,
+                             const hw::BehaviorRegistry& registry, Dock& dock,
+                             std::unique_ptr<hw::HwModule>& slot,
+                             sim::SimTime deadline) {
+  ReconfigStats stats;
+  stats.started = kernel.now();
+  stats.config_bytes = config_bytes;
+  stream_and_bind(words, mem_bus, staging, icap_data, icap_control,
+                  icap_status, kernel, fabric_state, region, registry, dock,
+                  slot, stats, deadline);
+  account_reconfig(mem_bus.simulation(), differential, stats);
   return stats;
 }
 
@@ -191,15 +221,12 @@ ReconfigStats do_load_config(const bitstream::PartialConfig& cfg,
                              const hw::BehaviorRegistry& registry, Dock& dock,
                              std::unique_ptr<hw::HwModule>& slot,
                              sim::SimTime deadline) {
-  ReconfigStats stats;
-  stats.started = kernel.now();
-  stats.config_bytes = cfg.payload_bytes();
-  stream_and_bind(bitstream::serialize(cfg), mem_bus, staging, icap_data,
-                  icap_control, icap_status, kernel, fabric_state, region,
-                  registry, dock, slot, stats, deadline);
-  account_reconfig(mem_bus.simulation(),
-                   /*differential=*/!cfg.is_complete_for(region), stats);
-  return stats;
+  const auto words = bitstream::serialize(cfg);
+  return do_load_stream(std::span<const std::uint32_t>{words},
+                        cfg.payload_bytes(),
+                        /*differential=*/!cfg.is_complete_for(region), mem_bus,
+                        staging, icap_data, icap_control, icap_status, kernel,
+                        fabric_state, region, registry, dock, slot, deadline);
 }
 
 }  // namespace detail
@@ -259,6 +286,17 @@ ReconfigStats Platform32::load_module(hw::BehaviorId id) {
 ReconfigStats Platform32::load_config(const bitstream::PartialConfig& cfg) {
   return detail::do_load_config(
       cfg, opb_, kConfigStaging,
+      kIcapRange.base + icap::IcapController::kDataReg,
+      kIcapRange.base + icap::IcapController::kControlReg,
+      kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
+      region_, registry_, *dock_, module_, load_deadline_);
+}
+
+ReconfigStats Platform32::load_stream(std::span<const std::uint32_t> words,
+                                      std::int64_t config_bytes,
+                                      bool differential) {
+  return detail::do_load_stream(
+      words, config_bytes, differential, opb_, kConfigStaging,
       kIcapRange.base + icap::IcapController::kDataReg,
       kIcapRange.base + icap::IcapController::kControlReg,
       kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
@@ -384,29 +422,58 @@ ReconfigStats Platform64::load_config(const bitstream::PartialConfig& cfg) {
       region_, registry_, *dock_, module_, load_deadline_);
 }
 
-ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
-  ReconfigStats stats;
-  stats.started = kernel_->now();
-  if (load_deadline_.ps() > 0 && stats.started >= load_deadline_) {
-    stats.finished = stats.started;
-    stats.watchdog = true;
-    stats.error = "watchdog: load deadline already expired at DMA issue";
-    detail::account_reconfig(sim_, /*differential=*/false, stats);
-    return stats;
-  }
+ReconfigStats Platform64::load_stream(std::span<const std::uint32_t> words,
+                                      std::int64_t config_bytes,
+                                      bool differential) {
+  return detail::do_load_stream(
+      words, config_bytes, differential, plb_, kConfigStaging,
+      kIcapRange.base + icap::IcapController::kDataReg,
+      kIcapRange.base + icap::IcapController::kControlReg,
+      kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
+      region_, registry_, *dock_, module_, load_deadline_);
+}
 
+ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
   const auto comp = hw::component_for(id, 64);
   const auto linked = linker_->link_single(comp);
   if (!linked.ok()) {
+    ReconfigStats stats;
+    stats.started = kernel_->now();
     stats.error = linked.errors.front();
     stats.finished = kernel_->now();
     return stats;
   }
-  auto words = bitstream::serialize(*linked.config);
-  if (words.size() % 2 != 0) words.push_back(bitstream::kDummyWord);
+  const auto words = bitstream::serialize(*linked.config);
+  return load_stream_dma(words, linked.stats.payload_bytes,
+                         /*differential=*/false);
+}
+
+ReconfigStats Platform64::load_stream_dma(std::span<const std::uint32_t> words,
+                                          std::int64_t config_bytes,
+                                          bool differential) {
+  ReconfigStats stats;
+  stats.started = kernel_->now();
+  stats.config_bytes = config_bytes;
+  if (load_deadline_.ps() > 0 && stats.started >= load_deadline_) {
+    stats.finished = stats.started;
+    stats.watchdog = true;
+    stats.error = "watchdog: load deadline already expired at DMA issue";
+    detail::account_reconfig(sim_, differential, stats);
+    return stats;
+  }
+
+  // The 64-bit DMA engine moves whole beats: an odd word count needs a pad
+  // word, and an armed fault plan mutates the staged stream -- both force a
+  // local copy. Even-sized fault-free streams (every cached plan, padded at
+  // build time or naturally even) go straight from the span to staging.
+  std::vector<std::uint32_t> local;
+  if (words.size() % 2 != 0 || faults_ != nullptr) {
+    local.assign(words.begin(), words.end());
+    if (local.size() % 2 != 0) local.push_back(bitstream::kDummyWord);
+    if (faults_) faults_->corrupt_staged(local, kernel_->now());
+    words = local;
+  }
   stats.stream_words = static_cast<std::int64_t>(words.size());
-  stats.config_bytes = linked.stats.payload_bytes;
-  if (faults_) faults_->corrupt_staged(words, kernel_->now());
   for (std::size_t i = 0; i < words.size(); ++i) {
     plb_.poke(kConfigStaging + i * 4, words[i], 4);
   }
@@ -431,7 +498,7 @@ ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
     stats.finished = kernel_->now();
     stats.watchdog = true;
     stats.error = "watchdog: DMA reconfiguration missed the load deadline";
-    detail::account_reconfig(sim_, /*differential=*/false, stats);
+    detail::account_reconfig(sim_, differential, stats);
     return stats;
   }
   dock_->signal_done(done);
@@ -446,26 +513,26 @@ ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
   stats.finished = kernel_->now();
   if (!(status & icap::IcapController::kStatusDone)) {
     stats.error = "ICAP did not complete (CRC or protocol error)";
-    detail::account_reconfig(sim_, /*differential=*/false, stats);
+    detail::account_reconfig(sim_, differential, stats);
     return stats;
   }
   int bound_id = -1;
   if (!detail::region_validates(fabric_, region_, &bound_id)) {
     stats.error = "region signature/payload validation failed";
-    detail::account_reconfig(sim_, /*differential=*/false, stats);
+    detail::account_reconfig(sim_, differential, stats);
     return stats;
   }
   auto module = registry_.create(bound_id);
   if (!module) {
     stats.error = "no behavioural model registered for id " +
                   std::to_string(bound_id);
-    detail::account_reconfig(sim_, /*differential=*/false, stats);
+    detail::account_reconfig(sim_, differential, stats);
     return stats;
   }
   module_ = std::move(module);
   dock_->bind(module_.get());
   stats.ok = true;
-  detail::account_reconfig(sim_, /*differential=*/false, stats);
+  detail::account_reconfig(sim_, differential, stats);
   return stats;
 }
 

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -152,6 +153,20 @@ class Platform32 {
   /// payload hash.
   ReconfigStats load_config(const bitstream::PartialConfig& cfg);
 
+  /// Zero-copy streaming load of a pre-encoded ICAP word stream (a cached
+  /// reconfiguration plan): same staging, watchdog, fault-injection and
+  /// validation behaviour as load_config, without re-serialising -- and
+  /// without copying the stream unless a fault plan has to mutate it.
+  /// `config_bytes` and `differential` only feed accounting (the stats
+  /// counters and the trace span flavour).
+  ReconfigStats load_stream(std::span<const std::uint32_t> words,
+                            std::int64_t config_bytes, bool differential);
+
+  /// Invalidate generation-tagged assumptions about the fabric (cached
+  /// differential plans) without altering its content. Used by the
+  /// ModuleManager on invalidate() and on fault detection.
+  void bump_fabric_generation() { fabric_.bump_generation(); }
+
   void unload();
   [[nodiscard]] hw::HwModule* active_module() { return module_.get(); }
 
@@ -243,11 +258,24 @@ class Platform64 {
   /// See Platform32::load_config.
   ReconfigStats load_config(const bitstream::PartialConfig& cfg);
 
+  /// See Platform32::load_stream.
+  ReconfigStats load_stream(std::span<const std::uint32_t> words,
+                            std::int64_t config_bytes, bool differential);
+
+  /// See Platform32::bump_fabric_generation.
+  void bump_fabric_generation() { fabric_.bump_generation(); }
+
   /// Extension: DMA-driven reconfiguration. The scatter-gather engine
   /// streams the staged bitstream straight into the HWICAP data window
   /// (64-bit beats split by the bridge), freeing the CPU; completion is
   /// signalled by interrupt. Approaches the ICAP throughput bound.
   ReconfigStats load_module_dma(hw::BehaviorId id);
+
+  /// The DMA path for a pre-encoded stream (cached plan): identical
+  /// deadline, padding, fault-injection and interrupt behaviour to
+  /// load_module_dma, minus the link/encode work.
+  ReconfigStats load_stream_dma(std::span<const std::uint32_t> words,
+                                std::int64_t config_bytes, bool differential);
 
   void unload();
   [[nodiscard]] hw::HwModule* active_module() { return module_.get(); }

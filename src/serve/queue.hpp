@@ -39,6 +39,19 @@ class RequestQueue {
     return AdmitError::kNone;
   }
 
+  /// The next request (in pop order) whose behaviour differs from
+  /// `behavior`, or null. Used by the server's plan prefetch: warming the
+  /// plan for the request that will actually force a swap, not for queued
+  /// repeats of the resident module.
+  [[nodiscard]] const Request* peek_next_distinct(int behavior) const {
+    for (const auto& q : q_) {
+      for (const Request& r : q) {
+        if (r.behavior != behavior) return &r;
+      }
+    }
+    return nullptr;
+  }
+
   /// Highest priority first, FIFO within a priority.
   Request pop() {
     for (auto& q : q_) {

@@ -48,6 +48,10 @@ struct ServeOptions {
   /// Platform64 PIO load is ~27 ms), so healthy loads always pass while a
   /// stuck load's retry ladder is cut off mid-stream.
   sim::SimTime hw_attempt_budget = sim::SimTime::from_ms(60);
+  /// Memoize reconfiguration plans (and prefetch them for the next queued
+  /// distinct behaviour). Host-side only: simulated times and outputs are
+  /// byte-identical with the cache off (see docs/PERFORMANCE.md).
+  bool plan_cache = true;
 };
 
 /// Aggregate disposition counts of one serve run (mirrors the serve.*
@@ -79,7 +83,9 @@ class TaskServer {
         mgr_(p, opts.recovery),
         opts_(opts),
         queue_(queue_capacity),
-        seed_(seed) {}
+        seed_(seed) {
+    mgr_.set_plan_cache_enabled(opts_.plan_cache);
+  }
 
   [[nodiscard]] RequestQueue& queue() { return queue_; }
   [[nodiscard]] ModuleManager<Platform>& manager() { return mgr_; }
@@ -132,6 +138,7 @@ class TaskServer {
                now());
     }
     Completion c = dispatch(req);
+    prefetch_next(req);
     c.finished = now();
     c.deadline_met = req.deadline.ps() == 0 || c.finished <= req.deadline;
     if (!c.deadline_met &&
@@ -209,6 +216,15 @@ class TaskServer {
       p_->set_load_deadline(dl);
       const EnsureStats es = mgr_.ensure(req.behavior, dock_width());
       p_->set_load_deadline(sim::SimTime{});
+      if (opts_.plan_cache && !es.already_resident) {
+        // A swap actually ran: score the prefetcher's last prediction.
+        if (prefetch_pending_ == req.behavior) {
+          counter("serve.prefetch.hits").add();
+          prefetch_pending_ = -1;
+        } else {
+          counter("serve.prefetch.misses").add();
+        }
+      }
       if (es.watchdog) {
         ++report_.watchdog_aborts;
         counter("serve.watchdog_aborts").add();
@@ -264,6 +280,23 @@ class TaskServer {
     return c;
   }
 
+  /// Warm the manager's plan cache for the next queued request that would
+  /// force a module swap. Pure host-side work between requests (zero
+  /// simulated time), so the served outputs cannot observe it; the warm is
+  /// traced as a SERVE instant and scored by serve.prefetch.* counters.
+  void prefetch_next(const Request& just_served) {
+    const Request* nx = queue_.peek_next_distinct(just_served.behavior);
+    if (nx == nullptr) return;
+    if (!mgr_.warm(static_cast<hw::BehaviorId>(nx->behavior), dock_width())) {
+      return;
+    }
+    if (prefetch_pending_ >= 0 && prefetch_pending_ != nx->behavior) {
+      counter("serve.prefetch.wasted").add();
+    }
+    prefetch_pending_ = nx->behavior;
+    mark("prefetch:warm", nx->id);
+  }
+
   sim::Counter& counter(const char* name) {
     return p_->sim().stats().counter(name);
   }
@@ -282,6 +315,7 @@ class TaskServer {
   std::uint64_t seed_;
   std::map<int, CircuitBreaker> breakers_;
   ServeReport report_;
+  int prefetch_pending_ = -1;  // behaviour warmed but not yet consumed
 };
 
 /// Drive a closed-loop workload to completion: each client submits its next

@@ -32,4 +32,20 @@ inline bool parse_i64(std::string_view s, std::int64_t* out) {
   return true;
 }
 
+/// Parse a "WxH" dimension pair, both parts positive decimals and the
+/// whole string consumed ("128x96" yes; "128x96x3", "0x9", "128x" no).
+/// Untouched outputs on failure.
+inline bool parse_dims(std::string_view s, int* w, int* h) {
+  const std::size_t x = s.find('x');
+  if (x == std::string_view::npos) return false;
+  std::int64_t pw = 0, ph = 0;
+  if (!parse_i64(s.substr(0, x), &pw) || !parse_i64(s.substr(x + 1), &ph)) {
+    return false;
+  }
+  if (pw <= 0 || ph <= 0 || pw > INT32_MAX || ph > INT32_MAX) return false;
+  *w = static_cast<int>(pw);
+  *h = static_cast<int>(ph);
+  return true;
+}
+
 }  // namespace rtr::sim

@@ -86,6 +86,10 @@ TEST(Cli, GarbageNumericArgsRejected) {
   EXPECT_EQ(run_cli("run --system 32 --task jenkins --bytes -1").exit_code, 2);
   EXPECT_EQ(run_cli("run --system 64 --task fade --image 64x32x7").exit_code, 2);
   EXPECT_EQ(run_cli("run --system 64 --task fade --image 0x32").exit_code, 2);
+  EXPECT_EQ(run_cli("run --system 64 --task fade --image 64x").exit_code, 2);
+  EXPECT_EQ(run_cli("run --system 64 --task fade --image x32").exit_code, 2);
+  EXPECT_EQ(run_cli("run --system 64 --task fade --image 64by32").exit_code, 2);
+  EXPECT_EQ(run_cli("run --system 64 --task fade --image -4x32").exit_code, 2);
   EXPECT_EQ(run_cli("run --system 64 --stats-format yaml").exit_code, 2);
   EXPECT_EQ(run_cli("run --system 64 --log-level loud").exit_code, 2);
   EXPECT_EQ(run_cli("run --system 64 --trace-format xml").exit_code, 2);
@@ -290,6 +294,42 @@ TEST(Cli, ServeRejectsUnknownWorkload) {
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("invalid value 'nope' for '--workload'"),
             std::string::npos);
+}
+
+TEST(Cli, ServePlanCacheFlagKeepsStdoutByteIdentical) {
+  // The plan cache is host-side only: the serve matrix must print exactly
+  // the same simulated results with it disabled. Only the prefetcher's own
+  // scorecard (serve.prefetch.*) and the cache counters may differ -- they
+  // report on the optimization itself, not on served requests.
+  const auto strip = [](const std::string& s) {
+    std::istringstream in(s);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      if (line.find("serve.prefetch.") != std::string::npos) continue;
+      out += line + "\n";
+    }
+    return out;
+  };
+  const auto on = run_cli_stdout("serve --smoke -j 2 --seed 3");
+  const auto off = run_cli_stdout("serve --smoke -j 2 --seed 3 --no-plan-cache");
+  EXPECT_EQ(on.exit_code, 0) << on.output;
+  EXPECT_EQ(off.exit_code, 0) << off.output;
+  EXPECT_EQ(strip(on.output), strip(off.output));
+}
+
+TEST(Cli, ServeWritesBenchJson) {
+  const std::string path = "cli_serve_bench.json";
+  const auto r = run_cli_stdout("serve --smoke -j 1 --bench-out " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("rtrsim-serve-bench-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"plan_cache\": true"), std::string::npos);
+  EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(Cli, SweepWritesBenchJson) {

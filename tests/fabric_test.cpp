@@ -134,6 +134,41 @@ TEST(FrameAddress, ScanOrderCoversAllFramesOnce) {
 
 // --- Configuration memory ---------------------------------------------------
 
+TEST(ConfigMemory, GenerationBumpsOnEveryWritePath) {
+  ConfigMemory cm{Device::xc2vp7()};
+  EXPECT_EQ(cm.generation(), 0u);
+
+  std::vector<std::uint32_t> data(static_cast<size_t>(cm.words_per_frame()),
+                                  7u);
+  const FrameAddress a{ColumnType::kClb, 5, 3};
+  cm.write_frame(a, data);
+  const std::uint64_t g1 = cm.generation();
+  EXPECT_GT(g1, 0u);
+
+  const std::uint32_t patch[2] = {1, 2};
+  cm.write_words(a, 4, patch);
+  EXPECT_GT(cm.generation(), g1);
+
+  const std::uint64_t g2 = cm.generation();
+  const auto snap = cm.snapshot();
+  cm.restore(snap);
+  EXPECT_GT(cm.generation(), g2);  // even a content-preserving restore
+
+  const std::uint64_t g3 = cm.generation();
+  cm.clear();
+  EXPECT_GT(cm.generation(), g3);
+
+  const std::uint64_t g4 = cm.generation();
+  cm.bump_generation();  // explicit invalidation, no content change
+  EXPECT_EQ(cm.generation(), g4 + 1);
+
+  // Reads never move the tag.
+  const std::uint64_t g5 = cm.generation();
+  (void)cm.frame(a);
+  (void)cm.snapshot();
+  EXPECT_EQ(cm.generation(), g5);
+}
+
 TEST(ConfigMemory, FrameReadWriteRoundTrip) {
   ConfigMemory cm{Device::xc2vp7()};
   std::vector<std::uint32_t> data(static_cast<size_t>(cm.words_per_frame()));

@@ -274,6 +274,77 @@ TEST(FaultRecovery, LegacyCorruptOptionIsAnAliasForTheStoragePlan) {
   EXPECT_EQ(sa.duration().ps(), sb.duration().ps());
 }
 
+TEST(FaultRecovery, InjectedFaultsBumpTheFabricGeneration) {
+  // Generation-tag invariant: any run that detects a fault moves the tag
+  // further than a clean run of the same workload -- for storage faults
+  // through the extra (failed + retried) stream writes, for readback
+  // faults through the explicit bump in the manager's detection path (the
+  // corrupted FDRO stream itself never writes config memory).
+  auto gen_after = [](const char* spec_text, std::int64_t word) {
+    PlatformOptions opts;
+    if (spec_text != nullptr) {
+      fault::FaultSpec s = spec_of(spec_text);
+      if (word >= 0) {
+        s.word = word;
+        s.mask = 0x0100;
+      }
+      opts.fault_plan.add(s);
+    }
+    Platform32 p{opts};
+    ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+    const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+    RTR_CHECK(res.ok, "recovery must converge");
+    return std::pair{p.fabric_state().generation(), res.detected};
+  };
+
+  const auto [clean_gen, clean_det] = gen_after(nullptr, -1);
+  EXPECT_FALSE(clean_det);
+
+  const auto [storage_gen, storage_det] = gen_after("storage:once@0:1", 5000);
+  EXPECT_TRUE(storage_det);
+  EXPECT_GT(storage_gen, clean_gen);
+
+  const fabric::DynamicRegion region = fabric::DynamicRegion::xc2vp7_region();
+  const auto wpf =
+      static_cast<std::uint64_t>(region.device().words_per_frame());
+  fault::FaultSpec rb = spec_of("readback:once@0:1");
+  rb.n = 10u * wpf + static_cast<std::uint64_t>(region.first_word()) +
+         static_cast<std::uint64_t>(region.word_count()) / 2;
+  PlatformOptions opts;
+  opts.fault_plan.add(rb);
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+  const EnsureStats res = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.detected);
+  EXPECT_GE(res.scrubs, 1);
+  EXPECT_GT(p.fabric_state().generation(), clean_gen);
+}
+
+TEST(FaultRecovery, PlanCacheStaysCorrectAcrossFaultRecovery) {
+  // A fault mid-recovery must not poison memoized plans: after the manager
+  // converges, a warmed differential swap still binds the right module.
+  fault::FaultSpec s = spec_of("storage:once@0:1");
+  s.word = 5000;
+  s.mask = 0x0100;
+  PlatformOptions opts;
+  opts.fault_plan.add(s);
+  Platform32 p{opts};
+  ModuleManager<Platform32> mgr{p, RecoveryPolicy{.verify_after_load = true}};
+
+  const EnsureStats first = mgr.ensure(hw::kBrightness, 32);
+  ASSERT_TRUE(first.ok) << first.error;
+  ASSERT_TRUE(first.detected);
+
+  ASSERT_TRUE(mgr.warm(hw::kFade, 32));
+  const EnsureStats second = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.used_differential);
+  EXPECT_TRUE(second.plan_cached);
+  EXPECT_EQ(p.fabric_state().snapshot(),
+            golden_snapshot<Platform32>(hw::kFade));
+}
+
 TEST(FaultRecovery, SeededInjectionIsDeterministicAcrossRuns) {
   auto run = [] {
     PlatformOptions opts;

@@ -148,5 +148,112 @@ TEST(ManagerSavings, AlternationIsMuchCheaperWithDifferentials) {
   EXPECT_LT(diff_time.ps() * 2, full_time.ps());
 }
 
+TYPED_TEST(ManagerTest, CachedAndUncachedRunsAreByteIdentical) {
+  // The plan cache removes host-side work only: simulated times, stream
+  // word counts and the bound signature must not depend on it.
+  const int w = Width<TypeParam>::v;
+  const hw::BehaviorId seq[] = {hw::kBrightness, hw::kFade, hw::kBrightness,
+                                hw::kJenkinsHash, hw::kFade, hw::kFade,
+                                hw::kBrightness};
+
+  TypeParam pc;
+  ModuleManager<TypeParam> cached{pc};
+  TypeParam pu;
+  ModuleManager<TypeParam> uncached{pu};
+  uncached.set_plan_cache_enabled(false);
+
+  for (const hw::BehaviorId id : seq) {
+    const auto a = cached.ensure(id, w);
+    const auto b = uncached.ensure(id, w);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.time.ps(), b.time.ps());
+    EXPECT_EQ(a.stream_words, b.stream_words);
+    EXPECT_EQ(a.used_differential, b.used_differential);
+    EXPECT_FALSE(b.plan_cached);  // the uncached manager never reports one
+  }
+  EXPECT_EQ(pc.kernel().now().ps(), pu.kernel().now().ps());
+  EXPECT_EQ(pc.region().scan_signature(pc.fabric_state()),
+            pu.region().scan_signature(pu.fabric_state()));
+}
+
+TEST(ManagerPlanCache, RepeatSwapsHitTheDifferentialCache) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+  const auto cold = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_TRUE(cold.used_differential);
+  EXPECT_FALSE(cold.plan_cached);  // first time this pair is diffed
+
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+  const auto warm = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.used_differential);
+  EXPECT_TRUE(warm.plan_cached);
+  EXPECT_EQ(warm.stream_words, cold.stream_words);
+  EXPECT_EQ(mgr.plan_cache().diff_plans(), 2u);  // both directions built
+
+  EXPECT_GT(p.sim().stats().counter("rtr.plan_cache.hits").value(), 0);
+  EXPECT_GT(
+      p.sim().stats().histogram("rtr.ensure.latency_ps.cached").count(), 0);
+  EXPECT_GT(
+      p.sim().stats().histogram("rtr.ensure.latency_ps.complete").count(), 0);
+}
+
+TEST(ManagerPlanCache, WarmMakesTheNextSwapAPlanHit) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+  const sim::SimTime before = p.kernel().now();
+  ASSERT_TRUE(mgr.warm(hw::kFade, 32));
+  EXPECT_EQ(p.kernel().now().ps(), before.ps());  // warming is host-only
+  const auto s = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s.ok);
+  EXPECT_TRUE(s.used_differential);
+  EXPECT_TRUE(s.plan_cached);
+}
+
+TEST(ManagerPlanCache, InvalidateBumpsGenerationAndForcesColdPath) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+  ASSERT_TRUE(mgr.warm(hw::kFade, 32));  // plan warmed against current state
+  const std::uint64_t gen = p.fabric_state().generation();
+  mgr.invalidate();
+  EXPECT_GT(p.fabric_state().generation(), gen);
+  const auto s = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s.ok);
+  EXPECT_FALSE(s.used_differential);  // residency dropped: complete path
+}
+
+TEST(ManagerPlanCache, ExternalFabricWriteFailsTheGenerationTag) {
+  Platform32 p;
+  ModuleManager<Platform32> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 32).ok);
+  const std::uint64_t gen = p.fabric_state().generation();
+
+  // Any external write moves the tag, even one the differential would not
+  // touch; the manager must refuse the cached plan and fall back.
+  std::vector<std::uint32_t> junk(
+      static_cast<std::size_t>(p.fabric_state().words_per_frame()), 0x77777);
+  bitstream::PartialConfig rogue{p.region().device()};
+  rogue.add_run({fabric::FrameAddress{fabric::ColumnType::kClb,
+                                      p.region().rect().col0 + 15, 2},
+                 1, junk});
+  for (std::uint32_t word : bitstream::serialize(rogue)) {
+    p.cpu().store32(Platform32::kIcapRange.base, word);
+  }
+  EXPECT_GT(p.fabric_state().generation(), gen);
+
+  const auto s = mgr.ensure(hw::kFade, 32);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_TRUE(s.fell_back);
+  EXPECT_FALSE(s.used_differential);
+  EXPECT_GT(
+      p.sim().stats().counter("rtr.plan_cache.gen_invalidations").value(), 0);
+  EXPECT_EQ(p.region().scan_signature(p.fabric_state()), hw::kFade);
+}
+
 }  // namespace
 }  // namespace rtr

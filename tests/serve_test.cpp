@@ -255,6 +255,66 @@ TEST(RunWorkload, IdenticalSeedsAreBitIdentical) {
   EXPECT_NE(std::get<1>(run(7)), std::get<1>(run(8)));
 }
 
+TEST(RunWorkload, PlanCacheAndPrefetchDoNotPerturbSimulatedResults) {
+  // The plan cache and the prefetcher are host-side optimizations: a run
+  // with them off must be bit-identical in every simulated quantity.
+  auto run = [](bool plan_cache) {
+    Platform32 p;
+    serve::ServeOptions so;
+    so.plan_cache = plan_cache;
+    const ServeReport r =
+        serve::run_workload(p, *serve::workload_by_name("mixed"), 7, so);
+    std::vector<std::uint64_t> digests;
+    std::vector<std::int64_t> finishes;
+    for (const auto& c : r.completions) {
+      digests.push_back(c.digest);
+      finishes.push_back(c.finished.ps());
+    }
+    return std::tuple{r.served_hw, r.degraded, digests, finishes,
+                      p.kernel().now().ps()};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(RunWorkload, PrefetchWarmsPlansAndScoresItself) {
+  Platform32 p;
+  serve::ServeOptions so;
+  const serve::WorkloadSpec* w = serve::workload_by_name("mixed");
+  ASSERT_NE(w, nullptr);
+  const ServeReport r = serve::run_workload(p, *w, 7, so);
+  ASSERT_TRUE(r.digests_ok);
+  auto& stats = p.sim().stats();
+  // The mixed workload swaps modules constantly: the prefetcher must both
+  // fire and land (a hit means the swap consumed a plan warmed for it).
+  EXPECT_GT(stats.counter("serve.prefetch.hits").value(), 0);
+  EXPECT_GT(stats.counter("rtr.plan_cache.hits").value(), 0);
+  // Disabled cache: the prefetch machinery stays silent.
+  Platform32 q;
+  serve::ServeOptions off;
+  off.plan_cache = false;
+  (void)serve::run_workload(q, *w, 7, off);
+  EXPECT_EQ(q.sim().stats().counter("serve.prefetch.hits").value(), 0);
+  EXPECT_EQ(q.sim().stats().counter("serve.prefetch.misses").value(), 0);
+}
+
+TEST(RequestQueue, PeekNextDistinctSkipsRepeatsInPopOrder) {
+  RequestQueue q{8};
+  EXPECT_EQ(q.peek_next_distinct(hw::kBrightness), nullptr);
+  ASSERT_EQ(q.admit(make_request(1, hw::kBrightness)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(2, hw::kBrightness)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(3, hw::kFade)), AdmitError::kNone);
+  // Repeats of the resident behaviour are skipped...
+  const Request* nx = q.peek_next_distinct(hw::kBrightness);
+  ASSERT_NE(nx, nullptr);
+  EXPECT_EQ(nx->id, 3);
+  // ...and a higher-priority distinct request wins, matching pop order.
+  ASSERT_EQ(q.admit(make_request(4, hw::kJenkinsHash, Priority::kHigh)),
+            AdmitError::kNone);
+  nx = q.peek_next_distinct(hw::kBrightness);
+  ASSERT_NE(nx, nullptr);
+  EXPECT_EQ(nx->id, 4);
+}
+
 TEST(RunWorkload, BurstWorkloadShedsAtTheAdmissionBound) {
   Platform32 p;
   const serve::WorkloadSpec* w = serve::workload_by_name("burst");

@@ -7,9 +7,11 @@
 //   rtrsim_cli reconfig  --system 32|64 --task <name> [--dma]
 //   rtrsim_cli sweep     [-j N] [--smoke] [--bench-out FILE]
 //   rtrsim_cli faults    [--smoke] [--seed N]
-//   rtrsim_cli serve     [-j N] [--smoke] [--seed N]
+//   rtrsim_cli serve     [-j N] [--smoke] [--seed N] [--bench-out FILE]
+//                        [--no-plan-cache]
 //   rtrsim_cli serve     --workload NAME --system 32|64 [--seed N]
 //                        [--fault-spec ...] [--repair-at N] [--dma]
+//                        [--no-plan-cache]
 //
 // `sweep` runs a fixed list of Platform32/Platform64 scenarios across a
 // worker-thread pool (each simulation is single-threaded and owns all its
@@ -97,7 +99,8 @@ struct Args {
   std::string log_level;  // empty: logging off
   int jobs = 0;           // sweep worker threads; 0 = hardware concurrency
   bool smoke = false;     // sweep/faults: small scenario subset (CI)
-  std::string bench_out;  // sweep: substrate benchmark JSON
+  bool plan_cache = true;  // serve: memoize/prefetch reconfiguration plans
+  std::string bench_out;  // sweep/serve: benchmark JSON
   std::vector<std::string> fault_specs;  // run/reconfig/serve: --fault-spec
   std::uint64_t fault_seed = 1;          // faults/serve: --seed
   std::string workload;                  // serve: named workload (single mode)
@@ -115,7 +118,7 @@ int usage() {
                "       [--log-level err|warn|info|trace]\n"
                "       [-j N|--jobs N] [--smoke] [--bench-out FILE]\n"
                "       [--fault-spec site:trigger:seed]... [--seed N]\n"
-               "       [--workload NAME] [--repair-at N]\n"
+               "       [--workload NAME] [--repair-at N] [--no-plan-cache]\n"
                "tasks: jenkins sha1 patmatch brightness blend fade loopback\n"
                "workloads: mixed hash image burst steady\n"
                "fault sites: storage icap dma bus readback; triggers: once@N "
@@ -179,12 +182,7 @@ bool parse(int argc, char** argv, Args& a) {
       a.bytes = static_cast<std::uint32_t>(n);
     } else if (opt == "--image") {
       const char* v = value();
-      char trailing;
-      if (!v ||
-          std::sscanf(v, "%dx%d%c", &a.img_w, &a.img_h, &trailing) != 2 ||
-          a.img_w <= 0 || a.img_h <= 0) {
-        return bad(v);
-      }
+      if (!v || !sim::parse_dims(v, &a.img_w, &a.img_h)) return bad(v);
     } else if (opt == "--dma") {
       a.dma = true;
     } else if (opt == "--cache") {
@@ -216,6 +214,8 @@ bool parse(int argc, char** argv, Args& a) {
       a.jobs = static_cast<int>(n);
     } else if (opt == "--smoke") {
       a.smoke = true;
+    } else if (opt == "--no-plan-cache") {
+      a.plan_cache = false;
     } else if (opt == "--fault-spec") {
       const char* v = value();
       if (!v) return bad(v);
@@ -993,7 +993,7 @@ struct ServeScenarioOutcome {
 /// (scenario, seed), independent of worker scheduling.
 template <typename Platform>
 ServeScenarioOutcome serve_scenario(const ServeScenario& sc,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, bool plan_cache) {
   const serve::WorkloadSpec* w = serve::workload_by_name(sc.workload);
   RTR_CHECK(w != nullptr, "unknown built-in workload");
   PlatformOptions opts;
@@ -1007,6 +1007,7 @@ ServeScenarioOutcome serve_scenario(const ServeScenario& sc,
   Platform p{opts};
   serve::ServeOptions so;
   so.recovery.use_dma = sc.dma;
+  so.plan_cache = plan_cache;
   if (sc.budget_ms > 0) {
     so.hw_attempt_budget = sim::SimTime::from_ms(sc.budget_ms);
   }
@@ -1088,6 +1089,7 @@ int serve_single(const Args& a) {
 
   serve::ServeOptions so;
   so.recovery.use_dma = a.dma;
+  so.plan_cache = a.plan_cache;
   const serve::ServeReport r =
       serve::run_workload(p, *w, a.fault_seed, so, a.repair_at);
 
@@ -1099,6 +1101,35 @@ int serve_single(const Args& a) {
   if (!a.fault_specs.empty()) print_fault_summary(p.faults());
   const int dump_rc = dump_observability(p.sim(), tracer, a);
   return r.digests_ok && r.failed == 0 ? dump_rc : 1;
+}
+
+/// Serve-matrix throughput record (host wall-clock; the simulated outputs
+/// above are the determinism surface, this is the perf surface). Mirrors
+/// write_bench_json's shape so CI can smoke both baselines the same way.
+bool write_serve_bench_json(const std::string& path, std::size_t scenarios,
+                            int jobs, double wall_ms, bool plan_cache) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"schema\": \"rtrsim-serve-bench-v1\",\n"
+                "  \"serve\": {\n"
+                "    \"scenarios\": %zu,\n"
+                "    \"jobs\": %d,\n"
+                "    \"plan_cache\": %s,\n"
+                "    \"wall_ms\": %.1f,\n"
+                "    \"scenarios_per_sec\": %.2f\n"
+                "  }\n"
+                "}\n",
+                scenarios, jobs, plan_cache ? "true" : "false", wall_ms,
+                wall_ms > 0 ? 1000.0 * static_cast<double>(scenarios) / wall_ms
+                            : 0.0);
+  f << buf;
+  return static_cast<bool>(f);
 }
 
 int serve_cmd(const Args& a) {
@@ -1129,9 +1160,11 @@ int serve_cmd(const Args& a) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= list.size()) return;
-      results[i] = list[i].system == 32
-                       ? serve_scenario<Platform32>(list[i], a.fault_seed)
-                       : serve_scenario<Platform64>(list[i], a.fault_seed);
+      results[i] =
+          list[i].system == 32
+              ? serve_scenario<Platform32>(list[i], a.fault_seed, a.plan_cache)
+              : serve_scenario<Platform64>(list[i], a.fault_seed,
+                                           a.plan_cache);
     }
   };
   std::vector<std::thread> pool;
@@ -1160,6 +1193,12 @@ int serve_cmd(const Args& a) {
   // Host-side timing is non-deterministic by nature: stderr only.
   std::fprintf(stderr, "serve: %zu scenarios, %d jobs, %.1f ms wall\n",
                list.size(), jobs, wall_ms);
+
+  if (!a.bench_out.empty() &&
+      !write_serve_bench_json(a.bench_out, list.size(), jobs, wall_ms,
+                              a.plan_cache)) {
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }
 
