@@ -11,6 +11,7 @@
 #include "mem/sparse_memory.hpp"
 #include "rtr/manager.hpp"
 #include "rtr/platform.hpp"
+#include "serve/server.hpp"
 #include "sim/event_queue.hpp"
 
 using namespace rtr;
@@ -160,6 +161,27 @@ static void BM_EnsureUncachedDiff(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EnsureUncachedDiff);
+
+// The whole serving hot path with tracing disabled: a steady closed-loop
+// workload through admission, plan-cache reconfiguration, execution and
+// completion. Items = disposed requests, so the per-item time is ns per
+// request -- the same quantity `serve --bench-out` records as
+// BM_ServeSteadyHot_ns_per_req and CI gates against (<5% regression).
+// Request-context threading, stage histograms and SLO/recorder hooks must
+// stay cheap enough to hide in this number when observers are off.
+static void BM_ServeSteadyHot(benchmark::State& state) {
+  const serve::WorkloadSpec* w = serve::workload_by_name("steady");
+  std::int64_t disposed = 0;
+  for (auto _ : state) {
+    Platform32 p;
+    serve::ServeOptions so;
+    const serve::ServeReport r = serve::run_workload(p, *w, /*seed=*/1, so);
+    disposed = static_cast<std::int64_t>(r.completions.size());
+    benchmark::DoNotOptimize(disposed);
+  }
+  state.SetItemsProcessed(state.iterations() * disposed);
+}
+BENCHMARK(BM_ServeSteadyHot)->Unit(benchmark::kMillisecond);
 
 static void BM_DmaBlock(benchmark::State& state) {
   Platform64 p;

@@ -39,6 +39,7 @@
 #include "rtr/plan_cache.hpp"
 #include "rtr/platform.hpp"
 #include "rtr/readback.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace rtr {
 
@@ -108,6 +109,11 @@ class ModuleManager {
     if (tr.enabled()) {
       track = tr.track("RTR.manager");
       tr.begin(track, "swap:" + std::to_string(id), p_->kernel().now());
+      if (const sim::RequestContext* rq = p_->sim().active_request()) {
+        // Link the swap into the owning request's flow chain.
+        tr.flow(trace::Phase::kFlowStep, track, "req", rq->id,
+                p_->kernel().now());
+      }
     }
     EnsureStats res = ensure_impl(id, dock_width);
     if (track >= 0) {
@@ -292,6 +298,7 @@ class ModuleManager {
       if (attempt + 1 >= policy_.max_attempts) {
         counter("rtr.recovery.giveups").add();
         mark("giveup");
+        incident("rtr_giveup");
         resident_ = -1;
         have_base_ = false;
         res.time = p_->kernel().now() - t0;
@@ -314,6 +321,7 @@ class ModuleManager {
     mark("watchdog_abort");
     counter("rtr.recovery.giveups").add();
     mark("giveup");
+    incident("rtr_giveup");
     resident_ = -1;
     have_base_ = false;
     res.time = p_->kernel().now() - t0;
@@ -353,6 +361,7 @@ class ModuleManager {
         res.error = "readback verification failed after scrubbing";
         counter("rtr.recovery.giveups").add();
         mark("giveup");
+        incident("rtr_giveup");
         resident_ = -1;
         have_base_ = false;
         res.time = p_->kernel().now() - t0;
@@ -391,6 +400,15 @@ class ModuleManager {
     trace::Tracer& tr = p_->sim().tracer();
     if (tr.enabled()) {
       tr.instant(tr.track("RTR.manager"), what, p_->kernel().now());
+    }
+  }
+
+  /// Recovery exhausted its options: trip the flight recorder (when one is
+  /// armed) with the owning request, if any, for the snapshot header.
+  void incident(const char* kind) {
+    if (trace::FlightRecorder* fr = p_->sim().flight_recorder()) {
+      const sim::RequestContext* rq = p_->sim().active_request();
+      fr->trigger(kind, rq != nullptr ? rq->id : -1, p_->kernel().now());
     }
   }
 

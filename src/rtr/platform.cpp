@@ -79,6 +79,10 @@ void account_reconfig(sim::Simulation& sim, bool differential,
                 differential ? "reconfig:differential" : "reconfig:complete",
                 stats.started, stats.finished, "stream_words",
                 stats.stream_words);
+    if (const sim::RequestContext* rq = sim.active_request()) {
+      // Link the ICAP/DMA transfer into the serving request's flow chain.
+      tr.flow(trace::Phase::kFlowStep, track, "req", rq->id, stats.started);
+    }
     if (stats.watchdog) {
       tr.instant(track, "reconfig:watchdog_abort", stats.finished);
     } else if (!stats.ok) {

@@ -34,8 +34,11 @@
 #include "serve/exec.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
+#include "serve/slo.hpp"
 #include "serve/workload.hpp"
+#include "sim/context.hpp"
 #include "sim/random.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace rtr::serve {
 
@@ -52,6 +55,9 @@ struct ServeOptions {
   /// distinct behaviour). Host-side only: simulated times and outputs are
   /// byte-identical with the cache off (see docs/PERFORMANCE.md).
   bool plan_cache = true;
+  /// Declared service-level objectives, one SloEngine each, evaluated per
+  /// disposed request (see serve/slo.hpp for grammar and burn semantics).
+  std::vector<SloSpec> slos;
 };
 
 /// Aggregate disposition counts of one serve run (mirrors the serve.*
@@ -70,6 +76,7 @@ struct ServeReport {
   std::int64_t breaker_opens = 0;
   std::int64_t breaker_probes = 0;
   std::int64_t breaker_closes = 0;
+  std::int64_t slo_breaches = 0;  // edge-triggered burn-rate alerts
   bool digests_ok = true;  // every served output matched its golden model
   std::vector<Completion> completions;
 };
@@ -85,11 +92,19 @@ class TaskServer {
         queue_(queue_capacity),
         seed_(seed) {
     mgr_.set_plan_cache_enabled(opts_.plan_cache);
+    for (const SloSpec& s : opts_.slos) slos_.emplace_back(s);
+    if (trace::FlightRecorder* fr = p.sim().flight_recorder()) {
+      // Replaces any previous server's provider under the same name; the
+      // recorder only snapshots during a run, while this server is alive.
+      fr->add_state_provider(
+          "serve", [this](std::ostream& os) { write_state(os); });
+    }
   }
 
   [[nodiscard]] RequestQueue& queue() { return queue_; }
   [[nodiscard]] ModuleManager<Platform>& manager() { return mgr_; }
   [[nodiscard]] const ServeReport& report() const { return report_; }
+  [[nodiscard]] const std::vector<SloEngine>& slos() const { return slos_; }
   [[nodiscard]] CircuitBreaker& breaker(hw::BehaviorId id) {
     auto it = breakers_.find(id);
     if (it == breakers_.end()) {
@@ -115,11 +130,26 @@ class TaskServer {
     if (e == AdmitError::kNone) {
       ++report_.admitted;
       counter("serve.admitted").add();
+      trace::Tracer& tr = p_->sim().tracer();
+      if (tr.enabled()) {
+        // The admission slice anchors the request's flow chain: arrows in
+        // the Perfetto UI run admission -> serve span -> reconfig -> exec.
+        const int t = tr.track("SERVE.admission");
+        tr.complete(t,
+                    "admit:" + std::string(hw::task_name(r.behavior)) + ":" +
+                        std::to_string(r.id),
+                    now(), now(), "req", r.id);
+        tr.flow(trace::Phase::kFlowStart, t, "req", r.id, now());
+        tr.counter("serve.queue.depth",
+                   static_cast<std::int64_t>(queue_.size()), now());
+      }
     } else {
       ++report_.shed;
       counter("serve.shed").add();
       mark("shed", r.id);
-      report_.completions.push_back(make_completion(r, Outcome::kShed));
+      const Completion sc = make_completion(r, Outcome::kShed);
+      observe_slos(sc);
+      report_.completions.push_back(sc);
     }
     return e;
   }
@@ -129,6 +159,7 @@ class TaskServer {
   /// Pop and serve the highest-priority request. Advances simulated time.
   Completion serve_one() {
     const Request req = queue_.pop();
+    stage_sample(stages(req.behavior).queue, (now() - req.submitted).ps());
     trace::Tracer& tr = p_->sim().tracer();
     const int track = tr.enabled() ? tr.track("SERVE") : -1;
     if (track >= 0) {
@@ -136,9 +167,20 @@ class TaskServer {
                std::string(hw::task_name(req.behavior)) + ":" +
                    std::to_string(req.id),
                now());
+      tr.flow(trace::Phase::kFlowStep, track, "req", req.id, now());
     }
+    // Everything under dispatch (module ensure, reconfiguration, exec) can
+    // attribute its spans to this request through the simulation context.
+    const sim::RequestContext ctx{req.id, req.behavior, req.deadline.ps(),
+                                  req.submitted.ps()};
+    p_->sim().set_active_request(&ctx);
     Completion c = dispatch(req);
+    p_->sim().set_active_request(nullptr);
+    const sim::SimTime prefetch_start = now();
     prefetch_next(req);
+    // The prefetcher warms plans off the simulated clock; the stage
+    // histogram pins that invariant (always 0) into the §4 decomposition.
+    stage_sample(stages(req.behavior).prefetch, (now() - prefetch_start).ps());
     c.finished = now();
     c.deadline_met = req.deadline.ps() == 0 || c.finished <= req.deadline;
     if (!c.deadline_met &&
@@ -152,9 +194,11 @@ class TaskServer {
           (c.finished - c.req.submitted).ps());
       if (!c.golden_ok) report_.digests_ok = false;
     }
+    observe_slos(c);
     if (track >= 0) {
       tr.instant(track, std::string("done:") + outcome_name(c.outcome), now(),
                  "req", c.req.id);
+      tr.flow(trace::Phase::kFlowEnd, track, "req", req.id, now());
       tr.end(track, now());
     }
     report_.completions.push_back(c);
@@ -216,6 +260,7 @@ class TaskServer {
       p_->set_load_deadline(dl);
       const EnsureStats es = mgr_.ensure(req.behavior, dock_width());
       p_->set_load_deadline(sim::SimTime{});
+      stage_sample(stages(req.behavior).reconfig, es.time.ps());
       if (opts_.plan_cache && !es.already_resident) {
         // A swap actually ran: score the prefetcher's last prediction.
         if (prefetch_pending_ == req.behavior) {
@@ -229,10 +274,10 @@ class TaskServer {
         ++report_.watchdog_aborts;
         counter("serve.watchdog_aborts").add();
         mark("watchdog_abort", req.id);
+        incident("watchdog_abort", req.id);
       }
       if (es.ok) {
-        const ExecResult r =
-            exec_request(*p_, req.behavior, input_seed(req), /*hw=*/true);
+        const ExecResult r = timed_exec(req, /*hw=*/true);
         if (r.ok) {
           if (br.record_success()) {
             // Probe succeeded: hardware service is restored. Also lift the
@@ -258,13 +303,13 @@ class TaskServer {
         ++report_.breaker_opens;
         counter("serve.breaker_opens").add();
         mark("breaker:open", req.id);
+        incident("breaker_open", req.id);
       }
     }
 
     // Graceful degradation: the software kernel, bit-identical to the
     // hardware path (admission guaranteed it exists).
-    const ExecResult r =
-        exec_request(*p_, req.behavior, input_seed(req), /*hw=*/false);
+    const ExecResult r = timed_exec(req, /*hw=*/false);
     if (r.ok) {
       ++report_.degraded;
       counter("serve.degraded").add();
@@ -297,6 +342,110 @@ class TaskServer {
     mark("prefetch:warm", nx->id);
   }
 
+  /// Run the request's kernel, timing the execution stage and tracing it
+  /// as a flow-linked complete span.
+  ExecResult timed_exec(const Request& req, bool hw) {
+    const sim::SimTime t0 = now();
+    const ExecResult r = exec_request(*p_, req.behavior, input_seed(req), hw);
+    stage_sample(stages(req.behavior).exec, (now() - t0).ps());
+    trace::Tracer& tr = p_->sim().tracer();
+    if (tr.enabled()) {
+      const int track = tr.track("SERVE");
+      tr.complete(track, hw ? "exec:hw" : "exec:sw", t0, now(), "req", req.id);
+      tr.flow(trace::Phase::kFlowStep, track, "req", req.id, t0);
+    }
+    return r;
+  }
+
+  /// Per-stage latency histograms: one aggregate series per stage plus a
+  /// per-request-class series suffixed with the task name (the paper's §4
+  /// cost decomposition, per class). Pointers into the registry are cached
+  /// per behaviour so the hot path does no string building or map lookups.
+  struct StagePair {
+    sim::Histogram* all;
+    sim::Histogram* cls;
+  };
+  struct StageHists {
+    StagePair queue, prefetch, reconfig, exec;
+  };
+  static void stage_sample(const StagePair& h, std::int64_t v) {
+    h.all->sample(v);
+    h.cls->sample(v);
+  }
+  StageHists& stages(hw::BehaviorId behavior) {
+    auto it = stage_hists_.find(behavior);
+    if (it != stage_hists_.end()) return it->second;
+    sim::StatRegistry& st = p_->sim().stats();
+    const std::string cls{hw::task_name(behavior)};
+    auto pair = [&](const char* stage) {
+      const std::string base =
+          std::string("serve.stage.") + stage + ".latency_ps";
+      return StagePair{&st.histogram(base), &st.histogram(base + "." + cls)};
+    };
+    const StageHists h{pair("queue"), pair("prefetch"), pair("reconfig"),
+                       pair("exec")};
+    return stage_hists_.emplace(behavior, h).first->second;
+  }
+
+  static bool slo_good(const SloSpec& s, const Completion& c) {
+    const bool served =
+        c.outcome == Outcome::kHw || c.outcome == Outcome::kSw;
+    switch (s.metric) {
+      case SloSpec::Metric::kDeadline:
+        return served && c.deadline_met;
+      case SloSpec::Metric::kHwServe:
+        return c.outcome == Outcome::kHw;
+    }
+    return false;
+  }
+
+  /// Feed every engine one sample for this disposition. A breach edge
+  /// bumps counters, drops a SERVE instant and trips the flight recorder.
+  void observe_slos(const Completion& c) {
+    if (slos_.empty()) return;
+    for (SloEngine& e : slos_) {
+      const SloEngine::Evaluation ev =
+          e.observe(now(), slo_good(e.spec(), c));
+      counter("serve.slo.samples").add();
+      if (ev.fired) {
+        ++report_.slo_breaches;
+        counter("serve.slo.breaches").add();
+        trace::Tracer& tr = p_->sim().tracer();
+        if (tr.enabled()) {
+          tr.instant(
+              tr.track("SERVE"),
+              std::string("slo:burn:") + slo_metric_name(e.spec().metric),
+              now(), "req", c.req.id);
+        }
+        incident("slo_burn", c.req.id);
+      }
+    }
+  }
+
+  void incident(const char* kind, std::int64_t req_id) {
+    if (trace::FlightRecorder* fr = p_->sim().flight_recorder()) {
+      fr->trigger(kind, req_id, now());
+    }
+  }
+
+  /// The flight recorder's "serve" state provider: queue depth, breaker
+  /// states and plan-cache occupancy at snapshot time.
+  void write_state(std::ostream& os) const {
+    os << "{\"queue\": {\"depth\": " << queue_.size()
+       << ", \"capacity\": " << queue_.capacity() << "}, \"breakers\": {";
+    bool first = true;
+    for (const auto& [id, br] : breakers_) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << hw::task_name(static_cast<hw::BehaviorId>(id)) << "\": \""
+         << breaker_state_name(br.state()) << '"';
+    }
+    os << "}, \"plan_cache\": {\"complete\": "
+       << mgr_.plan_cache().complete_plans()
+       << ", \"diff\": " << mgr_.plan_cache().diff_plans()
+       << "}, \"prefetch_pending\": " << prefetch_pending_ << "}";
+  }
+
   sim::Counter& counter(const char* name) {
     return p_->sim().stats().counter(name);
   }
@@ -314,6 +463,8 @@ class TaskServer {
   RequestQueue queue_;
   std::uint64_t seed_;
   std::map<int, CircuitBreaker> breakers_;
+  std::map<int, StageHists> stage_hists_;
+  std::vector<SloEngine> slos_;
   ServeReport report_;
   int prefetch_pending_ = -1;  // behaviour warmed but not yet consumed
 };

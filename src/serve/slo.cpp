@@ -1,0 +1,182 @@
+#include "serve/slo.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "sim/parse.hpp"
+
+namespace rtr::serve {
+
+namespace {
+
+/// Strict double in (lo, hi): the whole field must parse and land strictly
+/// inside the open interval.
+bool parse_fraction(std::string_view s, double lo, double hi, double* out) {
+  if (s.empty()) return false;
+  double v = 0.0;
+  const auto r = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (r.ec != std::errc{} || r.ptr != s.data() + s.size()) return false;
+  if (!(v > lo) || !(v < hi)) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict duration with a required unit suffix: "250us", "10ms", "1s".
+bool parse_duration(std::string_view s, sim::SimTime* out) {
+  std::int64_t scale = 0;
+  if (s.size() > 2 && s.substr(s.size() - 2) == "us") {
+    scale = 1'000'000;
+    s.remove_suffix(2);
+  } else if (s.size() > 2 && s.substr(s.size() - 2) == "ms") {
+    scale = 1'000'000'000;
+    s.remove_suffix(2);
+  } else if (s.size() > 1 && s.back() == 's') {
+    scale = 1'000'000'000'000;
+    s.remove_suffix(1);
+  } else {
+    return false;
+  }
+  std::uint64_t n = 0;
+  if (!sim::parse_u64(s, &n) || n == 0 ||
+      n > static_cast<std::uint64_t>(INT64_MAX / scale)) {
+    return false;
+  }
+  *out = sim::SimTime::from_ps(static_cast<std::int64_t>(n) * scale);
+  return true;
+}
+
+std::string duration_string(sim::SimTime t) {
+  const std::int64_t ps = t.ps();
+  char buf[32];
+  if (ps % 1'000'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(ps / 1'000'000'000'000));
+  } else if (ps % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(ps / 1'000'000'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(ps / 1'000'000));
+  }
+  return buf;
+}
+
+std::string fraction_string(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* slo_metric_name(SloSpec::Metric m) {
+  switch (m) {
+    case SloSpec::Metric::kDeadline: return "deadline";
+    case SloSpec::Metric::kHwServe: return "hw";
+  }
+  return "?";
+}
+
+bool SloSpec::parse(std::string_view text, SloSpec* out) {
+  SloSpec spec;
+
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return false;
+  const std::string_view metric = text.substr(0, colon);
+  if (metric == "deadline") {
+    spec.metric = Metric::kDeadline;
+  } else if (metric == "hw") {
+    spec.metric = Metric::kHwServe;
+  } else {
+    return false;
+  }
+  std::string_view rest = text.substr(colon + 1);
+
+  constexpr std::string_view kBurn = ":burn=";
+  const std::size_t burn = rest.find(kBurn);
+  if (burn != std::string_view::npos) {
+    const std::string_view val = rest.substr(burn + kBurn.size());
+    // Any threshold >= 1 is meaningful; 1 alerts exactly at budget pace.
+    if (!parse_fraction(val, 0.999, 1e9, &spec.burn_threshold)) return false;
+    if (spec.burn_threshold < 1.0) return false;
+    rest = rest.substr(0, burn);
+  }
+
+  const std::size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    const std::string_view windows = rest.substr(at + 1);
+    const std::size_t slash = windows.find('/');
+    if (slash == std::string_view::npos) return false;
+    if (!parse_duration(windows.substr(0, slash), &spec.short_window) ||
+        !parse_duration(windows.substr(slash + 1), &spec.long_window)) {
+      return false;
+    }
+    if (spec.short_window > spec.long_window) return false;
+    rest = rest.substr(0, at);
+  }
+
+  if (!parse_fraction(rest, 0.0, 1.0, &spec.target)) return false;
+
+  *out = spec;
+  return true;
+}
+
+std::string SloSpec::to_string() const {
+  std::string s = slo_metric_name(metric);
+  s += ':';
+  s += fraction_string(target);
+  s += '@';
+  s += duration_string(short_window);
+  s += '/';
+  s += duration_string(long_window);
+  s += ":burn=";
+  s += fraction_string(burn_threshold);
+  return s;
+}
+
+SloEngine::Evaluation SloEngine::observe(sim::SimTime now, bool good) {
+  ++total_samples_;
+  const std::int64_t now_ps = now.ps();
+  window_.push_back({now_ps, good});
+  while (!window_.empty() &&
+         window_.front().at_ps < now_ps - spec_.long_window.ps()) {
+    window_.pop_front();
+  }
+
+  Evaluation ev;
+  ev.samples_long = static_cast<std::int64_t>(window_.size());
+  ev.burn_short = burn_over(spec_.short_window.ps(), now_ps);
+  ev.burn_long = burn_over(spec_.long_window.ps(), now_ps);
+  const bool burning = ev.samples_long >= spec_.min_samples &&
+                       ev.burn_short >= spec_.burn_threshold &&
+                       ev.burn_long >= spec_.burn_threshold;
+  ev.breached = burning;
+  if (burning && !in_breach_) {
+    in_breach_ = true;
+    ++breaches_;
+    ev.fired = true;
+  } else if (!burning) {
+    in_breach_ = false;
+  }
+  return ev;
+}
+
+double SloEngine::burn_over(std::int64_t window_ps,
+                            std::int64_t now_ps) const {
+  std::int64_t n = 0;
+  std::int64_t bad = 0;
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    if (it->at_ps < now_ps - window_ps) break;
+    ++n;
+    if (!it->good) ++bad;
+  }
+  if (n == 0 || bad == 0) return 0.0;
+  const double budget = 1.0 - spec_.target;
+  const double err = static_cast<double>(bad) / static_cast<double>(n);
+  // target == 1 leaves no budget: any error is an infinite burn, reported
+  // as a saturated rate so thresholds always trip.
+  if (budget <= 0.0) return 1e12;
+  return err / budget;
+}
+
+}  // namespace rtr::serve

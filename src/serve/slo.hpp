@@ -1,0 +1,97 @@
+// SLO targets and multi-window burn-rate evaluation for the serving path.
+//
+// An SloSpec declares a good-fraction objective over the request stream
+// ("99% of requests meet their deadline") evaluated against two rolling
+// windows of simulated time, SRE-style: the *burn rate* is the observed
+// error rate divided by the error budget (1 - target); a breach fires when
+// the burn rate reaches the threshold in BOTH the short and the long
+// window. The short window makes the alert fast to clear once the fault
+// passes, the long one keeps a momentary blip from paging. Evaluation is
+// edge-triggered: entering the breached state fires once (counter, SERVE
+// trace instant, flight-recorder trigger); re-arming requires the burn to
+// drop below the threshold in at least one window first.
+//
+// Spec grammar (CLI `--slo`, repeatable):
+//
+//   metric:target[@short/long][:burn=X]
+//
+//   metric  deadline  fraction of disposed requests served within their
+//                     deadline (sheds, expiries and failures count against)
+//           hw        fraction of disposed requests served by hardware
+//   target  decimal in (0, 1), e.g. 0.99
+//   short/  rolling simulated-time windows (us/ms/s suffix required),
+//   long    short <= long; default 10ms/50ms
+//   burn=X  burn-rate threshold >= 1 (default 1: alert exactly when the
+//           budget is being consumed faster than the target allows)
+//
+// Everything is simulated time and integer request arithmetic: breach
+// counts are byte-identical per seed across -j.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace rtr::serve {
+
+struct SloSpec {
+  enum class Metric : int { kDeadline = 0, kHwServe };
+
+  Metric metric = Metric::kDeadline;
+  double target = 0.99;
+  sim::SimTime short_window = sim::SimTime::from_ms(10);
+  sim::SimTime long_window = sim::SimTime::from_ms(50);
+  double burn_threshold = 1.0;
+  /// Samples required in the long window before evaluation starts (keeps
+  /// the first unlucky request of a run from instantly breaching).
+  int min_samples = 10;
+
+  /// Strict parse of the grammar above; false (untouched *out) on any
+  /// malformed field.
+  static bool parse(std::string_view text, SloSpec* out);
+  [[nodiscard]] std::string to_string() const;
+};
+
+const char* slo_metric_name(SloSpec::Metric m);
+
+/// Rolling evaluation of one SloSpec. Feed one sample per disposed
+/// request; samples age out of the windows by simulated time.
+class SloEngine {
+ public:
+  explicit SloEngine(SloSpec spec) : spec_(spec) {}
+
+  struct Evaluation {
+    bool breached = false;   // burning in both windows right now
+    bool fired = false;      // this sample *entered* the breached state
+    double burn_short = 0.0;
+    double burn_long = 0.0;
+    std::int64_t samples_long = 0;
+  };
+
+  Evaluation observe(sim::SimTime now, bool good);
+
+  [[nodiscard]] const SloSpec& spec() const { return spec_; }
+  [[nodiscard]] std::int64_t samples() const { return total_samples_; }
+  [[nodiscard]] std::int64_t breaches() const { return breaches_; }
+  [[nodiscard]] bool breached() const { return in_breach_; }
+
+ private:
+  struct Sample {
+    std::int64_t at_ps;
+    bool good;
+  };
+
+  [[nodiscard]] double burn_over(std::int64_t window_ps,
+                                 std::int64_t now_ps) const;
+
+  SloSpec spec_;
+  std::deque<Sample> window_;  // samples within the long window
+  bool in_breach_ = false;
+  std::int64_t breaches_ = 0;
+  std::int64_t total_samples_ = 0;
+};
+
+}  // namespace rtr::serve

@@ -1,0 +1,24 @@
+// Request-scoped context.
+//
+// The serving layer attributes work to individual requests: a RequestContext
+// travels (by pointer, via Simulation::set_active_request) from admission
+// through module ensure, ICAP/DMA transfer and execution, so deep layers
+// like the platform's reconfiguration accounting can stitch their spans
+// onto the owning request's flow chain without any serve-layer dependency.
+#pragma once
+
+#include <cstdint>
+
+namespace rtr::sim {
+
+/// Identity of the request currently being served. Owned by the serving
+/// layer for the duration of one dispatch; everything below reads it
+/// through Simulation::active_request() (null outside a request scope).
+struct RequestContext {
+  std::int64_t id = -1;       // monotonic per-server request id (the flow key)
+  int behavior = -1;          // hw::BehaviorId of the requested task
+  std::int64_t deadline_ps = 0;  // absolute deadline; 0 = none
+  std::int64_t admitted_ps = 0;  // absolute admission (submission) time
+};
+
+}  // namespace rtr::sim

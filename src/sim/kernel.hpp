@@ -13,6 +13,7 @@
 #include <string>
 
 #include "sim/clock.hpp"
+#include "sim/context.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/log.hpp"
 #include "sim/stats.hpp"
@@ -22,6 +23,10 @@
 namespace rtr::fault {
 class FaultInjector;
 }  // namespace rtr::fault
+
+namespace rtr::trace {
+class FlightRecorder;
+}  // namespace rtr::trace
 
 namespace rtr::sim {
 
@@ -71,6 +76,24 @@ class Simulation {
   [[nodiscard]] fault::FaultInjector* faults() const { return faults_; }
   void attach_faults(fault::FaultInjector& f) { faults_ = &f; }
 
+  /// The flight recorder incident triggers report to; null (the default)
+  /// means no recorder is armed. Owned by the CLI or test harness; must
+  /// outlive the simulation.
+  [[nodiscard]] trace::FlightRecorder* flight_recorder() const {
+    return flight_recorder_;
+  }
+  void attach_flight_recorder(trace::FlightRecorder& fr) {
+    flight_recorder_ = &fr;
+  }
+
+  /// The request currently being served, set by the serving layer around
+  /// each dispatch so deep components (the platform's reconfiguration
+  /// accounting) can attribute their spans to it. Null outside a request.
+  [[nodiscard]] const RequestContext* active_request() const {
+    return active_request_;
+  }
+  void set_active_request(const RequestContext* ctx) { active_request_ = ctx; }
+
   /// Advance the simulation's notion of "latest observed time". Components
   /// report completion times here so that utilisation statistics have a
   /// horizon and so tests can assert on the global clock.
@@ -93,6 +116,8 @@ class Simulation {
   trace::Tracer default_tracer_;
   trace::Tracer* tracer_ = &default_tracer_;
   fault::FaultInjector* faults_ = nullptr;
+  trace::FlightRecorder* flight_recorder_ = nullptr;
+  const RequestContext* active_request_ = nullptr;
   SimTime horizon_;
 };
 

@@ -19,8 +19,18 @@ std::string fmt_double(double v) {
 void write_json_string(std::ostream& os, const std::string& s) {
   os << '"';
   for (char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters are invalid raw inside JSON strings; stat names
+      // should never contain them, but a malformed name must not poison
+      // the whole export.
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
   }
   os << '"';
 }
@@ -111,7 +121,8 @@ void StatRegistry::print(std::ostream& os) const {
   }
   for (const auto& [k, v] : hists_) {
     os << k << " : n=" << v.count() << " p50=" << v.p50() << " p90=" << v.p90()
-       << " p99=" << v.p99() << " max=" << v.max() << '\n';
+       << " p99=" << v.p99() << " p999=" << v.p999() << " max=" << v.max()
+       << '\n';
   }
 }
 
@@ -155,30 +166,31 @@ void StatRegistry::export_json(std::ostream& os) const {
        << ", \"max\": " << v.max() << ", \"mean\": " << fmt_double(v.mean())
        << ", \"p50\": " << fmt_double(v.p50())
        << ", \"p90\": " << fmt_double(v.p90())
-       << ", \"p99\": " << fmt_double(v.p99()) << "}";
+       << ", \"p99\": " << fmt_double(v.p99())
+       << ", \"p999\": " << fmt_double(v.p999()) << "}";
   }
   os << "\n  }\n}\n";
 }
 
 void StatRegistry::export_csv(std::ostream& os) const {
-  os << "kind,name,value,count,min,max,mean,stddev,p50,p90,p99\n";
+  os << "kind,name,value,count,min,max,mean,stddev,p50,p90,p99,p999\n";
   for (const auto& [k, v] : counters_) {
-    os << "counter," << k << "," << v.value() << ",,,,,,,,\n";
+    os << "counter," << k << "," << v.value() << ",,,,,,,,,\n";
   }
   for (const auto& [k, v] : accs_) {
     os << "accumulator," << k << "," << fmt_double(v.sum()) << ","
        << v.count() << "," << fmt_double(v.min()) << "," << fmt_double(v.max())
        << "," << fmt_double(v.mean()) << "," << fmt_double(v.stddev())
-       << ",,,\n";
+       << ",,,,\n";
   }
   for (const auto& [k, v] : busy_) {
-    os << "busy," << k << "," << v.total().ps() << ",,,,,,,,\n";
+    os << "busy," << k << "," << v.total().ps() << ",,,,,,,,,\n";
   }
   for (const auto& [k, v] : hists_) {
     os << "histogram," << k << "," << v.sum() << "," << v.count() << ","
        << v.min() << "," << v.max() << "," << fmt_double(v.mean()) << ","
        << "," << fmt_double(v.p50()) << "," << fmt_double(v.p90()) << ","
-       << fmt_double(v.p99()) << "\n";
+       << fmt_double(v.p99()) << "," << fmt_double(v.p999()) << "\n";
   }
 }
 

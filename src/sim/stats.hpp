@@ -97,6 +97,7 @@ class Histogram {
   [[nodiscard]] double p50() const { return percentile(50.0); }
   [[nodiscard]] double p90() const { return percentile(90.0); }
   [[nodiscard]] double p99() const { return percentile(99.0); }
+  [[nodiscard]] double p999() const { return percentile(99.9); }
   void reset() { *this = Histogram{}; }
 
   /// Index of the bucket holding `v`: 0 for v <= 0, else 1 + floor(log2 v),

@@ -1,0 +1,104 @@
+#include "trace/flight_recorder.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rtr::trace {
+
+FlightRecorder::FlightRecorder(Tracer& tracer, Options opts)
+    : tracer_(&tracer), opts_(opts) {
+  tracer_->set_observer([this](const TraceEvent& ev) { observe(ev); });
+}
+
+FlightRecorder::~FlightRecorder() { tracer_->set_observer(nullptr); }
+
+void FlightRecorder::add_state_provider(const std::string& name,
+                                        StateProvider fn) {
+  providers_[name] = std::move(fn);
+}
+
+void FlightRecorder::observe(const TraceEvent& ev) {
+  if (ev.ts_ps > newest_ps_) newest_ps_ = ev.ts_ps;
+  ring_.push_back(ev);
+  while (ring_.size() > opts_.max_events ||
+         (!ring_.empty() &&
+          ring_.front().ts_ps < newest_ps_ - opts_.retention.ps())) {
+    ring_.pop_front();
+  }
+}
+
+bool FlightRecorder::trigger(const std::string& kind, std::int64_t req_id,
+                             sim::SimTime at) {
+  ++triggers_;
+  const bool capped =
+      static_cast<int>(incidents_.size()) >= opts_.max_incidents;
+  const bool cooling =
+      have_snapshot_ && at.ps() - last_snapshot_ps_ < opts_.cooldown.ps();
+  if (capped || cooling) {
+    ++suppressed_;
+    return false;
+  }
+  Incident inc;
+  inc.index = static_cast<int>(incidents_.size()) + 1;
+  inc.kind = kind;
+  inc.req_id = req_id;
+  inc.at_ps = at.ps();
+  std::ostringstream os;
+  write_snapshot(os, inc);
+  inc.json = os.str();
+  last_snapshot_ps_ = at.ps();
+  have_snapshot_ = true;
+  if (!dir_.empty()) {
+    std::filesystem::create_directories(dir_);
+    char name[64];
+    std::snprintf(name, sizeof name, "incident-%04d-%s.json", inc.index,
+                  inc.kind.c_str());
+    std::ofstream f(std::filesystem::path(dir_) / name, std::ios::binary);
+    f << inc.json;
+  }
+  incidents_.push_back(std::move(inc));
+  return true;
+}
+
+void FlightRecorder::write_snapshot(std::ostream& os,
+                                    const Incident& inc) const {
+  os << "{\n  \"schema\": \"rtrsim-incident-v1\",\n";
+  os << "  \"incident\": {\"index\": " << inc.index << ", \"kind\": \""
+     << inc.kind << "\", \"req\": " << inc.req_id
+     << ", \"t_ps\": " << inc.at_ps << "},\n";
+  os << "  \"ring\": {\"events\": " << ring_.size()
+     << ", \"retention_ps\": " << opts_.retention.ps()
+     << ", \"suppressed_triggers\": " << suppressed_ << "},\n";
+  // The retained trace window, in the same trace_event form export_chrome
+  // emits, so a snapshot's "trace" array loads in ui.perfetto.dev as-is.
+  os << "  \"trace\": [";
+  const std::size_t n_tracks = tracer_->tracks().size();
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+  };
+  for (std::size_t i = 0; i < n_tracks; ++i) {
+    sep();
+    write_chrome_track_meta(os, tracer_->tracks()[i], i);
+  }
+  for (const TraceEvent& e : ring_) {
+    sep();
+    write_chrome_event(os, e, n_tracks);
+  }
+  os << "\n  ],\n";
+  os << "  \"state\": {";
+  first = true;
+  for (const auto& [name, fn] : providers_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << name << "\": ";
+    fn(os);
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace rtr::trace

@@ -1,0 +1,108 @@
+// Incident flight recorder.
+//
+// A FlightRecorder taps the tracer's event stream (Tracer::set_observer)
+// and passively retains a bounded ring of recent events: at most
+// `max_events`, and nothing older than `retention` of simulated time
+// behind the newest event. Host cost is O(ring) regardless of run length.
+//
+// On trigger (watchdog abort, breaker open, recovery give-up, SLO burn)
+// it freezes the ring plus any registered state providers into a
+// self-contained JSON *incident snapshot*: the trace window in Chrome
+// trace_event form, and a "state" object (stats registry, queue depth,
+// breaker and plan-cache state -- whatever the providers emit). Snapshots
+// are kept in memory and, when an output directory is set, written as
+// incident-NNNN-<kind>.json.
+//
+// Everything in a snapshot derives from simulated time and deterministic
+// state, so snapshots are byte-identical for a fixed seed. A cooldown in
+// simulated time collapses trigger cascades (a stuck ICAP fires the
+// watchdog, opens the breaker and gives up recovery within microseconds)
+// into a single snapshot; max_incidents bounds disk/memory for long runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/tracer.hpp"
+
+namespace rtr::trace {
+
+struct FlightRecorderOptions {
+  /// Simulated-time retention window behind the newest observed event.
+  sim::SimTime retention = sim::SimTime::from_ms(50);
+  /// Hard cap on retained events (bounds host memory in busy windows).
+  std::size_t max_events = 8192;
+  /// Minimum simulated time between snapshots: one incident's trigger
+  /// cascade yields one snapshot (further triggers are counted, not
+  /// dumped).
+  sim::SimTime cooldown = sim::SimTime::from_ms(1000);
+  /// Hard cap on snapshots per run.
+  int max_incidents = 4;
+};
+
+class FlightRecorder {
+ public:
+  using Options = FlightRecorderOptions;
+
+  /// One captured snapshot; `json` is the full self-contained bundle.
+  struct Incident {
+    int index = 0;  // 1-based, stable across runs for a fixed seed
+    std::string kind;
+    std::int64_t req_id = -1;
+    std::int64_t at_ps = 0;
+    std::string json;
+  };
+
+  /// Installs itself as `tracer`'s observer; detaches on destruction.
+  /// The tracer must outlive the recorder.
+  explicit FlightRecorder(Tracer& tracer, Options opts = {});
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Register (or replace) a named provider whose output -- one JSON value
+  /// -- is embedded under "state"."<name>" in every snapshot. Providers
+  /// must only read deterministic simulated state.
+  using StateProvider = std::function<void(std::ostream&)>;
+  void add_state_provider(const std::string& name, StateProvider fn);
+
+  /// Report an anomaly at simulated time `at`. Captures a snapshot and
+  /// returns true unless suppressed by the cooldown or max_incidents cap
+  /// (suppressed triggers are still counted).
+  bool trigger(const std::string& kind, std::int64_t req_id, sim::SimTime at);
+
+  /// Directory snapshots are written to (created on demand); empty keeps
+  /// them in memory only.
+  void set_output_dir(std::string dir) { dir_ = std::move(dir); }
+
+  [[nodiscard]] const std::vector<Incident>& incidents() const {
+    return incidents_;
+  }
+  [[nodiscard]] std::int64_t triggers() const { return triggers_; }
+  [[nodiscard]] std::int64_t suppressed() const { return suppressed_; }
+  [[nodiscard]] std::size_t ring_size() const { return ring_.size(); }
+
+ private:
+  void observe(const TraceEvent& ev);
+  void write_snapshot(std::ostream& os, const Incident& inc) const;
+
+  Tracer* tracer_;
+  Options opts_;
+  std::deque<TraceEvent> ring_;
+  std::int64_t newest_ps_ = 0;  // high-water mark of observed timestamps
+  std::map<std::string, StateProvider> providers_;
+  std::vector<Incident> incidents_;
+  std::string dir_;
+  std::int64_t triggers_ = 0;
+  std::int64_t suppressed_ = 0;
+  std::int64_t last_snapshot_ps_ = 0;
+  bool have_snapshot_ = false;
+};
+
+}  // namespace rtr::trace

@@ -36,18 +36,32 @@ void write_escaped(std::ostream& os, const std::string& s) {
 }
 
 /// Picoseconds to the Chrome unit (microseconds), keeping ps resolution.
+/// Negative values print as a leading '-' over the magnitude (the naive
+/// `quot "." rem` split would emit "0.-5" style non-JSON for them).
 void write_us(std::ostream& os, std::int64_t ps) {
-  os << ps / 1'000'000;
-  const std::int64_t frac = ps % 1'000'000;
+  std::uint64_t mag;
+  if (ps < 0) {
+    os << '-';
+    mag = ~static_cast<std::uint64_t>(ps) + 1;
+  } else {
+    mag = static_cast<std::uint64_t>(ps);
+  }
+  os << mag / 1'000'000;
+  const std::uint64_t frac = mag % 1'000'000;
   if (frac != 0) {
     char buf[16];
-    std::snprintf(buf, sizeof buf, ".%06lld",
-                  static_cast<long long>(frac));
+    std::snprintf(buf, sizeof buf, ".%06llu",
+                  static_cast<unsigned long long>(frac));
     // trim trailing zeros
     std::string s{buf};
     while (s.back() == '0') s.pop_back();
     os << s;
   }
+}
+
+[[nodiscard]] bool is_flow(Phase ph) {
+  return ph == Phase::kFlowStart || ph == Phase::kFlowStep ||
+         ph == Phase::kFlowEnd;
 }
 
 }  // namespace
@@ -64,7 +78,8 @@ int Tracer::track(const std::string& name) {
 
 void Tracer::record(TraceEvent ev) {
   if (!enabled_) return;
-  events_.push_back(std::move(ev));
+  if (observer_) observer_(ev);
+  if (store_events_) events_.push_back(std::move(ev));
 }
 
 void Tracer::begin(int track, std::string name, sim::SimTime at) {
@@ -115,10 +130,57 @@ void Tracer::counter(std::string name, std::int64_t value, sim::SimTime at) {
           "value", value});
 }
 
+void Tracer::flow(Phase ph, int track, std::string name, std::int64_t id,
+                  sim::SimTime at) {
+  if (!enabled_) return;
+  RTR_CHECK(is_flow(ph), "flow() requires a flow phase");
+  RTR_CHECK(track >= 0 && track < static_cast<int>(track_names_.size()),
+            "flow on an unregistered track");
+  record({ph, track, at.ps(), 0, std::move(name), "", 0, id});
+}
+
 void Tracer::clear() {
   events_.clear();
   std::fill(depth_.begin(), depth_.end(), 0);
   open_spans_ = 0;
+}
+
+void write_chrome_track_meta(std::ostream& os, const std::string& name,
+                             std::size_t tid) {
+  os << R"({"name":"thread_name","ph":"M","pid":)" << kPid
+     << R"(,"tid":)" << tid << R"(,"args":{"name":)";
+  write_escaped(os, name);
+  os << "}}";
+}
+
+void write_chrome_event(std::ostream& os, const TraceEvent& e,
+                        std::size_t n_tracks) {
+  os << "{\"name\":";
+  write_escaped(os, e.ph == Phase::kEnd ? std::string{} : e.name);
+  os << ",\"ph\":\"" << static_cast<char>(e.ph) << "\",\"ts\":";
+  write_us(os, e.ts_ps);
+  os << ",\"pid\":" << kPid << ",\"tid\":"
+     << (e.track == kCounterTrack ? static_cast<int>(n_tracks) : e.track);
+  if (e.ph == Phase::kComplete) {
+    os << ",\"dur\":";
+    write_us(os, e.dur_ps);
+  }
+  if (e.ph == Phase::kInstant) {
+    os << ",\"s\":\"t\"";
+  }
+  if (is_flow(e.ph)) {
+    // Flow chains share a category + id; "bp":"e" binds each point to the
+    // slice enclosing its (tid, ts) rather than requiring an exact match.
+    os << ",\"cat\":\"req\",\"id\":" << e.flow_id << ",\"bp\":\"e\"";
+  }
+  if (e.ph == Phase::kCounter) {
+    os << ",\"args\":{\"value\":" << e.arg_value << "}";
+  } else if (!e.arg_name.empty()) {
+    os << ",\"args\":{";
+    write_escaped(os, e.arg_name);
+    os << ":" << e.arg_value << "}";
+  }
+  os << "}";
 }
 
 void Tracer::export_chrome(std::ostream& os) const {
@@ -132,35 +194,11 @@ void Tracer::export_chrome(std::ostream& os) const {
   // Thread-name metadata so the UI labels each track.
   for (std::size_t i = 0; i < track_names_.size(); ++i) {
     sep();
-    os << R"({"name":"thread_name","ph":"M","pid":)" << kPid
-       << R"(,"tid":)" << i << R"(,"args":{"name":)";
-    write_escaped(os, track_names_[i]);
-    os << "}}";
+    write_chrome_track_meta(os, track_names_[i], i);
   }
   for (const TraceEvent& e : events_) {
     sep();
-    os << "{\"name\":";
-    write_escaped(os, e.ph == Phase::kEnd ? std::string{} : e.name);
-    os << ",\"ph\":\"" << static_cast<char>(e.ph) << "\",\"ts\":";
-    write_us(os, e.ts_ps);
-    os << ",\"pid\":" << kPid << ",\"tid\":"
-       << (e.track == kCounterTrack ? static_cast<int>(track_names_.size())
-                                    : e.track);
-    if (e.ph == Phase::kComplete) {
-      os << ",\"dur\":";
-      write_us(os, e.dur_ps);
-    }
-    if (e.ph == Phase::kInstant) {
-      os << ",\"s\":\"t\"";
-    }
-    if (e.ph == Phase::kCounter) {
-      os << ",\"args\":{\"value\":" << e.arg_value << "}";
-    } else if (!e.arg_name.empty()) {
-      os << ",\"args\":{";
-      write_escaped(os, e.arg_name);
-      os << ":" << e.arg_value << "}";
-    }
-    os << "}";
+    write_chrome_event(os, e, track_names_.size());
   }
   os << "\n]\n";
 }
@@ -201,6 +239,15 @@ void Tracer::export_timeline(std::ostream& os) const {
         break;
       case Phase::kCounter:
         os << e.name << " = " << e.arg_value;
+        break;
+      case Phase::kFlowStart:
+        os << "~> " << e.name << " flow=" << e.flow_id;
+        break;
+      case Phase::kFlowStep:
+        os << "~ " << e.name << " flow=" << e.flow_id;
+        break;
+      case Phase::kFlowEnd:
+        os << "~| " << e.name << " flow=" << e.flow_id;
         break;
     }
     os << "\n";

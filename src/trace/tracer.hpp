@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -30,6 +31,9 @@ enum class Phase : char {
   kComplete = 'X',
   kInstant = 'i',
   kCounter = 'C',
+  kFlowStart = 's',
+  kFlowStep = 't',
+  kFlowEnd = 'f',
 };
 
 /// One recorded event. Durations/timestamps stay in integer picoseconds
@@ -42,6 +46,7 @@ struct TraceEvent {
   std::string name;
   std::string arg_name;       // optional single argument ("" = none)
   std::int64_t arg_value = 0;
+  std::int64_t flow_id = -1;  // flow phases only: the chain key
 };
 
 class Tracer {
@@ -77,6 +82,24 @@ class Tracer {
                std::string arg_name, std::int64_t arg_value);
   /// One sample of a numeric counter track (FIFO occupancy, queue depth...).
   void counter(std::string name, std::int64_t value, sim::SimTime at);
+  /// Flow events stitch spans on different tracks into one causal chain
+  /// keyed by `id` (rendered as arrows in the Perfetto UI). kFlowStart
+  /// opens the chain, kFlowStep continues it, kFlowEnd terminates it; each
+  /// binds to the slice enclosing (`track`, `at`).
+  void flow(Phase ph, int track, std::string name, std::int64_t id,
+            sim::SimTime at);
+
+  /// Optional sink invoked for every recorded event while the tracer is
+  /// enabled (the flight recorder's tap). One observer at a time; pass
+  /// nullptr to detach.
+  using Observer = std::function<void(const TraceEvent&)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+  /// When storage is off, record() forwards events to the observer (if
+  /// any) and drops them instead of accumulating an unbounded vector --
+  /// flight-recorder-only mode, where retention lives in the recorder's
+  /// bounded ring. Begin/end balance is still tracked.
+  void set_store_events(bool on) { store_events_ = on; }
+  [[nodiscard]] bool store_events() const { return store_events_; }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
@@ -96,10 +119,22 @@ class Tracer {
   void record(TraceEvent ev);
 
   bool enabled_ = false;
+  bool store_events_ = true;
   std::vector<std::string> track_names_;
   std::vector<TraceEvent> events_;
   std::vector<int> depth_;  // per-track open-span depth (begin/end balance)
   int open_spans_ = 0;
+  Observer observer_;
 };
+
+/// Serialize one event as a Chrome trace_event JSON object (no trailing
+/// separator). `n_tracks` is the tracer's track count, used to park the
+/// synthetic counter track on a stable tid past the named ones. Shared by
+/// Tracer::export_chrome and the flight recorder's incident snapshots.
+void write_chrome_event(std::ostream& os, const TraceEvent& e,
+                        std::size_t n_tracks);
+/// The thread-name metadata record labelling track `tid` in the Chrome UI.
+void write_chrome_track_meta(std::ostream& os, const std::string& name,
+                             std::size_t tid);
 
 }  // namespace rtr::trace

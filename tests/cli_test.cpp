@@ -326,9 +326,89 @@ TEST(Cli, ServeWritesBenchJson) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("rtrsim-serve-bench-v1"), std::string::npos);
+  EXPECT_NE(json.find("rtrsim-serve-bench-v2"), std::string::npos);
   EXPECT_NE(json.find("\"plan_cache\": true"), std::string::npos);
   EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ps\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(json.find("BM_ServeSteadyHot_ns_per_req"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ServeSloSummaryAndBreachCountArePrinted) {
+  const auto r = run_cli_stdout(
+      "serve --workload steady --system 32 --seed 5 "
+      "--fault-spec icap:stuck@15000:5 --repair-at 6 "
+      "--slo deadline:0.99@5ms/20ms --slo hw:0.5");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("slo: deadline:0.99@5ms/20ms:burn=1"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("slo: hw:0.5@10ms/50ms:burn=1"), std::string::npos);
+  EXPECT_NE(r.output.find("slo breaches:"), std::string::npos);
+  EXPECT_NE(r.output.find("serve.slo.samples"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsMalformedSlo) {
+  const auto r = run_cli("serve --smoke --slo deadline:2.0");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("invalid value 'deadline:2.0' for '--slo'"),
+            std::string::npos);
+}
+
+TEST(Cli, ServeIncidentDirRequiresWorkload) {
+  const auto r = run_cli("serve --smoke --incident-dir ignored");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--incident-dir requires --workload"),
+            std::string::npos);
+}
+
+TEST(Cli, ServeStuckFaultDumpsExactlyOneDeterministicIncident) {
+  // Acceptance: the stuck-ICAP run must dump exactly one snapshot (the
+  // recovery give-up; the watchdog/breaker cascade is suppressed by the
+  // cooldown), byte-identical across runs for a fixed seed.
+  auto run_once = [](const std::string& dir) {
+    const auto r = run_cli_stdout(
+        "serve --workload steady --system 32 --seed 42 "
+        "--fault-spec icap:stuck@15000:42 --repair-at 6 "
+        "--incident-dir " + dir);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("incidents: 1"), std::string::npos) << r.output;
+    std::ifstream in(dir + "/incident-0001-rtr_giveup.json");
+    EXPECT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string a = run_once("cli_inc_a");
+  const std::string b = run_once("cli_inc_b");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\": \"rtrsim-incident-v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"kind\": \"rtr_giveup\""), std::string::npos);
+  EXPECT_NE(a.find("\"stats\""), std::string::npos);
+  EXPECT_NE(a.find("\"serve\""), std::string::npos);
+  std::remove("cli_inc_a/incident-0001-rtr_giveup.json");
+  std::remove("cli_inc_b/incident-0001-rtr_giveup.json");
+}
+
+TEST(Cli, ServeTraceOutCarriesRequestFlowEvents) {
+  const std::string path = "cli_serve_trace.json";
+  const auto r = run_cli_stdout(
+      "serve --workload mixed --system 32 --seed 7 --trace-out " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  // Flow start at admission, steps through reconfig/exec, end at
+  // completion -- the clickable request chain in Perfetto.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"req\""), std::string::npos);
+  EXPECT_NE(json.find("admit:"), std::string::npos);
+  EXPECT_NE(json.find("exec:hw"), std::string::npos);
   std::remove(path.c_str());
 }
 

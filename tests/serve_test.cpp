@@ -4,9 +4,13 @@
 // platform with an injected stuck fault.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <utility>
+
 #include "fault/fault.hpp"
 #include "rtr/platform.hpp"
 #include "serve/server.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace rtr {
 namespace {
@@ -391,6 +395,280 @@ TEST(RunWorkload, ProbeSuccessLiftsManagerDegradation) {
   EXPECT_EQ(c.outcome, Outcome::kHw);
   EXPECT_EQ(srv.breaker(hw::kJenkinsHash).state(), BreakerState::kClosed);
   EXPECT_FALSE(srv.manager().degraded());
+}
+
+// --- SLO specs and burn-rate engine ------------------------------------------
+
+TEST(SloSpecTest, ParsesFullGrammar) {
+  serve::SloSpec s;
+  ASSERT_TRUE(serve::SloSpec::parse("deadline:0.99@10ms/50ms:burn=2", &s));
+  EXPECT_EQ(s.metric, serve::SloSpec::Metric::kDeadline);
+  EXPECT_DOUBLE_EQ(s.target, 0.99);
+  EXPECT_EQ(s.short_window, SimTime::from_ms(10));
+  EXPECT_EQ(s.long_window, SimTime::from_ms(50));
+  EXPECT_DOUBLE_EQ(s.burn_threshold, 2.0);
+  EXPECT_EQ(s.to_string(), "deadline:0.99@10ms/50ms:burn=2");
+
+  ASSERT_TRUE(serve::SloSpec::parse("hw:0.5", &s));
+  EXPECT_EQ(s.metric, serve::SloSpec::Metric::kHwServe);
+  EXPECT_DOUBLE_EQ(s.target, 0.5);
+  // Defaults survive when the optional fields are absent.
+  EXPECT_EQ(s.short_window, SimTime::from_ms(10));
+  EXPECT_DOUBLE_EQ(s.burn_threshold, 1.0);
+
+  ASSERT_TRUE(serve::SloSpec::parse("deadline:0.999@500us/2s", &s));
+  EXPECT_EQ(s.short_window, SimTime::from_us(500));
+  EXPECT_EQ(s.long_window, SimTime::from_ms(2000));
+}
+
+TEST(SloSpecTest, RejectsMalformedSpecs) {
+  serve::SloSpec s;
+  const char* bad[] = {
+      "",                          // empty
+      "deadline",                  // no target
+      "latency:0.99",              // unknown metric
+      "deadline:0",                // target must be in (0,1)
+      "deadline:1",                // open interval
+      "deadline:1.5",              //
+      "deadline:0.99@10/50",       // durations need a unit suffix
+      "deadline:0.99@10ms",       // both windows or none
+      "deadline:0.99@50ms/10ms",   // short must be <= long
+      "deadline:0.99@10ms/50ms:burn=0.5",  // burn must be >= 1
+      "deadline:0.99:burn=",       // empty burn
+      "deadline:0.99junk",         // trailing garbage
+      "deadline:0.99@10ms/50msx",  //
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(serve::SloSpec::parse(text, &s)) << text;
+  }
+}
+
+TEST(SloEngineTest, BurnFiresOnceAndRearmsAfterRecovery) {
+  serve::SloSpec spec;
+  ASSERT_TRUE(serve::SloSpec::parse("deadline:0.9@1ms/5ms:burn=1", &spec));
+  spec.min_samples = 10;
+  serve::SloEngine eng{spec};
+
+  // 20 good samples: no breach possible.
+  SimTime t;
+  for (int i = 0; i < 20; ++i) {
+    t = t + SimTime::from_us(100);
+    const auto ev = eng.observe(t, true);
+    EXPECT_FALSE(ev.breached) << i;
+  }
+  // A run of failures pushes the error rate over budget in both windows.
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    t = t + SimTime::from_us(100);
+    fired += eng.observe(t, false).fired ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 1);  // edge-triggered: entering the state fires once
+  EXPECT_TRUE(eng.breached());
+  EXPECT_EQ(eng.breaches(), 1);
+
+  // Good samples age the failures out of the short window first; the
+  // engine re-arms, and a fresh failure burst can fire again.
+  for (int i = 0; i < 60; ++i) {
+    t = t + SimTime::from_us(100);
+    (void)eng.observe(t, true);
+  }
+  EXPECT_FALSE(eng.breached());
+  for (int i = 0; i < 20; ++i) {
+    t = t + SimTime::from_us(100);
+    fired += eng.observe(t, false).fired ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.breaches(), 2);
+}
+
+TEST(SloEngineTest, MinSamplesGateSuppressesColdStart) {
+  serve::SloSpec spec;
+  ASSERT_TRUE(serve::SloSpec::parse("deadline:0.99@1ms/5ms", &spec));
+  spec.min_samples = 10;
+  serve::SloEngine eng{spec};
+  // The very first request failing is 100% error rate, but with fewer
+  // than min_samples in the long window nothing may fire.
+  SimTime t;
+  for (int i = 0; i < 9; ++i) {
+    t = t + SimTime::from_us(10);
+    EXPECT_FALSE(eng.observe(t, false).breached);
+  }
+  t = t + SimTime::from_us(10);
+  EXPECT_TRUE(eng.observe(t, false).breached);  // 10th sample crosses the gate
+}
+
+TEST(RunWorkload, SloBreachCountsAreSeedDeterministic) {
+  // A stuck ICAP degrades service to software, so the hardware-serve SLO
+  // must breach (degraded requests still meet their deadlines -- that is
+  // the point of degradation -- so the deadline SLO alone stays green).
+  // The breach count must be a pure function of the seed.
+  auto run = [] {
+    fault::FaultSpec spec;
+    RTR_CHECK(fault::FaultSpec::parse("icap:stuck@15000:42", &spec),
+              "spec parses");
+    PlatformOptions opts;
+    opts.fault_plan.add(spec);
+    Platform32 p{opts};
+    ServeOptions so;
+    so.hw_attempt_budget = SimTime::from_ms(40);
+    serve::SloSpec slo;
+    RTR_CHECK(serve::SloSpec::parse("hw:0.9@5ms/20ms", &slo), "slo parses");
+    slo.min_samples = 4;
+    so.slos.push_back(slo);
+    const ServeReport r = serve::run_workload(
+        p, *serve::workload_by_name("steady"), 42, so, 6);
+    return std::pair<std::int64_t, std::int64_t>{
+        r.slo_breaches, p.sim().stats().counter("serve.slo.samples").value()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.first, 0);
+  EXPECT_GT(a.second, 0);
+}
+
+// --- per-request stage histograms --------------------------------------------
+
+TEST(RunWorkload, StageHistogramsDecomposePerClass) {
+  Platform32 p;
+  ServeOptions so;
+  const ServeReport r = serve::run_workload(
+      p, *serve::workload_by_name("mixed"), 7, so);
+  ASSERT_GT(r.submitted, 0);
+  auto& stats = p.sim().stats();
+  const auto& queue = stats.histogram("serve.stage.queue.latency_ps");
+  const auto& exec = stats.histogram("serve.stage.exec.latency_ps");
+  const auto& reconfig = stats.histogram("serve.stage.reconfig.latency_ps");
+  // Every dispatched request passes the queue and exec stages; reconfig
+  // only fires when a swap is needed.
+  EXPECT_EQ(queue.count(), exec.count());
+  EXPECT_GT(exec.count(), 0);
+  EXPECT_GT(reconfig.count(), 0);
+  EXPECT_LE(reconfig.count(), exec.count());
+  // The per-class slices partition the totals.
+  std::int64_t class_execs = 0;
+  for (const auto& [name, h] : stats.histograms()) {
+    if (name.rfind("serve.stage.exec.latency_ps.", 0) == 0) {
+      class_execs += h.count();
+    }
+  }
+  EXPECT_EQ(class_execs, exec.count());
+  // Prefetch is timed but costless in simulated time (pure host-side
+  // planning): the histogram exists and is all zeros.
+  const auto& prefetch = stats.histogram("serve.stage.prefetch.latency_ps");
+  EXPECT_EQ(prefetch.max(), 0);
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, RingEnforcesRetentionAndCap) {
+  trace::Tracer tr;
+  tr.enable();
+  tr.set_store_events(false);
+  trace::FlightRecorderOptions fo;
+  fo.retention = SimTime::from_us(100);
+  fo.max_events = 16;
+  trace::FlightRecorder rec{tr, fo};
+  const int t = tr.track("unit");
+  for (int i = 0; i < 100; ++i) {
+    tr.instant(t, "tick", SimTime::from_us(i));
+  }
+  // Cap wins over retention here: 16 <= 100us worth of events.
+  EXPECT_LE(rec.ring_size(), 16u);
+  // A late burst evicts everything older than the retention window.
+  tr.instant(t, "late", SimTime::from_ms(10));
+  EXPECT_EQ(rec.ring_size(), 1u);
+}
+
+TEST(FlightRecorderTest, CooldownCollapsesCascades) {
+  trace::Tracer tr;
+  tr.enable();
+  trace::FlightRecorderOptions fo;
+  fo.cooldown = SimTime::from_ms(1);
+  trace::FlightRecorder rec{tr, fo};
+  const int t = tr.track("unit");
+  tr.instant(t, "anomaly", SimTime::from_us(10));
+  EXPECT_TRUE(rec.trigger("watchdog_abort", 1, SimTime::from_us(10)));
+  // The same incident's cascade (breaker opens, recovery gives up) lands
+  // within the cooldown and must not dump again.
+  EXPECT_FALSE(rec.trigger("breaker_open", 1, SimTime::from_us(11)));
+  EXPECT_FALSE(rec.trigger("rtr_giveup", 1, SimTime::from_us(12)));
+  ASSERT_EQ(rec.incidents().size(), 1u);
+  EXPECT_EQ(rec.triggers(), 3);
+  EXPECT_EQ(rec.suppressed(), 2);
+  // A genuinely separate incident after the cooldown dumps a new snapshot.
+  EXPECT_TRUE(rec.trigger("watchdog_abort", 2, SimTime::from_ms(5)));
+  ASSERT_EQ(rec.incidents().size(), 2u);
+  EXPECT_EQ(rec.incidents()[1].index, 2);
+}
+
+TEST(FlightRecorderTest, MaxIncidentsBoundsSnapshots) {
+  trace::Tracer tr;
+  tr.enable();
+  trace::FlightRecorderOptions fo;
+  fo.cooldown = SimTime::from_us(1);
+  fo.max_incidents = 2;
+  trace::FlightRecorder rec{tr, fo};
+  for (int i = 0; i < 5; ++i) {
+    rec.trigger("breach", i, SimTime::from_ms(i + 1));
+  }
+  EXPECT_EQ(rec.incidents().size(), 2u);
+  EXPECT_EQ(rec.triggers(), 5);
+  EXPECT_EQ(rec.suppressed(), 3);
+}
+
+TEST(FlightRecorderTest, SnapshotEmbedsStateProvidersAndIsDeterministic) {
+  auto capture = [] {
+    trace::Tracer tr;
+    tr.enable();
+    trace::FlightRecorder rec{tr};
+    rec.add_state_provider(
+        "unit", [](std::ostream& os) { os << "{\"answer\": 42}"; });
+    const int t = tr.track("SERVE");
+    tr.begin(t, "request", SimTime::from_us(1));
+    tr.flow(trace::Phase::kFlowStart, t, "req", 1, SimTime::from_us(1));
+    tr.end(t, SimTime::from_us(2));
+    rec.trigger("watchdog_abort", 1, SimTime::from_us(2));
+    RTR_CHECK(rec.incidents().size() == 1, "one snapshot");
+    return rec.incidents()[0].json;
+  };
+  const std::string a = capture();
+  EXPECT_EQ(a, capture());
+  EXPECT_NE(a.find("\"schema\": \"rtrsim-incident-v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"answer\": 42"), std::string::npos);
+  EXPECT_NE(a.find("\"kind\": \"watchdog_abort\""), std::string::npos);
+  EXPECT_NE(a.find("request"), std::string::npos);  // ring carries the span
+  // Re-registering a provider under the same name replaces it, so a
+  // rebuilt TaskServer cannot leave a dangling provider behind.
+}
+
+TEST(RunWorkload, StuckIcapTriggersExactlyOneIncident) {
+  // The acceptance path: a stuck ICAP mid-run must produce exactly one
+  // snapshot (the give-up), with the rest of the cascade suppressed by
+  // the cooldown, and the snapshot must be byte-identical per seed.
+  auto run = [] {
+    trace::Tracer tr;
+    tr.enable();
+    tr.set_store_events(false);
+    trace::FlightRecorder rec{tr};
+    fault::FaultSpec spec;
+    RTR_CHECK(fault::FaultSpec::parse("icap:stuck@15000:42", &spec),
+              "spec parses");
+    PlatformOptions opts;
+    opts.fault_plan.add(spec);
+    opts.tracer = &tr;
+    Platform32 p{opts};
+    p.sim().attach_flight_recorder(rec);
+    ServeOptions so;
+    so.hw_attempt_budget = SimTime::from_ms(40);
+    (void)serve::run_workload(p, *serve::workload_by_name("steady"), 42, so,
+                              6);
+    RTR_CHECK(rec.incidents().size() == 1, "exactly one incident");
+    return rec.incidents()[0].kind + "|" + rec.incidents()[0].json;
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());
+  EXPECT_EQ(a.substr(0, a.find('|')), "rtr_giveup");
 }
 
 }  // namespace

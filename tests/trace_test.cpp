@@ -455,7 +455,7 @@ TEST(StatRegistry, CsvExportHasUniformColumns) {
   std::istringstream is{os.str()};
   std::string line;
   ASSERT_TRUE(std::getline(is, line));
-  EXPECT_EQ(line, "kind,name,value,count,min,max,mean,stddev,p50,p90,p99");
+  EXPECT_EQ(line, "kind,name,value,count,min,max,mean,stddev,p50,p90,p99,p999");
   const auto columns = static_cast<long>(std::count(line.begin(), line.end(), ','));
   int rows = 0;
   while (std::getline(is, line)) {
@@ -475,7 +475,191 @@ TEST(StatRegistry, PrintIncludesStddevAndPercentiles) {
   std::ostringstream os;
   reg.print(os);
   EXPECT_NE(os.str().find("stddev"), std::string::npos);
-  EXPECT_NE(os.str().find("p99"), std::string::npos);
+  EXPECT_NE(os.str().find("p999"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flow events, exporter edge cases, escaping, and the observer hook.
+
+TEST(Tracer, FlowEventsExportWithCategoryAndId) {
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("SERVE");
+  tr.begin(t, "request", us(1));
+  tr.flow(Phase::kFlowStart, t, "req", 7, us(1));
+  tr.flow(Phase::kFlowStep, t, "req", 7, us(2));
+  tr.flow(Phase::kFlowEnd, t, "req", 7, us(3));
+  tr.end(t, us(3));
+
+  std::ostringstream os;
+  tr.export_chrome(os);
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.kind, Json::Kind::kArray);
+  int flows = 0;
+  for (const Json& e : doc.arr) {
+    const std::string& ph = e.at("ph").str;
+    if (ph == "s" || ph == "t" || ph == "f") {
+      ++flows;
+      EXPECT_EQ(e.at("cat").str, "req");
+      EXPECT_DOUBLE_EQ(e.at("id").num, 7.0);
+      // Binding point "e" attaches the flow to the enclosing slice, which
+      // is what makes the arrows clickable end-to-end in Perfetto.
+      EXPECT_EQ(e.at("bp").str, "e");
+    }
+  }
+  EXPECT_EQ(flows, 3);
+
+  std::ostringstream timeline;
+  tr.export_timeline(timeline);
+  EXPECT_NE(timeline.str().find("~> req flow=7"), std::string::npos);
+  EXPECT_NE(timeline.str().find("~ req flow=7"), std::string::npos);
+  EXPECT_NE(timeline.str().find("~| req flow=7"), std::string::npos);
+}
+
+TEST(Tracer, EmptyEnabledExportIsValidJson) {
+  Tracer tr;
+  tr.enable();
+  std::ostringstream os;
+  tr.export_chrome(os);
+  const Json doc = parse_json(os.str());
+  EXPECT_EQ(doc.kind, Json::Kind::kArray);
+  EXPECT_EQ(doc.arr.size(), 0u);
+}
+
+TEST(Tracer, UnbalancedBeginStillExportsValidJson) {
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("unit");
+  tr.begin(t, "never-ended", us(1));
+  std::ostringstream os;
+  tr.export_chrome(os);
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.kind, Json::Kind::kArray);
+  // Track meta + the dangling B event; a viewer can still open this.
+  ASSERT_EQ(doc.arr.size(), 2u);
+  EXPECT_EQ(doc.arr[1].at("ph").str, "B");
+  EXPECT_EQ(tr.open_spans(), 1);
+}
+
+TEST(Tracer, CounterOnlyTraceExports) {
+  // Counters get synthetic tids after the named tracks; with no named
+  // track at all the export must still be self-consistent.
+  Tracer tr;
+  tr.enable();
+  tr.counter("queue.depth", 3, us(1));
+  tr.counter("queue.depth", 2, us(2));
+  std::ostringstream os;
+  tr.export_chrome(os);
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.arr.size(), 2u);
+  for (const Json& e : doc.arr) {
+    EXPECT_EQ(e.at("ph").str, "C");
+    EXPECT_DOUBLE_EQ(e.at("tid").num, 0.0);
+  }
+}
+
+TEST(Tracer, HostileNamesSurviveChromeExport) {
+  // Fuzz the JSON string escaper with every byte class that can break an
+  // exporter: quotes, backslashes, control characters, DEL, high bytes.
+  Tracer tr;
+  tr.enable();
+  const int t = tr.track("we\"ird\\track\x01");
+  std::string name;
+  for (int c = 1; c < 0x21; ++c) name += static_cast<char>(c);
+  name += "\"\\\x7f";
+  name += static_cast<char>(0xc3);  // lone UTF-8 lead byte
+  tr.begin(t, name, us(1));
+  tr.instant(t, "quote\"back\\slash\nnewline\ttab", us(2));
+  tr.end(t, us(3));
+
+  std::ostringstream os;
+  tr.export_chrome(os);
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.kind, Json::Kind::kArray);
+  ASSERT_EQ(doc.arr.size(), 4u);
+  // No raw control bytes may survive into the serialized form.
+  for (const char c : os.str()) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control byte in export: " << static_cast<int>(c);
+  }
+}
+
+TEST(StatRegistry, HostileStatNamesSurviveJsonExport) {
+  StatRegistry reg;
+  reg.counter("evil\"name\\with\ncontrol\x02chars").add(1);
+  reg.histogram("h\"ist").sample(5);
+  std::ostringstream os;
+  reg.export_json(os);
+  const Json doc = parse_json(os.str());
+  ASSERT_EQ(doc.kind, Json::Kind::kObject);
+  EXPECT_EQ(doc.at("counters").obj.size(), 1u);
+  for (const char c : os.str()) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control byte in export: " << static_cast<int>(c);
+  }
+}
+
+TEST(Tracer, ObserverSeesEventsWithoutStorage) {
+  Tracer tr;
+  tr.enable();
+  tr.set_store_events(false);
+  int seen = 0;
+  std::int64_t last_flow = -1;
+  tr.set_observer([&](const rtr::trace::TraceEvent& ev) {
+    ++seen;
+    if (ev.flow_id >= 0) last_flow = ev.flow_id;
+  });
+  const int t = tr.track("unit");
+  tr.begin(t, "span", us(1));
+  tr.flow(Phase::kFlowStart, t, "req", 9, us(1));
+  tr.end(t, us(2));
+  EXPECT_EQ(seen, 3);
+  EXPECT_EQ(last_flow, 9);
+  EXPECT_EQ(tr.size(), 0u);  // nothing retained
+
+  tr.set_observer(nullptr);
+  tr.set_store_events(true);
+  tr.begin(t, "span2", us(3));
+  EXPECT_EQ(seen, 3);
+  EXPECT_EQ(tr.size(), 1u);
+}
+
+TEST(Histogram, P999TracksTail) {
+  Histogram h;
+  for (int i = 0; i < 999; ++i) h.sample(10);
+  h.sample(1'000'000);
+  // Log buckets bound the relative error by 2x: p50 lands in [8, 16).
+  EXPECT_GE(h.percentile(50.0), 8.0);
+  EXPECT_LT(h.percentile(50.0), 16.0);
+  EXPECT_GE(h.p999(), h.p99());
+  // The single outlier lives in the top bucket; p999 must reach into it.
+  EXPECT_GT(h.p999(), 10.0);
+
+  Histogram one;
+  one.sample(700);
+  EXPECT_DOUBLE_EQ(one.p999(), 700.0);
+}
+
+TEST(StatRegistry, MergeDisjointBucketHistograms) {
+  // Two registries whose histograms populate disjoint bucket ranges: the
+  // merge must preserve total count, global min/max, and place the median
+  // between the clusters.
+  StatRegistry a;
+  StatRegistry b;
+  for (int i = 0; i < 100; ++i) a.histogram("lat").sample(8);
+  for (int i = 0; i < 100; ++i) b.histogram("lat").sample(1 << 20);
+  a.merge(b);
+  const Histogram& h = a.histogram("lat");
+  EXPECT_EQ(h.count(), 200);
+  EXPECT_EQ(h.min(), 8);
+  EXPECT_EQ(h.max(), 1 << 20);
+  EXPECT_GE(h.p50(), 8.0);
+  EXPECT_LE(h.p50(), static_cast<double>(1 << 20));
+  EXPECT_GT(h.p999(), h.p50());
+  // Merging into a registry that never saw the name copies it wholesale.
+  StatRegistry c;
+  c.merge(a);
+  EXPECT_EQ(c.histogram("lat").count(), 200);
 }
 
 }  // namespace

@@ -35,6 +35,11 @@
 // open the breaker, degrade, and recover through a half-open probe) across
 // the same worker pool as `sweep`; with --workload it runs one named
 // workload on one platform. Output is a pure function of --seed.
+// --slo metric:target[@short/long][:burn=X] (repeatable) declares service
+// objectives checked by a multi-window burn-rate engine; --incident-dir
+// DIR (single-workload mode only) arms a flight recorder that snapshots
+// the recent trace window and serving state on watchdog abort, breaker
+// open, recovery give-up or SLO burn (docs/OBSERVABILITY.md).
 //
 // Observability (run/reconfig):
 //   --trace-out FILE      record spans and write a trace
@@ -55,6 +60,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -75,6 +81,7 @@
 #include "sim/parse.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/tracer.hpp"
 
 namespace {
@@ -105,6 +112,8 @@ struct Args {
   std::uint64_t fault_seed = 1;          // faults/serve: --seed
   std::string workload;                  // serve: named workload (single mode)
   int repair_at = -1;                    // serve: repair_all after N requests
+  std::vector<serve::SloSpec> slos;      // serve: --slo declared objectives
+  std::string incident_dir;              // serve: flight-recorder snapshots
 };
 
 int usage() {
@@ -119,10 +128,14 @@ int usage() {
                "       [-j N|--jobs N] [--smoke] [--bench-out FILE]\n"
                "       [--fault-spec site:trigger:seed]... [--seed N]\n"
                "       [--workload NAME] [--repair-at N] [--no-plan-cache]\n"
+               "       [--slo metric:target[@S/L][:burn=X]]... "
+               "[--incident-dir DIR]\n"
                "tasks: jenkins sha1 patmatch brightness blend fade loopback\n"
                "workloads: mixed hash image burst steady\n"
                "fault sites: storage icap dma bus readback; triggers: once@N "
-               "every@N stuck@N rand\n");
+               "every@N stuck@N rand\n"
+               "slo metrics: deadline hw (e.g. deadline:0.99@10ms/50ms:burn=2)"
+               "\n");
   return 2;
 }
 
@@ -238,6 +251,15 @@ bool parse(int argc, char** argv, Args& a) {
       long long n = 0;
       if (!parse_i64(v, &n) || n < 0) return bad(v);
       a.repair_at = static_cast<int>(n);
+    } else if (opt == "--slo") {
+      const char* v = value();
+      serve::SloSpec spec;
+      if (!v || !serve::SloSpec::parse(v, &spec)) return bad(v);
+      a.slos.push_back(spec);
+    } else if (opt == "--incident-dir") {
+      const char* v = value();
+      if (!v) return bad(v);
+      a.incident_dir = v;
     } else if (opt == "--log-level") {
       const char* v = value();
       if (!v) return bad(v);
@@ -993,7 +1015,8 @@ struct ServeScenarioOutcome {
 /// (scenario, seed), independent of worker scheduling.
 template <typename Platform>
 ServeScenarioOutcome serve_scenario(const ServeScenario& sc,
-                                    std::uint64_t seed, bool plan_cache) {
+                                    std::uint64_t seed, bool plan_cache,
+                                    const std::vector<serve::SloSpec>& slos) {
   const serve::WorkloadSpec* w = serve::workload_by_name(sc.workload);
   RTR_CHECK(w != nullptr, "unknown built-in workload");
   PlatformOptions opts;
@@ -1008,6 +1031,7 @@ ServeScenarioOutcome serve_scenario(const ServeScenario& sc,
   serve::ServeOptions so;
   so.recovery.use_dma = sc.dma;
   so.plan_cache = plan_cache;
+  so.slos = slos;
   if (sc.budget_ms > 0) {
     so.hw_attempt_budget = sim::SimTime::from_ms(sc.budget_ms);
   }
@@ -1057,8 +1081,8 @@ void print_serve_stats(const sim::StatRegistry& reg) {
   }
   for (const auto& [name, h] : reg.histograms()) {
     if (name.rfind("serve.", 0) == 0 && h.count() > 0) {
-      std::printf("  %-24s count=%lld p50=%s p90=%s p99=%s\n", name.c_str(),
-                  static_cast<long long>(h.count()),
+      std::printf("  %-24s count=%lld p50=%s p90=%s p99=%s p999=%s\n",
+                  name.c_str(), static_cast<long long>(h.count()),
                   sim::SimTime::from_ps(static_cast<std::int64_t>(h.p50()))
                       .to_string()
                       .c_str(),
@@ -1066,6 +1090,9 @@ void print_serve_stats(const sim::StatRegistry& reg) {
                       .to_string()
                       .c_str(),
                   sim::SimTime::from_ps(static_cast<std::int64_t>(h.p99()))
+                      .to_string()
+                      .c_str(),
+                  sim::SimTime::from_ps(static_cast<std::int64_t>(h.p999()))
                       .to_string()
                       .c_str());
     }
@@ -1080,16 +1107,30 @@ int serve_single(const Args& a) {
   const serve::WorkloadSpec* w = serve::workload_by_name(a.workload);
   RTR_CHECK(w != nullptr, "workload validated at parse time");
   trace::Tracer tracer;
-  tracer.enable(!a.trace_out.empty());
+  tracer.enable(!a.trace_out.empty() || !a.incident_dir.empty());
+  // Recorder-only runs keep the tracer's own store off: retention then
+  // lives entirely in the recorder's bounded ring.
+  if (a.trace_out.empty()) tracer.set_store_events(false);
+  std::optional<trace::FlightRecorder> recorder;
+  if (!a.incident_dir.empty()) {
+    recorder.emplace(tracer);
+    recorder->set_output_dir(a.incident_dir);
+  }
   PlatformOptions opts;
   opts.tracer = &tracer;
   if (!build_fault_plan(a, &opts.fault_plan)) return 2;
   Platform p{opts};
   apply_log_level(p.sim(), a);
+  if (recorder) {
+    p.sim().attach_flight_recorder(*recorder);
+    recorder->add_state_provider(
+        "stats", [&p](std::ostream& os) { p.sim().stats().export_json(os); });
+  }
 
   serve::ServeOptions so;
   so.recovery.use_dma = a.dma;
   so.plan_cache = a.plan_cache;
+  so.slos = a.slos;
   const serve::ServeReport r =
       serve::run_workload(p, *w, a.fault_seed, so, a.repair_at);
 
@@ -1097,37 +1138,84 @@ int serve_single(const Args& a) {
               a.workload.c_str(),
               static_cast<unsigned long long>(a.fault_seed));
   print_serve_stats(p.sim().stats());
+  for (const serve::SloSpec& s : a.slos) {
+    std::printf("slo: %s\n", s.to_string().c_str());
+  }
+  if (!a.slos.empty()) {
+    std::printf("slo breaches: %lld\n",
+                static_cast<long long>(r.slo_breaches));
+  }
+  if (recorder) {
+    std::printf("incidents: %zu (%lld triggers, %lld suppressed)\n",
+                recorder->incidents().size(),
+                static_cast<long long>(recorder->triggers()),
+                static_cast<long long>(recorder->suppressed()));
+    for (const auto& inc : recorder->incidents()) {
+      std::printf("  incident %d: %s req=%lld at=%s\n", inc.index,
+                  inc.kind.c_str(), static_cast<long long>(inc.req_id),
+                  sim::SimTime::from_ps(inc.at_ps).to_string().c_str());
+    }
+  }
   std::printf("digests: %s\n", r.digests_ok ? "ok" : "MISMATCH");
   if (!a.fault_specs.empty()) print_fault_summary(p.faults());
   const int dump_rc = dump_observability(p.sim(), tracer, a);
   return r.digests_ok && r.failed == 0 ? dump_rc : 1;
 }
 
+/// Host ns per disposed request of the serve hot path: a steady workload
+/// with tracing disabled and the plan cache on, best-of-reps. This is the
+/// overhead-gate baseline -- CI fails the microbench smoke when
+/// instrumentation regresses it by more than 5% against the committed
+/// BENCH_serve.json. Mirrors bench/microbench.cpp's BM_ServeSteadyHot.
+double measure_serve_hot_ns_per_req() {
+  const serve::WorkloadSpec* w = serve::workload_by_name("steady");
+  RTR_CHECK(w != nullptr, "steady workload exists");
+  std::int64_t disposed = 0;
+  const double ns = best_ns(
+      [&] {
+        Platform32 p;
+        serve::ServeOptions so;
+        const serve::ServeReport r =
+            serve::run_workload(p, *w, /*seed=*/1, so);
+        disposed = static_cast<std::int64_t>(r.completions.size());
+        asm volatile("" : : "r"(disposed) : "memory");
+      },
+      /*reps=*/5);
+  return disposed > 0 ? ns / static_cast<double>(disposed) : 0.0;
+}
+
 /// Serve-matrix throughput record (host wall-clock; the simulated outputs
 /// above are the determinism surface, this is the perf surface). Mirrors
 /// write_bench_json's shape so CI can smoke both baselines the same way.
+/// v2 adds latency percentiles from the aggregated (simulated,
+/// deterministic) serve.latency_ps histogram and the hot-path baseline.
 bool write_serve_bench_json(const std::string& path, std::size_t scenarios,
-                            int jobs, double wall_ms, bool plan_cache) {
+                            int jobs, double wall_ms, bool plan_cache,
+                            const sim::Histogram& lat,
+                            double hot_ns_per_req) {
   std::ofstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return false;
   }
-  char buf[512];
-  std::snprintf(buf, sizeof buf,
-                "{\n"
-                "  \"schema\": \"rtrsim-serve-bench-v1\",\n"
-                "  \"serve\": {\n"
-                "    \"scenarios\": %zu,\n"
-                "    \"jobs\": %d,\n"
-                "    \"plan_cache\": %s,\n"
-                "    \"wall_ms\": %.1f,\n"
-                "    \"scenarios_per_sec\": %.2f\n"
-                "  }\n"
-                "}\n",
-                scenarios, jobs, plan_cache ? "true" : "false", wall_ms,
-                wall_ms > 0 ? 1000.0 * static_cast<double>(scenarios) / wall_ms
-                            : 0.0);
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"schema\": \"rtrsim-serve-bench-v2\",\n"
+      "  \"serve\": {\n"
+      "    \"scenarios\": %zu,\n"
+      "    \"jobs\": %d,\n"
+      "    \"plan_cache\": %s,\n"
+      "    \"wall_ms\": %.1f,\n"
+      "    \"scenarios_per_sec\": %.2f,\n"
+      "    \"latency_ps\": {\"p50\": %.0f, \"p99\": %.0f, \"p999\": %.0f},\n"
+      "    \"hot_path\": {\"BM_ServeSteadyHot_ns_per_req\": %.1f}\n"
+      "  }\n"
+      "}\n",
+      scenarios, jobs, plan_cache ? "true" : "false", wall_ms,
+      wall_ms > 0 ? 1000.0 * static_cast<double>(scenarios) / wall_ms : 0.0,
+      lat.p50(), lat.p99(), lat.p999(), hot_ns_per_req);
   f << buf;
   return static_cast<bool>(f);
 }
@@ -1136,6 +1224,10 @@ int serve_cmd(const Args& a) {
   if (!a.workload.empty()) {
     return a.system == 32 ? serve_single<Platform32>(a)
                           : serve_single<Platform64>(a);
+  }
+  if (!a.incident_dir.empty()) {
+    std::fprintf(stderr, "rtrsim_cli: --incident-dir requires --workload\n");
+    return 2;
   }
 
   std::vector<ServeScenario> list;
@@ -1160,11 +1252,11 @@ int serve_cmd(const Args& a) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= list.size()) return;
-      results[i] =
-          list[i].system == 32
-              ? serve_scenario<Platform32>(list[i], a.fault_seed, a.plan_cache)
-              : serve_scenario<Platform64>(list[i], a.fault_seed,
-                                           a.plan_cache);
+      results[i] = list[i].system == 32
+                       ? serve_scenario<Platform32>(list[i], a.fault_seed,
+                                                    a.plan_cache, a.slos)
+                       : serve_scenario<Platform64>(list[i], a.fault_seed,
+                                                    a.plan_cache, a.slos);
     }
   };
   std::vector<std::thread> pool;
@@ -1194,10 +1286,15 @@ int serve_cmd(const Args& a) {
   std::fprintf(stderr, "serve: %zu scenarios, %d jobs, %.1f ms wall\n",
                list.size(), jobs, wall_ms);
 
-  if (!a.bench_out.empty() &&
-      !write_serve_bench_json(a.bench_out, list.size(), jobs, wall_ms,
-                              a.plan_cache)) {
-    return 1;
+  if (!a.bench_out.empty()) {
+    const double hot_ns = measure_serve_hot_ns_per_req();
+    std::fprintf(stderr, "serve: hot path %.1f ns/req (steady, p32)\n",
+                 hot_ns);
+    if (!write_serve_bench_json(a.bench_out, list.size(), jobs, wall_ms,
+                                a.plan_cache, agg.histogram("serve.latency_ps"),
+                                hot_ns)) {
+      return 1;
+    }
   }
   return all_ok ? 0 : 1;
 }
