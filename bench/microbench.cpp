@@ -11,6 +11,7 @@
 #include "mem/sparse_memory.hpp"
 #include "rtr/manager.hpp"
 #include "rtr/platform.hpp"
+#include "serve/fleet/fleet.hpp"
 #include "serve/server.hpp"
 #include "sim/event_queue.hpp"
 
@@ -182,6 +183,30 @@ static void BM_ServeSteadyHot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * disposed);
 }
 BENCHMARK(BM_ServeSteadyHot)->Unit(benchmark::kMillisecond);
+
+// One fleet routing decision (affinity scan + work-stealing rebalance)
+// over an 8-shard mixed fleet: the global scheduler's cost per request.
+// Must stay O(devices) and nanoseconds-scale -- the router sits in front
+// of every request the fleet serves, so a regression here taxes the whole
+// admission stream. Items = routed requests, so per-item time is ns per
+// decision; CI gates it against BENCH_fleet.json's ns_per_op.
+static void BM_FleetRouteDecision(benchmark::State& state) {
+  serve::fleet::FleetWorkloadSpec w;
+  w.requests = 1024;
+  const std::vector<serve::Request> stream =
+      serve::fleet::make_fleet_stream(w, /*seed=*/1);
+  const std::vector<int> systems = {64, 32, 64, 32, 64, 32, 64, 32};
+  for (auto _ : state) {
+    serve::fleet::FleetRouter router(systems, /*affinity=*/true,
+                                     /*steal_threshold=*/4, /*seed=*/1);
+    for (const serve::Request& r : stream) {
+      benchmark::DoNotOptimize(router.route(r));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_FleetRouteDecision);
 
 static void BM_DmaBlock(benchmark::State& state) {
   Platform64 p;

@@ -1,0 +1,168 @@
+#include "serve/fleet/fleet.hpp"
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "rtr/platform.hpp"
+
+namespace rtr::serve::fleet {
+
+const std::vector<hw::BehaviorId>& fleet_behaviors() {
+  static const std::vector<hw::BehaviorId> kRanked = {
+      hw::kJenkinsHash, hw::kBrightness, hw::kBlendAdd,
+      hw::kFade,        hw::kPatternMatcher, hw::kSha1,
+  };
+  return kRanked;
+}
+
+std::vector<Request> make_fleet_stream(const FleetWorkloadSpec& w,
+                                       std::uint64_t seed) {
+  const std::vector<TaskMix> mix = zipf_mix(fleet_behaviors(), w.zipf_skew);
+  sim::Rng rng{seed};
+  std::vector<Request> stream;
+  stream.reserve(static_cast<std::size_t>(w.requests));
+  std::int64_t at_ps = 0;
+  for (int i = 0; i < w.requests; ++i) {
+    // Same integer-only uniform-[0, 2x mean] draw as draw_think_ps.
+    at_ps += w.mean_gap_ps / 1000 * static_cast<std::int64_t>(rng.below(2001));
+    Request r;
+    r.id = i + 1;
+    r.behavior = draw_mix(rng, mix);
+    r.priority = draw_priority(rng);
+    r.submitted = sim::SimTime::from_ps(at_ps);
+    if (w.rel_deadline_ps > 0) {
+      r.deadline = sim::SimTime::from_ps(at_ps + w.rel_deadline_ps);
+    }
+    stream.push_back(r);
+  }
+  return stream;
+}
+
+namespace {
+
+/// Reconfigurations the shard actually streamed: every successful ensure
+/// that was not already resident lands in exactly one of these latency
+/// series (rtr/manager.hpp).
+std::int64_t count_swaps(const sim::StatRegistry& stats) {
+  std::int64_t swaps = 0;
+  for (const char* path : {"cached", "differential", "complete"}) {
+    const auto it = stats.histograms().find(
+        std::string("rtr.ensure.latency_ps.") + path);
+    if (it != stats.histograms().end()) swaps += it->second.count();
+  }
+  return swaps;
+}
+
+/// Phase 3 worker: one shard replays its script open-loop to drain on a
+/// fresh platform. A pure function of (script, opts) -- nothing here may
+/// observe another shard or the host.
+template <typename Platform>
+ShardOutcome run_shard(const std::vector<Request>& script,
+                       const FleetOptions& opts) {
+  Platform p;
+  ServeOptions so;
+  so.plan_cache = opts.plan_cache;
+  TaskServer<Platform> srv(p, opts.queue_capacity, so, opts.seed);
+  std::size_t next = 0;
+  while (next < script.size() || srv.pending()) {
+    if (!srv.pending() && next < script.size() &&
+        script[next].submitted.ps() > p.kernel().now().ps()) {
+      p.cpu().idle_until(script[next].submitted);
+    }
+    while (next < script.size() &&
+           script[next].submitted.ps() <= p.kernel().now().ps()) {
+      (void)srv.submit(script[next]);
+      ++next;
+    }
+    if (srv.pending()) (void)srv.serve_one();
+  }
+  ShardOutcome o;
+  o.routed = static_cast<std::int64_t>(script.size());
+  o.final_ps = p.kernel().now().ps();
+  o.report = srv.report();
+  o.stats = p.sim().stats();
+  o.swaps = count_swaps(o.stats);
+  return o;
+}
+
+}  // namespace
+
+FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w) {
+  RTR_CHECK(opts.devices > 0, "fleet needs at least one device");
+  RTR_CHECK(!opts.mix.empty(), "fleet needs a device mix");
+  std::vector<int> systems;
+  systems.reserve(static_cast<std::size_t>(opts.devices));
+  for (int i = 0; i < opts.devices; ++i) {
+    systems.push_back(opts.mix[static_cast<std::size_t>(i) % opts.mix.size()]);
+  }
+
+  // Phase 1 + 2: generate, then route serially.
+  const std::vector<Request> stream = make_fleet_stream(w, opts.seed);
+  FleetRouter router(systems, opts.affinity, opts.steal_threshold, opts.seed);
+  for (const Request& r : stream) (void)router.route(r);
+
+  // Scripts per shard, in submission order (indices ascend with time; a
+  // steal reassigns a request but never reorders the stream).
+  std::vector<std::vector<Request>> scripts(systems.size());
+  const std::vector<int>& assign = router.assignments();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    scripts[static_cast<std::size_t>(assign[i])].push_back(stream[i]);
+  }
+
+  // Phase 3: shards in parallel, slots fixed by shard index (the sweep /
+  // serve worker-pool shape, so output is byte-identical at any jobs).
+  FleetReport fr;
+  fr.shards.resize(systems.size());
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= systems.size()) return;
+      fr.shards[i] = systems[i] == 32
+                         ? run_shard<Platform32>(scripts[i], opts)
+                         : run_shard<Platform64>(scripts[i], opts);
+      fr.shards[i].system = systems[i];
+    }
+  };
+  const int jobs =
+      opts.jobs < 1 ? 1
+                    : (opts.jobs > opts.devices ? opts.devices : opts.jobs);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs - 1));
+  for (int j = 1; j < jobs; ++j) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+
+  // Merge serially in shard order; fleet.* series on top.
+  fr.route = router.counters();
+  fr.requests = static_cast<std::int64_t>(stream.size());
+  sim::Histogram& fleet_lat = fr.stats.histogram("fleet.latency_ps");
+  for (std::size_t i = 0; i < fr.shards.size(); ++i) {
+    const ShardOutcome& s = fr.shards[i];
+    fr.stats.merge(s.stats);
+    const auto it = s.stats.histograms().find("serve.latency_ps");
+    if (it != s.stats.histograms().end()) {
+      fleet_lat.merge(it->second);
+      fr.stats
+          .histogram("fleet.shard." + std::to_string(i) + ".latency_ps")
+          .merge(it->second);
+    }
+    fr.served_hw += s.report.served_hw;
+    fr.degraded += s.report.degraded;
+    fr.shed += s.report.shed;
+    fr.expired += s.report.expired;
+    fr.deadline_miss += s.report.deadline_miss;
+    fr.failed += s.report.failed;
+    fr.swaps += s.swaps;
+    fr.digests_ok = fr.digests_ok && s.report.digests_ok;
+  }
+  fr.stats.counter("fleet.route.decisions").add(fr.route.decisions);
+  fr.stats.counter("fleet.route.affinity_hits").add(fr.route.affinity_hits);
+  fr.stats.counter("fleet.route.rebalances").add(fr.route.rebalances);
+  fr.stats.counter("fleet.route.steals").add(fr.route.steals);
+  fr.stats.counter("fleet.swaps").add(fr.swaps);
+  return fr;
+}
+
+}  // namespace rtr::serve::fleet

@@ -1,0 +1,96 @@
+// FleetServer: fleet-scale serving across N simulated devices.
+//
+// A fleet run has three phases, and the phase boundaries are what make it
+// deterministic at any host worker count (docs/SERVING.md, "Fleet"):
+//
+//   1. generate: an open-loop arrival stream -- Zipf-popular behaviours,
+//      seeded interarrival gaps, globally ordered request ids. Ids are
+//      assigned *before* routing, so a request's input seed (and therefore
+//      its digest) is invariant under every routing policy: the A/B swap
+//      comparison compares identical work.
+//   2. route: the FleetRouter serially assigns every arrival to a shard
+//      (affinity first, stealing after; see router.hpp). Output: one
+//      request script per shard, sorted by submission time.
+//   3. serve + merge: each shard is a fresh Platform + TaskServer (its own
+//      ModuleManager, plan cache, breakers, watchdogs) replaying its
+//      script open-loop on its own simulated clock. Shards share nothing,
+//      so they run on a host thread pool; results land in slots fixed by
+//      shard index and the per-shard registries merge serially in index
+//      order (StatRegistry::merge of accumulators is order-sensitive in
+//      the last floating-point bit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/fleet/router.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace rtr::serve::fleet {
+
+struct FleetOptions {
+  int devices = 8;
+  /// Device systems (32/64), cycled across shard indices: {64, 32} makes
+  /// an alternating XC2VP30/XC2VP7 fleet.
+  std::vector<int> mix = {64, 32};
+  bool affinity = true;
+  int steal_threshold = 4;  // 0 disables work stealing
+  bool plan_cache = true;
+  std::size_t queue_capacity = 64;  // per-shard admission bound
+  int jobs = 1;                     // host worker threads for shard runs
+  std::uint64_t seed = 1;
+};
+
+/// Open-loop fleet arrival stream (contrast the closed-loop WorkloadSpec:
+/// fleet traffic models independent clients, not a fixed thinking pool).
+struct FleetWorkloadSpec {
+  int requests = 2000;
+  /// Mean interarrival gap, uniform on [0, 2x mean] like draw_think_ps.
+  std::int64_t mean_gap_ps = sim::SimTime::from_us(800).ps();
+  std::int64_t rel_deadline_ps = sim::SimTime::from_ms(250).ps();
+  int zipf_skew = 1;  // popularity skew over fleet_behaviors(); 0 = uniform
+};
+
+/// The six hardware behaviours fleet traffic draws from, most popular
+/// first (SHA-1 ranked last: only the 64-bit shards can host it).
+const std::vector<hw::BehaviorId>& fleet_behaviors();
+
+/// Phase 1: the seeded arrival stream, ids 1..n in submission order.
+std::vector<Request> make_fleet_stream(const FleetWorkloadSpec& w,
+                                       std::uint64_t seed);
+
+struct ShardOutcome {
+  int system = 64;
+  std::int64_t routed = 0;
+  std::int64_t swaps = 0;     // reconfigurations actually performed
+  std::int64_t final_ps = 0;  // shard's simulated clock at drain
+  ServeReport report;
+  sim::StatRegistry stats;
+};
+
+struct FleetReport {
+  std::vector<ShardOutcome> shards;
+  FleetRouter::Counters route;
+  std::int64_t requests = 0;
+  std::int64_t served_hw = 0;
+  std::int64_t degraded = 0;
+  std::int64_t shed = 0;
+  std::int64_t expired = 0;
+  std::int64_t deadline_miss = 0;
+  std::int64_t failed = 0;
+  std::int64_t swaps = 0;
+  bool digests_ok = true;
+  /// All shard registries merged (in shard order), plus the fleet.* series:
+  /// fleet.latency_ps, fleet.shard.<i>.latency_ps, fleet.route.*.
+  sim::StatRegistry stats;
+};
+
+/// Run the whole fleet: generate, route, serve on `opts.jobs` host
+/// threads, merge. Byte-identical output per (opts, spec) at any jobs.
+FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w);
+
+}  // namespace rtr::serve::fleet

@@ -74,8 +74,34 @@ const std::vector<WorkloadSpec>& workloads() {
       // under an injected stuck fault (the serve matrix's fault scenarios).
       {"steady", 3, 4, sim::SimTime::from_ms(1).ps(), 0, 4,
        {{hw::kJenkinsHash, 1}}},
+      // 1280 requests across every behaviour the 32-bit region can host:
+      // the latency-percentile workload. Small scenario populations leave
+      // the p99 and p999 of serve.latency_ps sitting on the same handful
+      // of samples; this one puts >= 1k requests behind the tail.
+      {"heavy", 16, 80, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(250).ps(), 32,
+       {{hw::kJenkinsHash, 5},
+        {hw::kBrightness, 3},
+        {hw::kBlendAdd, 3},
+        {hw::kFade, 2},
+        {hw::kPatternMatcher, 2}}},
   };
   return kAll;
+}
+
+std::vector<TaskMix> zipf_mix(const std::vector<hw::BehaviorId>& ranked,
+                              int skew) {
+  std::vector<TaskMix> mix;
+  mix.reserve(ranked.size());
+  int rank = 1;
+  for (const hw::BehaviorId id : ranked) {
+    std::int64_t denom = 1;
+    for (int s = 0; s < skew; ++s) denom *= rank;
+    const std::int64_t w = kZipfScale / denom;
+    mix.push_back({id, static_cast<int>(w > 0 ? w : 1)});
+    ++rank;
+  }
+  return mix;
 }
 
 const WorkloadSpec* workload_by_name(std::string_view name) {
@@ -92,14 +118,18 @@ std::int64_t draw_think_ps(sim::Rng& rng, const WorkloadSpec& w) {
 }
 
 hw::BehaviorId draw_behavior(sim::Rng& rng, const WorkloadSpec& w) {
+  return draw_mix(rng, w.mix);
+}
+
+hw::BehaviorId draw_mix(sim::Rng& rng, const std::vector<TaskMix>& mix) {
   int total = 0;
-  for (const TaskMix& m : w.mix) total += m.weight;
+  for (const TaskMix& m : mix) total += m.weight;
   auto pick = static_cast<int>(rng.below(static_cast<std::uint64_t>(total)));
-  for (const TaskMix& m : w.mix) {
+  for (const TaskMix& m : mix) {
     pick -= m.weight;
     if (pick < 0) return m.behavior;
   }
-  return w.mix.back().behavior;
+  return mix.back().behavior;
 }
 
 Priority draw_priority(sim::Rng& rng) {

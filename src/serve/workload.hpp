@@ -34,13 +34,26 @@ struct WorkloadSpec {
   std::vector<TaskMix> mix;
 };
 
-/// The named workload set ("mixed", "hash", "image", "burst", "steady").
+/// The named workload set ("mixed", "hash", "image", "burst", "steady",
+/// "heavy"). "heavy" submits >= 1k requests so tail percentiles (p99 vs
+/// p999) are computed from a populated distribution, not a handful of
+/// samples; it is the latency-measurement workload of `serve --bench-out`
+/// and is not part of the scenario matrix.
 const std::vector<WorkloadSpec>& workloads();
 const WorkloadSpec* workload_by_name(std::string_view name);
+
+/// Heavy-tailed behaviour popularity: rank-k behaviour (1-based, in the
+/// given order) gets integer weight max(1, kZipfScale / k^skew). skew 0 is
+/// uniform; skew 1 is the classic Zipf 1/k law. Integer-only, so a mix is
+/// bit-reproducible across hosts; draw it with draw_mix below.
+constexpr int kZipfScale = 720;  // divisible by every rank up to 6
+std::vector<TaskMix> zipf_mix(const std::vector<hw::BehaviorId>& ranked,
+                              int skew);
 
 /// Draw think time / task / priority for one submission. Integer-only.
 std::int64_t draw_think_ps(sim::Rng& rng, const WorkloadSpec& w);
 hw::BehaviorId draw_behavior(sim::Rng& rng, const WorkloadSpec& w);
+hw::BehaviorId draw_mix(sim::Rng& rng, const std::vector<TaskMix>& mix);
 Priority draw_priority(sim::Rng& rng);
 
 }  // namespace rtr::serve

@@ -326,12 +326,45 @@ TEST(Cli, ServeWritesBenchJson) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("rtrsim-serve-bench-v2"), std::string::npos);
+  EXPECT_NE(json.find("rtrsim-serve-bench-v3"), std::string::npos);
   EXPECT_NE(json.find("\"plan_cache\": true"), std::string::npos);
   EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_workload\": \"heavy\""), std::string::npos);
   EXPECT_NE(json.find("\"latency_ps\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
   EXPECT_NE(json.find("\"p999\""), std::string::npos);
   EXPECT_NE(json.find("BM_ServeSteadyHot_ns_per_req"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, FleetStdoutIsByteIdenticalAcrossJobCounts) {
+  const std::string args = "fleet --devices 4 --requests 150 --seed 3";
+  const auto j1 = run_cli_stdout(args + " -j 1");
+  const auto j4 = run_cli_stdout(args + " -j 4");
+  EXPECT_EQ(j1.exit_code, 0) << j1.output;
+  EXPECT_EQ(j1.output, j4.output);
+  EXPECT_NE(j1.output.find("digests=ok"), std::string::npos);
+  // A different seed must produce a different (still successful) run.
+  const auto s4 = run_cli_stdout("fleet --devices 4 --requests 150 --seed 4");
+  EXPECT_EQ(s4.exit_code, 0) << s4.output;
+  EXPECT_NE(j1.output, s4.output);
+}
+
+TEST(Cli, FleetWritesBenchJsonWithAffinityAb) {
+  const std::string path = "cli_fleet_bench.json";
+  const auto r = run_cli_stdout(
+      "fleet --devices 4 --requests 150 --seed 1 --bench-out " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("rtrsim-fleet-bench-v1"), std::string::npos);
+  EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
+  EXPECT_NE(json.find("\"affinity_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"no_affinity\""), std::string::npos);
+  EXPECT_NE(json.find("BM_FleetRouteDecision"), std::string::npos);
   std::remove(path.c_str());
 }
 

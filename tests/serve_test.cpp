@@ -319,6 +319,21 @@ TEST(RequestQueue, PeekNextDistinctSkipsRepeatsInPopOrder) {
   EXPECT_EQ(nx->id, 4);
 }
 
+TEST(RequestQueue, PeekNextDistinctWithOneDistinctBehaviorQueued) {
+  // A queue full of repeats of the resident behaviour has nothing worth
+  // prefetching: the peek must come back empty, not return a repeat.
+  RequestQueue q{8};
+  for (std::int64_t id = 1; id <= 5; ++id) {
+    ASSERT_EQ(q.admit(make_request(id, hw::kBrightness)), AdmitError::kNone);
+  }
+  EXPECT_EQ(q.peek_next_distinct(hw::kBrightness), nullptr);
+  // Against any *other* resident behaviour the same queue is all distinct:
+  // the first request in pop order is the prefetch candidate.
+  const Request* nx = q.peek_next_distinct(hw::kFade);
+  ASSERT_NE(nx, nullptr);
+  EXPECT_EQ(nx->id, 1);
+}
+
 TEST(RunWorkload, BurstWorkloadShedsAtTheAdmissionBound) {
   Platform32 p;
   const serve::WorkloadSpec* w = serve::workload_by_name("burst");
