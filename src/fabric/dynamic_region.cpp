@@ -128,6 +128,26 @@ DynamicRegion DynamicRegion::xc2vp30_region_b() {
       {BramAllocation{6, 0, 5}, BramAllocation{7, 0, 5}}};
 }
 
+std::vector<DynamicRegion> DynamicRegion::xc2vp30_areas(int n) {
+  RTR_CHECK(n >= 1 && n <= kMaxAreasXc2vp30,
+            "the XC2VP30 hosts 1 or 2 dynamic areas");
+  std::vector<DynamicRegion> areas;
+  areas.push_back(xc2vp30_region());
+  if (n == 2) {
+    areas.push_back(xc2vp30_region_b());
+    RTR_CHECK(areas[0].column_disjoint_with(areas[1]),
+              "co-resident areas must be column-disjoint");
+  }
+  return areas;
+}
+
+std::vector<DynamicRegion> DynamicRegion::xc2vp7_areas(int n) {
+  RTR_CHECK(n == 1, "the XC2VP7 has no room for a second dynamic area");
+  std::vector<DynamicRegion> areas;
+  areas.push_back(xc2vp7_region());
+  return areas;
+}
+
 bool DynamicRegion::column_disjoint_with(const DynamicRegion& other) const {
   RTR_CHECK(dev_ == other.dev_, "regions on different devices");
   const bool clb_overlap = rect_.col0 < other.rect_.col_end() &&

@@ -26,6 +26,20 @@ struct BramAllocation {
   int blocks = 0;
 };
 
+/// Capacity summary of one dynamic area, the unit the placement layer
+/// reasons about (src/rtr/placer.hpp): CLB geometry, slice count, granted
+/// BRAMs, and bus-macro ports. A bus macro crossing the static boundary
+/// occupies one boundary CLB column, so an area terminates at most `cols`
+/// interface channels -- the dock interface needs three (write channel,
+/// read channel, write strobe; busmacro/bus_macro.cpp).
+struct AreaFootprint {
+  int rows = 0;
+  int cols = 0;
+  int slices = 0;
+  int bram_blocks = 0;
+  int bus_macro_ports = 0;
+};
+
 class DynamicRegion {
  public:
   /// Validates the floorplan: the rectangle must lie inside the device, not
@@ -42,6 +56,11 @@ class DynamicRegion {
   [[nodiscard]] int clbs() const { return rect_.area(); }
   [[nodiscard]] int slices() const { return clbs() * kSlicesPerClb; }
   [[nodiscard]] int bram_blocks() const;
+  /// Capacity summary for the placement layer.
+  [[nodiscard]] AreaFootprint footprint() const {
+    return AreaFootprint{rect_.rows, rect_.cols, slices(), bram_blocks(),
+                         rect_.cols};
+  }
   [[nodiscard]] Resources resources() const {
     return Resources::from_clbs(clbs(), bram_blocks());
   }
@@ -101,6 +120,28 @@ class DynamicRegion {
   /// reconfigured independently -- full-column frames make column-sharing
   /// regions overwrite each other.
   static DynamicRegion xc2vp30_region_b();
+
+  // --- multi-area partitions ---------------------------------------------
+  // A device hosting `n` co-resident dynamic areas. Area 0 is always the
+  // legacy single region (so an --areas 1 platform is bit-for-bit the
+  // pre-multi-area one, and a module placed in area 0 streams the exact
+  // same configuration either way); further areas are pairwise
+  // column-disjoint with it, because configuration frames span full device
+  // columns (section 2) -- areas sharing a column would overwrite each
+  // other on every load.
+
+  /// XC2VP30 partitions: n=1 -> {xc2vp30_region}, n=2 -> {xc2vp30_region,
+  /// xc2vp30_region_b}. Checked: 1 <= n <= kMaxAreasXc2vp30.
+  static std::vector<DynamicRegion> xc2vp30_areas(int n);
+  static constexpr int kMaxAreasXc2vp30 = 2;
+
+  /// XC2VP7 partitions: n must be 1. The 32-bit system's strip already
+  /// spans every column its BRAM allocations can reach (columns 3..30 of
+  /// 34); the leftover 3-column margins are narrower than any module
+  /// footprint, so no useful column-disjoint second area exists -- the
+  /// paper's two-area suggestion (section 4.1) targets the larger part.
+  static std::vector<DynamicRegion> xc2vp7_areas(int n);
+  static constexpr int kMaxAreasXc2vp7 = 1;
 
   /// True when no configuration frame carries both regions.
   [[nodiscard]] bool column_disjoint_with(const DynamicRegion& other) const;

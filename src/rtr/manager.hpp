@@ -23,19 +23,30 @@
 // Plans (link + diff + packet encoding) are memoized in a PlanCache: a
 // post-load fabric state is a pure function of the loaded module (see
 // plan_cache.hpp), so instead of snapshotting config memory after every
-// load the manager records the fabric *generation* at which residency was
+// load the manager records the *generation* at which residency was
 // established and validates cached differentials against it. External
 // fabric writes bump the generation (fabric/config_memory.cpp) and route
 // the next ensure() through the same fallback bookkeeping a failed
 // differential load would take -- minus the doomed load itself.
+//
+// Multi-area hosting (docs/PLACEMENT.md): when the platform exposes more
+// than one dynamic area the manager keeps per-area residency/generation
+// state and consults an AreaPlacer before every load -- a behaviour that
+// is already resident in *any* area is served by re-binding the dock to
+// it (rtr.place.activations), no reconfiguration at all; otherwise the
+// placer picks the first empty compatible area or LRU-evicts one. All
+// placement machinery is bypassed with a single area, keeping that
+// configuration bit-for-bit identical to the pre-multi-area manager.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bitstream/partial_config.hpp"
 #include "fabric/config_memory.hpp"
 #include "hw/library.hpp"
+#include "rtr/placer.hpp"
 #include "rtr/plan_cache.hpp"
 #include "rtr/platform.hpp"
 #include "rtr/readback.hpp"
@@ -76,6 +87,9 @@ struct EnsureStats {
   bool detected = false;          // some failure was detected during ensure
   bool watchdog = false;          // a load was aborted by the load deadline
   bool plan_cached = false;       // the streamed plan came from the cache
+  bool activated = false;         // served by re-binding the dock to another
+                                  // area's resident module (multi-area only)
+  int area = 0;                   // dynamic area the behaviour ended up in
   std::string error;
   sim::SimTime time;              // total simulated time spent
   sim::SimTime detected_at;       // absolute time of the first detection
@@ -85,16 +99,25 @@ struct EnsureStats {
   int scrubs = 0;                 // verify-failure scrub reloads
 };
 
-/// Works with any platform exposing linker()/kernel()/fabric_state()/
-/// load_module()/load_config()/active_module() (Platform32, Platform64).
+/// Works with any platform exposing the per-area surface -- area_count()/
+/// region(a)/linker(a)/area_module(a)/active_area()/activate_area(a)/
+/// area_generation(a)/load_stream(..., a) -- plus kernel()/sim()
+/// (Platform32, Platform64).
 template <typename Platform>
 class ModuleManager {
  public:
   explicit ModuleManager(Platform& p, bool enable_differential = true)
-      : p_(&p), differential_(enable_differential) {}
+      : p_(&p),
+        differential_(enable_differential),
+        areas_(static_cast<std::size_t>(p.area_count())),
+        placer_(area_footprints(p)) {}
   ModuleManager(Platform& p, RecoveryPolicy policy,
                 bool enable_differential = true)
-      : p_(&p), policy_(policy), differential_(enable_differential) {}
+      : p_(&p),
+        policy_(policy),
+        differential_(enable_differential),
+        areas_(static_cast<std::size_t>(p.area_count())),
+        placer_(area_footprints(p)) {}
 
   [[nodiscard]] RecoveryPolicy& policy() { return policy_; }
 
@@ -121,6 +144,14 @@ class ModuleManager {
       if (res.already_resident) tr.instant(track, "already_resident", now);
       if (res.fell_back) tr.instant(track, "differential_fallback", now);
       if (res.ok && !res.already_resident) tr.instant(track, "activate", now);
+      if (res.ok && multi()) {
+        // Per-area residency track: which area served the behaviour and how
+        // (hit in place / cross-area dock re-bind / reconfiguration load).
+        tr.instant(tr.track("RTR.area." + std::to_string(res.area)),
+                   res.already_resident ? (res.activated ? "activate" : "hit")
+                                        : "load",
+                   now);
+      }
       tr.end(track, now);
     }
     if (res.ok) {
@@ -138,7 +169,29 @@ class ModuleManager {
     return res;
   }
 
-  [[nodiscard]] int resident() const { return resident_; }
+  /// Behaviour the dock currently serves: the active area's resident (with
+  /// one area, simply the resident), -1 when none.
+  [[nodiscard]] int resident() const {
+    if (!multi()) return areas_.front().resident;
+    const int a = p_->active_area();
+    return a < 0 ? -1 : areas_[static_cast<std::size_t>(a)].resident;
+  }
+  /// Behaviour resident in `area` (-1 when empty) -- co-resident modules in
+  /// non-active areas stay warm and activate without reconfiguration.
+  [[nodiscard]] int resident_in(int area) const {
+    return areas_[static_cast<std::size_t>(area)].resident;
+  }
+  /// True when `id` is warm in some area: the next ensure(id) is a hit (at
+  /// worst a dock re-bind). The serving layer's affinity dispatch keys off
+  /// this to batch requests per resident configuration.
+  [[nodiscard]] bool is_resident(hw::BehaviorId id) const {
+    for (const AreaState& st : areas_) {
+      if (st.resident == static_cast<int>(id)) return true;
+    }
+    return false;
+  }
+  /// The placement decision core (inspection/tests).
+  [[nodiscard]] const AreaPlacer& placer() const { return placer_; }
   /// True once repeated differential failures locked the manager onto the
   /// always-safe complete path.
   [[nodiscard]] bool degraded() const { return degraded_; }
@@ -155,23 +208,29 @@ class ModuleManager {
   [[nodiscard]] const PlanCache& plan_cache() const { return cache_; }
 
   /// Build (off the simulated clock) the plans a future ensure(id) would
-  /// need: the complete plan always, plus the differential plan from the
-  /// current resident when the differential path is live and the fabric
-  /// generation still matches the manager's assumption. Returns false when
-  /// the cache is disabled or the component does not link.
+  /// need: the complete plan for the area the placer would pick, plus the
+  /// differential plan from that area's resident when the differential
+  /// path is live and the area generation still matches the manager's
+  /// assumption. Returns false when the cache is disabled or the component
+  /// does not link.
   bool warm(hw::BehaviorId id, int dock_width) {
     if (!cache_enabled_) return false;
+    int area = 0;
+    if (multi()) {
+      const auto dec = placer_.plan(id, module_footprint(id, dock_width));
+      area = dec.compatible ? dec.area : 0;
+    }
     std::string err;
-    if (cache_.complete(p_->linker(), id, dock_width, &err, nullptr) ==
-        nullptr) {
+    if (cache_.complete(p_->linker(area), id, dock_width, &err, nullptr,
+                        area) == nullptr) {
       return false;
     }
-    if (differential_ && have_base_ && !degraded_ && resident_ >= 0 &&
-        resident_ != id &&
-        p_->fabric_state().generation() == resident_gen_) {
-      (void)cache_.differential(p_->linker(),
-                                static_cast<hw::BehaviorId>(resident_), id,
-                                dock_width, &err, nullptr);
+    const AreaState& st = areas_[static_cast<std::size_t>(area)];
+    if (differential_ && st.have_base && !degraded_ && st.resident >= 0 &&
+        st.resident != id && p_->area_generation(area) == st.gen) {
+      (void)cache_.differential(p_->linker(area),
+                                static_cast<hw::BehaviorId>(st.resident), id,
+                                dock_width, &err, nullptr, area);
     }
     return true;
   }
@@ -181,8 +240,8 @@ class ModuleManager {
   /// bumps the fabric generation so any plan warmed against the old
   /// assumption fails its tag check.
   void invalidate() {
-    have_base_ = false;
-    resident_ = -1;
+    for (AreaState& st : areas_) st = AreaState{};
+    placer_.reset();
     p_->bump_fabric_generation();
   }
 
@@ -195,30 +254,90 @@ class ModuleManager {
   }
 
  private:
+  struct AreaState {
+    int resident = -1;      // behaviour hosted by this area, -1 when empty
+    bool have_base = false; // residency + generation tag are valid
+    std::uint64_t gen = 0;  // area generation at which residency was set
+  };
+
+  [[nodiscard]] bool multi() const { return areas_.size() > 1; }
+
+  static std::vector<fabric::AreaFootprint> area_footprints(Platform& p) {
+    std::vector<fabric::AreaFootprint> f;
+    f.reserve(static_cast<std::size_t>(p.area_count()));
+    for (int a = 0; a < p.area_count(); ++a) {
+      f.push_back(p.region(a).footprint());
+    }
+    return f;
+  }
+
+  /// Forget everything about `area` after a load destroyed its occupant
+  /// and recovery gave up: the next ensure targeting it takes the complete
+  /// path, and the placer sees it as empty.
+  void clear_area(int area) {
+    areas_[static_cast<std::size_t>(area)] = AreaState{};
+    if (multi()) placer_.evict(area);
+  }
+
   EnsureStats ensure_impl(hw::BehaviorId id, int dock_width) {
     EnsureStats res;
     const sim::SimTime t0 = p_->kernel().now();
 
-    if (resident_ == id && p_->active_module() != nullptr) {
-      res.ok = true;
-      res.already_resident = true;
-      res.time = p_->kernel().now() - t0;
-      return res;
+    // Residency hit in any area: with one area this is the legacy fast
+    // path; with several, a non-active area's warm module is served by
+    // re-binding the dock to it -- a few CPU ops, no reconfiguration.
+    for (int a = 0; a < static_cast<int>(areas_.size()); ++a) {
+      if (areas_[static_cast<std::size_t>(a)].resident == id &&
+          p_->area_module(a) != nullptr) {
+        if (multi()) {
+          (void)placer_.place(id, module_footprint(id, dock_width));
+          if (a != p_->active_area()) {
+            p_->activate_area(a);
+            res.activated = true;
+            counter("rtr.place.activations").add();
+          }
+        }
+        res.ok = true;
+        res.already_resident = true;
+        res.area = a;
+        res.time = p_->kernel().now() - t0;
+        return res;
+      }
     }
+
+    // Placement: pick the target area (decided now, committed only once a
+    // load succeeds -- a link failure must leave the placer untouched).
+    int area = 0;
+    if (multi()) {
+      const AreaPlacer::Decision dec =
+          placer_.plan(id, module_footprint(id, dock_width));
+      if (!dec.compatible) {
+        // No area fits the footprint: target the primary area so the link
+        // failure carries the legacy "does not fit the region" error.
+        counter("rtr.place.incompatible").add();
+      } else {
+        area = dec.area;
+        counter(dec.evicted >= 0 ? "rtr.place.evictions"
+                                 : "rtr.place.placements")
+            .add();
+      }
+    }
+    res.area = area;
+    AreaState& st = areas_[static_cast<std::size_t>(area)];
 
     // Scratch store for the disabled-cache baseline: the same builders run,
     // but every plan is rebuilt from scratch and dropped afterwards.
     PlanCache scratch{1};
     PlanCache& plans = cache_enabled_ ? cache_ : scratch;
 
-    if (differential_ && have_base_ && !degraded_) {
-      if (p_->fabric_state().generation() != resident_gen_) {
+    if (differential_ && st.have_base && !degraded_) {
+      if (p_->area_generation(area) != st.gen) {
         // Something outside the manager wrote the fabric (debugger poke,
         // injected fault, scrub) since residency was established: the
         // assumed base state is stale, so any differential against it would
         // fail the validation gate. Detect it up front -- same fallback
         // bookkeeping as a failed differential load, minus the doomed load.
-        detect(res);
+        detect(res, area);
         counter("rtr.plan_cache.gen_invalidations").add();
         res.fell_back = true;
         counter("rtr.recovery.fallbacks").add();
@@ -233,8 +352,8 @@ class ModuleManager {
       } else {
         bool hit = false;
         const PlanCache::Plan* plan = plans.differential(
-            p_->linker(), static_cast<hw::BehaviorId>(resident_), id,
-            dock_width, &res.error, &hit);
+            p_->linker(area), static_cast<hw::BehaviorId>(st.resident), id,
+            dock_width, &res.error, &hit, area);
         counter(hit ? "rtr.plan_cache.hits" : "rtr.plan_cache.misses").add();
         if (plan == nullptr) {
           res.time = p_->kernel().now() - t0;
@@ -242,21 +361,21 @@ class ModuleManager {
         }
         const ReconfigStats s =
             p_->load_stream(plan->words, plan->payload_bytes,
-                            /*differential=*/true);
+                            /*differential=*/true, area);
         res.stream_words += s.stream_words;
         if (s.ok) {
           diff_failures_ = 0;
           res.used_differential = true;
           res.plan_cached = hit;
-          return finish_load(id, dock_width, res, t0);
+          return finish_load(id, dock_width, res, t0, area);
         }
-        detect(res);
+        detect(res, area);
         if (s.watchdog) {
           // The load deadline expired mid-stream: no time budget remains
           // for the complete fallback either. Give up now; the caller's
           // watchdog owns what happens next (degrade, breaker, ...).
           res.error = s.error;
-          return watchdog_giveup(res, t0);
+          return watchdog_giveup(res, t0, area);
         }
         // Stale assumption (or corruption): the validation gate refused to
         // bind. Fall back to the complete configuration.
@@ -278,29 +397,29 @@ class ModuleManager {
       ++res.attempts;
       bool hit = false;
       ReconfigStats s;
-      const PlanCache::Plan* plan =
-          plans.complete(p_->linker(), id, dock_width, &res.error, &hit);
+      const PlanCache::Plan* plan = plans.complete(p_->linker(area), id,
+                                                   dock_width, &res.error,
+                                                   &hit, area);
       counter(hit ? "rtr.plan_cache.hits" : "rtr.plan_cache.misses").add();
       if (plan == nullptr) {
         res.time = p_->kernel().now() - t0;
         return res;
       }
-      s = load_complete(*plan);
+      s = load_complete(*plan, area);
       res.stream_words += s.stream_words;
       if (s.ok) {
         res.error.clear();
         res.plan_cached = hit;
-        return finish_load(id, dock_width, res, t0);
+        return finish_load(id, dock_width, res, t0, area);
       }
       res.error = s.error;
-      detect(res);
-      if (s.watchdog) return watchdog_giveup(res, t0);
+      detect(res, area);
+      if (s.watchdog) return watchdog_giveup(res, t0, area);
       if (attempt + 1 >= policy_.max_attempts) {
         counter("rtr.recovery.giveups").add();
         mark("giveup");
         incident("rtr_giveup");
-        resident_ = -1;
-        have_base_ = false;
+        clear_area(area);
         res.time = p_->kernel().now() - t0;
         return res;
       }
@@ -315,81 +434,83 @@ class ModuleManager {
   /// A watchdog-aborted load: retrying past the deadline is pointless, so
   /// every abort is an immediate giveup (distinct counter + instant so the
   /// trace separates deadline kills from device failures).
-  EnsureStats watchdog_giveup(EnsureStats& res, sim::SimTime t0) {
+  EnsureStats watchdog_giveup(EnsureStats& res, sim::SimTime t0, int area) {
     res.watchdog = true;
     counter("rtr.recovery.watchdog_aborts").add();
     mark("watchdog_abort");
     counter("rtr.recovery.giveups").add();
     mark("giveup");
     incident("rtr_giveup");
-    resident_ = -1;
-    have_base_ = false;
+    clear_area(area);
     res.time = p_->kernel().now() - t0;
     return res;
   }
 
   /// A load bound a module. Optionally readback-verify the dynamic area,
   /// scrubbing (complete golden reload) on mismatch, then record residency
-  /// plus the fabric generation it was established at.
+  /// plus the area generation it was established at.
   EnsureStats finish_load(hw::BehaviorId id, int dock_width, EnsureStats& res,
-                          sim::SimTime t0) {
+                          sim::SimTime t0, int area) {
     res.ok = true;
     if (policy_.verify_after_load) {
       ReadbackStats rb =
           readback_verify(p_->kernel(), Platform::kIcapRange.base,
-                          p_->region());
+                          p_->region(area));
       while (!rb.ok && res.scrubs < policy_.max_scrubs) {
-        detect(res);
+        detect(res, area);
         ++res.scrubs;
         counter("rtr.recovery.scrubs").add();
         mark("scrub");
         std::string scrub_err;
         PlanCache scratch{1};
         PlanCache& plans = cache_enabled_ ? cache_ : scratch;
-        const PlanCache::Plan* plan =
-            plans.complete(p_->linker(), id, dock_width, &scrub_err, nullptr);
+        const PlanCache::Plan* plan = plans.complete(
+            p_->linker(area), id, dock_width, &scrub_err, nullptr, area);
         if (plan == nullptr) continue;  // link failure still costs a scrub
-        const ReconfigStats s = load_complete(*plan);
+        const ReconfigStats s = load_complete(*plan, area);
         res.stream_words += s.stream_words;
         if (!s.ok) continue;  // the scrub load itself failed; costs a scrub
         rb = readback_verify(p_->kernel(), Platform::kIcapRange.base,
-                             p_->region());
+                             p_->region(area));
       }
       if (!rb.ok) {
-        detect(res);
+        detect(res, area);
         res.ok = false;
         res.error = "readback verification failed after scrubbing";
         counter("rtr.recovery.giveups").add();
         mark("giveup");
         incident("rtr_giveup");
-        resident_ = -1;
-        have_base_ = false;
+        clear_area(area);
         res.time = p_->kernel().now() - t0;
         return res;
       }
       res.verified = true;
     }
-    resident_ = id;
-    resident_gen_ = p_->fabric_state().generation();
-    have_base_ = true;
+    AreaState& st = areas_[static_cast<std::size_t>(area)];
+    st.resident = id;
+    st.gen = p_->area_generation(area);
+    st.have_base = true;
+    if (multi()) {
+      (void)placer_.place(id, module_footprint(id, dock_width));
+    }
     res.time = p_->kernel().now() - t0;
     return res;
   }
 
   /// Stream a pre-built complete plan, routed through DMA when asked for
   /// and the platform has one.
-  ReconfigStats load_complete(const PlanCache::Plan& plan) {
+  ReconfigStats load_complete(const PlanCache::Plan& plan, int area) {
     if constexpr (requires(Platform& p) {
                     p.load_stream_dma(std::span<const std::uint32_t>{},
-                                      std::int64_t{}, bool{});
+                                      std::int64_t{}, bool{}, int{});
                   }) {
       if (policy_.use_dma) {
         return p_->load_stream_dma(plan.words, plan.payload_bytes,
-                                   /*differential=*/false);
+                                   /*differential=*/false, area);
       }
     }
     return p_->load_stream(plan.words, plan.payload_bytes,
-                           /*differential=*/false);
+                           /*differential=*/false, area);
   }
 
   sim::Counter& counter(const char* name) {
@@ -412,7 +533,7 @@ class ModuleManager {
     }
   }
 
-  void detect(EnsureStats& res) {
+  void detect(EnsureStats& res, int area) {
     if (!res.detected) {
       res.detected = true;
       res.detected_at = p_->kernel().now();
@@ -420,21 +541,23 @@ class ModuleManager {
     counter("rtr.recovery.detections").add();
     // Any detected failure may have left the fabric (or our picture of it)
     // inconsistent -- readback faults in particular never write config
-    // memory. Move the generation so plans warmed against the pre-fault
-    // state fail their tag check; successful recovery re-reads the tag in
-    // finish_load, so the differential path resumes immediately after.
-    p_->bump_fabric_generation();
+    // memory. Move the target area's generation so plans warmed against
+    // the pre-fault state fail their tag check; successful recovery
+    // re-reads the tag in finish_load, so the differential path resumes
+    // immediately after. Only the loaded area's tag moves: a co-resident
+    // area was not party to the failure, and invalidating it would count a
+    // phantom diff failure toward degrade on its next ensure.
+    p_->bump_area_generation(area);
   }
 
   Platform* p_;
   RecoveryPolicy policy_;
   bool differential_;
-  int resident_ = -1;
-  bool have_base_ = false;        // residency + generation tag are valid
-  std::uint64_t resident_gen_ = 0;
   bool degraded_ = false;
   int diff_failures_ = 0;
   bool cache_enabled_ = true;
+  std::vector<AreaState> areas_;  // index == platform area index
+  AreaPlacer placer_;             // consulted only when areas_.size() > 1
   PlanCache cache_;
 };
 

@@ -8,8 +8,9 @@ namespace rtr {
 
 const PlanCache::Plan* PlanCache::complete(const bitlinker::BitLinker& linker,
                                            hw::BehaviorId id, int dock_width,
-                                           std::string* error, bool* hit) {
-  const auto key = std::make_pair(static_cast<int>(id), dock_width);
+                                           std::string* error, bool* hit,
+                                           int area) {
+  const CompleteKey key{static_cast<int>(id), dock_width, area};
   if (auto it = complete_.find(key); it != complete_.end()) {
     if (hit) *hit = true;
     return &it->second;
@@ -29,8 +30,9 @@ const PlanCache::Plan* PlanCache::complete(const bitlinker::BitLinker& linker,
 
 const PlanCache::Plan* PlanCache::differential(
     const bitlinker::BitLinker& linker, hw::BehaviorId from, hw::BehaviorId to,
-    int dock_width, std::string* error, bool* hit) {
-  const DiffKey key{static_cast<int>(from), static_cast<int>(to), dock_width};
+    int dock_width, std::string* error, bool* hit, int area) {
+  const DiffKey key{static_cast<int>(from), static_cast<int>(to), dock_width,
+                    area};
   if (auto it = diff_.find(key); it != diff_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     if (hit) *hit = true;
@@ -38,9 +40,10 @@ const PlanCache::Plan* PlanCache::differential(
   }
   if (hit) *hit = false;
 
-  const Plan* from_plan = complete(linker, from, dock_width, error, nullptr);
+  const Plan* from_plan =
+      complete(linker, from, dock_width, error, nullptr, area);
   if (from_plan == nullptr) return nullptr;
-  const Plan* to_plan = complete(linker, to, dock_width, error, nullptr);
+  const Plan* to_plan = complete(linker, to, dock_width, error, nullptr, area);
   if (to_plan == nullptr) return nullptr;
 
   // Reconstruct the two pure post-load states and diff them. Content-wise

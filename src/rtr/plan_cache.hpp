@@ -54,20 +54,25 @@ class PlanCache {
 
   static constexpr std::size_t kDefaultDiffCapacity = 16;
 
-  /// Memoized complete plan for (id, dock_width): BitLinker assembly +
-  /// packet encoding, built on first use. Returns null (and sets *error)
-  /// when the link fails; *hit reports whether the plan was already cached.
+  /// Memoized complete plan for (id, dock_width, area): BitLinker assembly
+  /// + packet encoding, built on first use. Plans are area-specific -- the
+  /// linker relocates the component into its own region, so the same
+  /// behaviour yields different words per area; the caller passes the
+  /// linker of the keyed area. Returns null (and sets *error) when the
+  /// link fails; *hit reports whether the plan was already cached.
   const Plan* complete(const bitlinker::BitLinker& linker, hw::BehaviorId id,
-                       int dock_width, std::string* error, bool* hit);
+                       int dock_width, std::string* error, bool* hit,
+                       int area = 0);
 
-  /// Memoized differential plan `from` -> `to` (LRU, keyed per dock
-  /// width). Built from the two complete plans' pure fabric states; the
+  /// Memoized differential plan `from` -> `to` (LRU, keyed per dock width
+  /// and area). Built from the two complete plans' pure fabric states; the
   /// caller is responsible for generation-tag validation (a cached
-  /// differential is only safe while the fabric still holds the pure
+  /// differential is only safe while the area still holds the pure
   /// post-`from` state).
   const Plan* differential(const bitlinker::BitLinker& linker,
                            hw::BehaviorId from, hw::BehaviorId to,
-                           int dock_width, std::string* error, bool* hit);
+                           int dock_width, std::string* error, bool* hit,
+                           int area = 0);
 
   void clear();
   [[nodiscard]] std::size_t complete_plans() const { return complete_.size(); }
@@ -76,11 +81,12 @@ class PlanCache {
 
  private:
   struct DiffKey {
-    int from, to, width;
+    int from, to, width, area;
     bool operator<(const DiffKey& o) const {
       if (from != o.from) return from < o.from;
       if (to != o.to) return to < o.to;
-      return width < o.width;
+      if (width != o.width) return width < o.width;
+      return area < o.area;
     }
   };
   struct DiffEntry {
@@ -88,8 +94,17 @@ class PlanCache {
     std::list<DiffKey>::iterator lru_pos;
   };
 
+  struct CompleteKey {
+    int behavior, width, area;
+    bool operator<(const CompleteKey& o) const {
+      if (behavior != o.behavior) return behavior < o.behavior;
+      if (width != o.width) return width < o.width;
+      return area < o.area;
+    }
+  };
+
   std::size_t diff_capacity_;
-  std::map<std::pair<int, int>, Plan> complete_;  // (behavior, width)
+  std::map<CompleteKey, Plan> complete_;
   std::map<DiffKey, DiffEntry> diff_;
   std::list<DiffKey> lru_;  // front = most recently used
   std::int64_t evictions_ = 0;

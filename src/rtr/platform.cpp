@@ -248,6 +248,9 @@ Platform32::Platform32(PlatformOptions opts)
       fabric_(region_.device()),
       baseline_(region_.device()),
       registry_(hw::standard_registry(hw::bram_bits(region_.bram_blocks()))) {
+  RTR_CHECK(opts_.dynamic_areas == 1,
+            "the XC2VP7 hosts a single dynamic area (its strip already "
+            "spans every BRAM-reachable column; use the 64-bit system)");
   if (opts_.tracer) sim_.attach_tracer(*opts_.tracer);
   bridge_ = std::make_unique<bus::PlbOpbBridge>(opb_);
   bram_ = std::make_unique<mem::MemorySlave>(
@@ -298,7 +301,8 @@ ReconfigStats Platform32::load_config(const bitstream::PartialConfig& cfg) {
 
 ReconfigStats Platform32::load_stream(std::span<const std::uint32_t> words,
                                       std::int64_t config_bytes,
-                                      bool differential) {
+                                      bool differential, int area) {
+  RTR_CHECK(area == 0, "XC2VP7: area index out of range");
   return detail::do_load_stream(
       words, config_bytes, differential, opb_, kConfigStaging,
       kIcapRange.base + icap::IcapController::kDataReg,
@@ -392,6 +396,23 @@ Platform64::Platform64(PlatformOptions opts)
   linker_ = std::make_unique<bitlinker::BitLinker>(
       region_, busmacro::ConnectionInterface::for_width(64), baseline_);
 
+  // Co-resident dynamic areas beyond the primary region: each gets its own
+  // BitLinker (relocation anchors and bus-macro columns differ per area)
+  // and module slot. xc2vp30_areas() checks the range and the pairwise
+  // column-disjointness that lets the areas reconfigure independently.
+  const auto areas = fabric::DynamicRegion::xc2vp30_areas(opts_.dynamic_areas);
+  // The linkers hold pointers into extra_areas_: reserve once so later
+  // push_backs cannot reallocate under them.
+  extra_areas_.reserve(areas.size() - 1);
+  for (std::size_t i = 1; i < areas.size(); ++i) {
+    extra_areas_.push_back(areas[i]);
+    extra_linkers_.push_back(std::make_unique<bitlinker::BitLinker>(
+        extra_areas_.back(), busmacro::ConnectionInterface::for_width(64),
+        baseline_));
+    extra_modules_.emplace_back();
+  }
+  area_gens_.assign(static_cast<std::size_t>(area_count()), 0);
+
   plb_.attach(kDdrRange, *ddr_);
   plb_.attach(kBramRange, *bram_);
   plb_.attach(kDockRange, *dock_);
@@ -409,32 +430,101 @@ Platform64::Platform64(PlatformOptions opts)
 }
 
 ReconfigStats Platform64::load_module(hw::BehaviorId id) {
-  return detail::do_load(id, 64, *linker_, plb_, kConfigStaging,
-                         kIcapRange.base + icap::IcapController::kDataReg,
-                         kIcapRange.base + icap::IcapController::kControlReg,
-                         kIcapRange.base + icap::IcapController::kStatusReg,
-                         *kernel_, fabric_, region_, registry_, *dock_,
-                         module_, load_deadline_);
+  sync_area_gens();
+  const ReconfigStats stats = detail::do_load(
+      id, 64, *linker_, plb_, kConfigStaging,
+      kIcapRange.base + icap::IcapController::kDataReg,
+      kIcapRange.base + icap::IcapController::kControlReg,
+      kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
+      region_, registry_, *dock_, module_, load_deadline_);
+  note_fabric_write(0);
+  if (stats.stream_words > 0) active_area_ = stats.ok ? 0 : -1;
+  return stats;
 }
 
 ReconfigStats Platform64::load_config(const bitstream::PartialConfig& cfg) {
-  return detail::do_load_config(
+  sync_area_gens();
+  const ReconfigStats stats = detail::do_load_config(
       cfg, plb_, kConfigStaging,
       kIcapRange.base + icap::IcapController::kDataReg,
       kIcapRange.base + icap::IcapController::kControlReg,
       kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
       region_, registry_, *dock_, module_, load_deadline_);
+  note_fabric_write(0);
+  if (stats.stream_words > 0) active_area_ = stats.ok ? 0 : -1;
+  return stats;
 }
 
 ReconfigStats Platform64::load_stream(std::span<const std::uint32_t> words,
                                       std::int64_t config_bytes,
-                                      bool differential) {
-  return detail::do_load_stream(
+                                      bool differential, int area) {
+  RTR_CHECK(area >= 0 && area < area_count(), "load_stream: bad area");
+  sync_area_gens();
+  const ReconfigStats stats = detail::do_load_stream(
       words, config_bytes, differential, plb_, kConfigStaging,
       kIcapRange.base + icap::IcapController::kDataReg,
       kIcapRange.base + icap::IcapController::kControlReg,
       kIcapRange.base + icap::IcapController::kStatusReg, *kernel_, fabric_,
-      region_, registry_, *dock_, module_, load_deadline_);
+      region(area), registry_, *dock_, slot(area), load_deadline_);
+  note_fabric_write(area);
+  // The dock unbinds before the fabric is touched and only a successful
+  // load re-binds, so on failure no area is active.
+  active_area_ = stats.ok ? area : -1;
+  return stats;
+}
+
+const fabric::DynamicRegion& Platform64::region(int area) const {
+  RTR_CHECK(area >= 0 && area < area_count(), "region: bad area");
+  return area == 0 ? region_
+                   : extra_areas_[static_cast<std::size_t>(area - 1)];
+}
+
+bitlinker::BitLinker& Platform64::linker(int area) {
+  RTR_CHECK(area >= 0 && area < area_count(), "linker: bad area");
+  return area == 0 ? *linker_
+                   : *extra_linkers_[static_cast<std::size_t>(area - 1)];
+}
+
+hw::HwModule* Platform64::area_module(int area) {
+  RTR_CHECK(area >= 0 && area < area_count(), "area_module: bad area");
+  return slot(area).get();
+}
+
+void Platform64::activate_area(int area) {
+  RTR_CHECK(area >= 0 && area < area_count(), "activate_area: bad area");
+  if (area == active_area_) return;
+  RTR_CHECK(slot(area) != nullptr, "activate_area: area hosts no module");
+  // Cross-area activation: re-select the dock's bus-macro mux and let the
+  // target circuit reset (bind() resets it) -- a register write plus
+  // settle, orders of magnitude below any reconfiguration.
+  kernel_->op(8);
+  dock_->unbind();
+  dock_->bind(slot(area).get());
+  active_area_ = area;
+}
+
+std::uint64_t Platform64::area_generation(int area) {
+  RTR_CHECK(area >= 0 && area < area_count(), "area_generation: bad area");
+  sync_area_gens();
+  return area_gens_[static_cast<std::size_t>(area)];
+}
+
+void Platform64::note_fabric_write(int area) {
+  if (fabric_.generation() == fabric_gen_seen_) return;  // nothing written
+  if (faults_ != nullptr) {
+    // A corrupted stream word can carry a frame address outside the target
+    // area's columns: attribute conservatively to every area.
+    for (std::uint64_t& g : area_gens_) g = ++area_gen_tick_;
+  } else {
+    area_gens_[static_cast<std::size_t>(area)] = ++area_gen_tick_;
+  }
+  fabric_gen_seen_ = fabric_.generation();
+}
+
+void Platform64::sync_area_gens() {
+  if (fabric_.generation() == fabric_gen_seen_) return;
+  for (std::uint64_t& g : area_gens_) g = ++area_gen_tick_;
+  fabric_gen_seen_ = fabric_.generation();
 }
 
 ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
@@ -454,17 +544,29 @@ ReconfigStats Platform64::load_module_dma(hw::BehaviorId id) {
 
 ReconfigStats Platform64::load_stream_dma(std::span<const std::uint32_t> words,
                                           std::int64_t config_bytes,
-                                          bool differential) {
+                                          bool differential, int area) {
+  RTR_CHECK(area >= 0 && area < area_count(), "load_stream_dma: bad area");
+  sync_area_gens();
   ReconfigStats stats;
   stats.started = kernel_->now();
   stats.config_bytes = config_bytes;
   if (load_deadline_.ps() > 0 && stats.started >= load_deadline_) {
+    // Aborted before the dock unbinds or the fabric is touched: whatever
+    // circuit was active stays active.
     stats.finished = stats.started;
     stats.watchdog = true;
     stats.error = "watchdog: load deadline already expired at DMA issue";
     detail::account_reconfig(sim_, differential, stats);
     return stats;
   }
+  // Every exit past the unbind below goes through here: the dock re-binds
+  // only on success, so on failure no area is active.
+  const auto finish = [&]() -> ReconfigStats {
+    note_fabric_write(area);
+    active_area_ = stats.ok ? area : -1;
+    detail::account_reconfig(sim_, differential, stats);
+    return stats;
+  };
 
   // The 64-bit DMA engine moves whole beats: an odd word count needs a pad
   // word, and an armed fault plan mutates the staged stream -- both force a
@@ -483,7 +585,7 @@ ReconfigStats Platform64::load_stream_dma(std::span<const std::uint32_t> words,
   }
 
   dock_->unbind();
-  module_.reset();
+  slot(area).reset();
 
   cpu_->store32(kIcapRange.base + icap::IcapController::kControlReg, 1);
   // One scatter-gather descriptor: staging -> HWICAP data window (fixed
@@ -502,8 +604,7 @@ ReconfigStats Platform64::load_stream_dma(std::span<const std::uint32_t> words,
     stats.finished = kernel_->now();
     stats.watchdog = true;
     stats.error = "watchdog: DMA reconfiguration missed the load deadline";
-    detail::account_reconfig(sim_, differential, stats);
-    return stats;
+    return finish();
   }
   dock_->signal_done(done);
   cpu_->take_interrupt(intc_->assertion_time(kDockIrq));
@@ -517,37 +618,38 @@ ReconfigStats Platform64::load_stream_dma(std::span<const std::uint32_t> words,
   stats.finished = kernel_->now();
   if (!(status & icap::IcapController::kStatusDone)) {
     stats.error = "ICAP did not complete (CRC or protocol error)";
-    detail::account_reconfig(sim_, differential, stats);
-    return stats;
+    return finish();
   }
   int bound_id = -1;
-  if (!detail::region_validates(fabric_, region_, &bound_id)) {
+  if (!detail::region_validates(fabric_, region(area), &bound_id)) {
     stats.error = "region signature/payload validation failed";
-    detail::account_reconfig(sim_, differential, stats);
-    return stats;
+    return finish();
   }
   auto module = registry_.create(bound_id);
   if (!module) {
     stats.error = "no behavioural model registered for id " +
                   std::to_string(bound_id);
-    detail::account_reconfig(sim_, differential, stats);
-    return stats;
+    return finish();
   }
-  module_ = std::move(module);
-  dock_->bind(module_.get());
+  slot(area) = std::move(module);
+  dock_->bind(slot(area).get());
   stats.ok = true;
-  detail::account_reconfig(sim_, differential, stats);
-  return stats;
+  return finish();
 }
 
 void Platform64::unload() {
   dock_->unbind();
   module_.reset();
+  for (auto& m : extra_modules_) m.reset();
+  active_area_ = -1;
 }
 
 void Platform64::external_reset() {
   icap_->reset();
   if (module_) module_->reset();
+  for (auto& m : extra_modules_) {
+    if (m) m->reset();
+  }
 }
 
 std::vector<ResourceRow> Platform64::resource_table() const {
@@ -587,8 +689,13 @@ std::string Platform64::topology() const {
      << "\n"
      << "  dynamic area: " << region_.rect().cols << "x" << region_.rect().rows
      << " CLBs, " << region_.bram_blocks() << " BRAMs ("
-     << region_.slice_percent() << "% of slices)\n"
-     << "  reset block, JTAGPPC\n";
+     << region_.slice_percent() << "% of slices)\n";
+  for (const auto& extra : extra_areas_) {
+    os << "  dynamic area (" << extra.name() << "): " << extra.rect().cols
+       << "x" << extra.rect().rows << " CLBs, " << extra.bram_blocks()
+       << " BRAMs (" << extra.slice_percent() << "% of slices)\n";
+  }
+  os << "  reset block, JTAGPPC\n";
   return os.str();
 }
 

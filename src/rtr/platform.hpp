@@ -36,6 +36,7 @@
 #include "icap/icap.hpp"
 #include "mem/memory_slave.hpp"
 #include "rtr/peripherals.hpp"
+#include "sim/check.hpp"
 
 namespace rtr {
 
@@ -79,6 +80,12 @@ struct PlatformOptions {
   /// When null the simulation uses its own disabled instance; the tracer
   /// must outlive the platform.
   trace::Tracer* tracer = nullptr;
+  /// Co-resident dynamic areas the device exposes (docs/PLACEMENT.md).
+  /// Area 0 is always the legacy region, so 1 keeps the pre-multi-area
+  /// platform bit for bit. The 64-bit system hosts up to
+  /// fabric::DynamicRegion::kMaxAreasXc2vp30; the 32-bit device has no
+  /// column-disjoint room for a second area and requires 1.
+  int dynamic_areas = 1;
 };
 
 namespace detail {
@@ -158,14 +165,52 @@ class Platform32 {
   /// validation behaviour as load_config, without re-serialising -- and
   /// without copying the stream unless a fault plan has to mutate it.
   /// `config_bytes` and `differential` only feed accounting (the stats
-  /// counters and the trace span flavour).
+  /// counters and the trace span flavour). `area` must be 0 (single-area
+  /// device); the parameter keeps the per-area load signature uniform for
+  /// the ModuleManager.
   ReconfigStats load_stream(std::span<const std::uint32_t> words,
-                            std::int64_t config_bytes, bool differential);
+                            std::int64_t config_bytes, bool differential,
+                            int area = 0);
 
   /// Invalidate generation-tagged assumptions about the fabric (cached
   /// differential plans) without altering its content. Used by the
   /// ModuleManager on invalidate() and on fault detection.
   void bump_fabric_generation() { fabric_.bump_generation(); }
+
+  /// Area-scoped variant: with a single area a failure scoped to it is a
+  /// failure scoped to the whole fabric, so this is the same invalidation.
+  void bump_area_generation(int area) {
+    RTR_CHECK(area == 0, "XC2VP7: area index out of range");
+    bump_fabric_generation();
+  }
+
+  // --- multi-area surface (always a single area on this system) ----------
+  // The ModuleManager drives every platform through this per-area API; on
+  // the XC2VP7 it degenerates to the legacy single-region behaviour (see
+  // fabric::DynamicRegion::xc2vp7_areas for why a second area cannot
+  // exist). With one area the global ConfigMemory generation *is* the
+  // area's generation.
+  [[nodiscard]] int area_count() const { return 1; }
+  [[nodiscard]] const fabric::DynamicRegion& region(int area) const {
+    RTR_CHECK(area == 0, "XC2VP7: area index out of range");
+    return region_;
+  }
+  [[nodiscard]] bitlinker::BitLinker& linker(int area) {
+    RTR_CHECK(area == 0, "XC2VP7: area index out of range");
+    return *linker_;
+  }
+  [[nodiscard]] hw::HwModule* area_module(int area) {
+    RTR_CHECK(area == 0, "XC2VP7: area index out of range");
+    return module_.get();
+  }
+  [[nodiscard]] int active_area() const { return 0; }
+  void activate_area(int area) {
+    RTR_CHECK(area == 0, "XC2VP7: area index out of range");
+  }
+  [[nodiscard]] std::uint64_t area_generation(int area) const {
+    RTR_CHECK(area == 0, "XC2VP7: area index out of range");
+    return fabric_.generation();
+  }
 
   void unload();
   [[nodiscard]] hw::HwModule* active_module() { return module_.get(); }
@@ -258,12 +303,60 @@ class Platform64 {
   /// See Platform32::load_config.
   ReconfigStats load_config(const bitstream::PartialConfig& cfg);
 
-  /// See Platform32::load_stream.
+  /// See Platform32::load_stream. `area` selects the dynamic area the
+  /// stream targets (the caller must have linked it against that area's
+  /// BitLinker); a successful load makes that area the active one.
   ReconfigStats load_stream(std::span<const std::uint32_t> words,
-                            std::int64_t config_bytes, bool differential);
+                            std::int64_t config_bytes, bool differential,
+                            int area = 0);
 
-  /// See Platform32::bump_fabric_generation.
-  void bump_fabric_generation() { fabric_.bump_generation(); }
+  /// See Platform32::bump_fabric_generation. Also moves every area's
+  /// generation: an external invalidation cannot be attributed to one area.
+  void bump_fabric_generation() {
+    fabric_.bump_generation();
+    for (std::uint64_t& g : area_gens_) g = ++area_gen_tick_;
+    fabric_gen_seen_ = fabric_.generation();
+  }
+
+  /// Invalidate one area's generation tag. A failure during a load can
+  /// only have touched the target area's columns (the stream is linked
+  /// against that area's region; corrupted frame addresses are handled by
+  /// the fault-aware attribution in note_fabric_write), so a co-resident
+  /// area's differential base stays valid. The device-wide fabric
+  /// generation still moves so complete-plan tags warmed before the
+  /// failure are re-validated.
+  void bump_area_generation(int area) {
+    RTR_CHECK(area >= 0 && area < area_count(),
+              "bump_area_generation: bad area");
+    fabric_.bump_generation();
+    area_gens_[static_cast<std::size_t>(area)] = ++area_gen_tick_;
+    fabric_gen_seen_ = fabric_.generation();
+  }
+
+  // --- multi-area surface -------------------------------------------------
+  // With opts.dynamic_areas == 2 the device hosts the primary region and
+  // the column-disjoint xc2vp30_region_b as independent dynamic areas,
+  // each with its own BitLinker (relocation targets differ per area),
+  // module slot and generation tag. One dock serves the device; loading or
+  // activating an area re-binds it. See docs/PLACEMENT.md.
+  [[nodiscard]] int area_count() const {
+    return 1 + static_cast<int>(extra_areas_.size());
+  }
+  [[nodiscard]] const fabric::DynamicRegion& region(int area) const;
+  [[nodiscard]] bitlinker::BitLinker& linker(int area);
+  [[nodiscard]] hw::HwModule* area_module(int area);
+  /// Area the dock is bound to; -1 right after a failed load (the dock
+  /// unbinds before any fabric write and a failed load never re-binds).
+  [[nodiscard]] int active_area() const { return active_area_; }
+  /// Re-bind the dock to `area`'s already-resident module: bus-macro mux
+  /// re-select plus a circuit reset -- a few CPU ops, no reconfiguration.
+  void activate_area(int area);
+  /// Per-area generation tag: moves when `area`'s columns may have been
+  /// written (its own loads; any fabric write outside a load path, which
+  /// cannot be attributed and conservatively moves every area). Cached
+  /// differentials against this area validate against it; a missed
+  /// staleness is still caught by the signature/payload gate.
+  [[nodiscard]] std::uint64_t area_generation(int area);
 
   /// Extension: DMA-driven reconfiguration. The scatter-gather engine
   /// streams the staged bitstream straight into the HWICAP data window
@@ -273,12 +366,15 @@ class Platform64 {
 
   /// The DMA path for a pre-encoded stream (cached plan): identical
   /// deadline, padding, fault-injection and interrupt behaviour to
-  /// load_module_dma, minus the link/encode work.
+  /// load_module_dma, minus the link/encode work. `area` as load_stream.
   ReconfigStats load_stream_dma(std::span<const std::uint32_t> words,
-                                std::int64_t config_bytes, bool differential);
+                                std::int64_t config_bytes, bool differential,
+                                int area = 0);
 
   void unload();
-  [[nodiscard]] hw::HwModule* active_module() { return module_.get(); }
+  [[nodiscard]] hw::HwModule* active_module() {
+    return active_area_ < 0 ? nullptr : slot(active_area_).get();
+  }
 
   void external_reset();
 
@@ -312,6 +408,26 @@ class Platform64 {
   sim::SimTime load_deadline_{};
   ResetBlock reset_block_;
   JtagPpc jtag_;
+
+  // Multi-area state. Area 0 lives in region_/linker_/module_ (so the
+  // single-area layout is untouched); areas 1.. in the extra_* vectors.
+  [[nodiscard]] std::unique_ptr<hw::HwModule>& slot(int area) {
+    return area == 0 ? module_
+                     : extra_modules_[static_cast<std::size_t>(area - 1)];
+  }
+  /// Attribute fabric writes since the last load path to `area` (or to all
+  /// areas when a fault plan may have corrupted frame addressing).
+  void note_fabric_write(int area);
+  /// Fold in writes that happened outside any load path: they cannot be
+  /// attributed to one area, so every area's generation moves.
+  void sync_area_gens();
+  std::vector<fabric::DynamicRegion> extra_areas_;
+  std::vector<std::unique_ptr<bitlinker::BitLinker>> extra_linkers_;
+  std::vector<std::unique_ptr<hw::HwModule>> extra_modules_;
+  int active_area_ = 0;
+  std::vector<std::uint64_t> area_gens_;
+  std::uint64_t area_gen_tick_ = 0;
+  std::uint64_t fabric_gen_seen_ = 0;
 };
 
 }  // namespace rtr

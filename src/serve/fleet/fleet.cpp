@@ -57,10 +57,22 @@ std::int64_t count_swaps(const sim::StatRegistry& stats) {
 /// Phase 3 worker: one shard replays its script open-loop to drain on a
 /// fresh platform. A pure function of (script, opts) -- nothing here may
 /// observe another shard or the host.
+/// Dynamic areas a shard of this system actually hosts: the 32-bit device
+/// cannot fit a second column-disjoint area, the 64-bit one is capped by
+/// its catalogue.
+int shard_areas(int system, int areas) {
+  if (system == 32) return 1;
+  return areas < fabric::DynamicRegion::kMaxAreasXc2vp30
+             ? areas
+             : fabric::DynamicRegion::kMaxAreasXc2vp30;
+}
+
 template <typename Platform>
 ShardOutcome run_shard(const std::vector<Request>& script,
-                       const FleetOptions& opts) {
-  Platform p;
+                       const FleetOptions& opts, int areas) {
+  rtr::PlatformOptions po;
+  po.dynamic_areas = areas;
+  Platform p{po};
   ServeOptions so;
   so.plan_cache = opts.plan_cache;
   TaskServer<Platform> srv(p, opts.queue_capacity, so, opts.seed);
@@ -97,9 +109,15 @@ FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w) {
     systems.push_back(opts.mix[static_cast<std::size_t>(i) % opts.mix.size()]);
   }
 
+  RTR_CHECK(opts.areas >= 1, "fleet needs at least one area per device");
+  std::vector<int> areas;
+  areas.reserve(systems.size());
+  for (const int sys : systems) areas.push_back(shard_areas(sys, opts.areas));
+
   // Phase 1 + 2: generate, then route serially.
   const std::vector<Request> stream = make_fleet_stream(w, opts.seed);
-  FleetRouter router(systems, opts.affinity, opts.steal_threshold, opts.seed);
+  FleetRouter router(systems, opts.affinity, opts.steal_threshold, opts.seed,
+                     areas);
   for (const Request& r : stream) (void)router.route(r);
 
   // Scripts per shard, in submission order (indices ascend with time; a
@@ -120,8 +138,8 @@ FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= systems.size()) return;
       fr.shards[i] = systems[i] == 32
-                         ? run_shard<Platform32>(scripts[i], opts)
-                         : run_shard<Platform64>(scripts[i], opts);
+                         ? run_shard<Platform32>(scripts[i], opts, areas[i])
+                         : run_shard<Platform64>(scripts[i], opts, areas[i]);
       fr.shards[i].system = systems[i];
     }
   };

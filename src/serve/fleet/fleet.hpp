@@ -40,6 +40,10 @@ struct FleetOptions {
   bool affinity = true;
   int steal_threshold = 4;  // 0 disables work stealing
   bool plan_cache = true;
+  /// Co-resident dynamic areas per device (docs/PLACEMENT.md). 64-bit
+  /// shards host min(areas, kMaxAreasXc2vp30); 32-bit shards always 1
+  /// (the XC2VP7 has no room for a second area).
+  int areas = 1;
   std::size_t queue_capacity = 64;  // per-shard admission bound
   int jobs = 1;                     // host worker threads for shard runs
   std::uint64_t seed = 1;

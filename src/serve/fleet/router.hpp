@@ -33,6 +33,7 @@
 // routed request) -- BM_FleetRouteDecision pins that cost in CI.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -74,15 +75,25 @@ class FleetRouter {
     std::int64_t steals = 0;         // queued entries moved between shards
   };
 
+  /// `areas` is the dynamic-area count per shard (co-resident modules; see
+  /// docs/PLACEMENT.md): empty means one area everywhere, the pre-multi-area
+  /// model. A shard with N areas keeps up to N behaviours warm at once, so
+  /// affinity matches any of them.
   FleetRouter(std::vector<int> systems, bool affinity, int steal_threshold,
-              std::uint64_t seed)
+              std::uint64_t seed, std::vector<int> areas = {})
       : affinity_(affinity),
         steal_threshold_(steal_threshold),
         rng_(seed),
         shards_(systems.size()) {
     RTR_CHECK(!systems.empty(), "fleet needs at least one device");
+    RTR_CHECK(areas.empty() || areas.size() == systems.size(),
+              "areas must be empty or one entry per device");
     for (std::size_t i = 0; i < systems.size(); ++i) {
       shards_[i].system = systems[i];
+      if (!areas.empty()) {
+        RTR_CHECK(areas[i] >= 1, "every shard needs at least one area");
+        shards_[i].areas = areas[i];
+      }
     }
   }
 
@@ -126,11 +137,32 @@ class FleetRouter {
 
   struct Shard {
     int system = 64;
-    int resident = -1;          // predicted resident behaviour after drain
+    int areas = 1;              // co-resident dynamic areas on the device
+    /// Predicted resident behaviours after drain, most recent first,
+    /// capped at `areas` -- mirrors the device-side LRU placer. With one
+    /// area this is the legacy single resident.
+    std::vector<int> resident;
     std::uint64_t plans = 0;    // bit (behaviour - 100): warm plan expected
     std::int64_t ready_ps = 0;  // predicted backlog drain time
     std::deque<Planned> backlog;
   };
+
+  [[nodiscard]] static bool is_resident(const Shard& s, int behavior) {
+    return std::find(s.resident.begin(), s.resident.end(), behavior) !=
+           s.resident.end();
+  }
+
+  /// Move `behavior` to the front of the shard's residency MRU, evicting
+  /// the least recent entry past the area count -- the router-side mirror
+  /// of the placer's LRU eviction.
+  static void touch_resident(Shard& s, int behavior) {
+    auto it = std::find(s.resident.begin(), s.resident.end(), behavior);
+    if (it != s.resident.end()) s.resident.erase(it);
+    s.resident.insert(s.resident.begin(), behavior);
+    if (static_cast<int>(s.resident.size()) > s.areas) {
+      s.resident.resize(static_cast<std::size_t>(s.areas));
+    }
+  }
 
   [[nodiscard]] static std::uint64_t plan_bit(int behavior) {
     const int b = behavior - hw::kPatternMatcher;  // lowest behaviour id
@@ -176,7 +208,7 @@ class FleetRouter {
         least = i;
         least_d = d;
       }
-      if (s.resident == r.behavior && (resident < 0 || d < resident_d)) {
+      if (is_resident(s, r.behavior) && (resident < 0 || d < resident_d)) {
         resident = i;
         resident_d = d;
       }
@@ -222,12 +254,12 @@ class FleetRouter {
              std::int64_t deadline_ps, std::int64_t now) {
     Shard& s = shards_[static_cast<std::size_t>(shard)];
     std::int64_t cost = kEstExecPs;
-    if (s.resident != behavior) cost += est_swap_ps(s);
+    if (!is_resident(s, behavior)) cost += est_swap_ps(s);
     const std::int64_t start = s.ready_ps > now ? s.ready_ps : now;
     const std::int64_t finish = start + cost;
     s.backlog.push_back({req_index, behavior, deadline_ps, cost, finish});
     s.ready_ps = finish;
-    s.resident = behavior;
+    touch_resident(s, behavior);
     s.plans |= plan_bit(behavior);
   }
 
@@ -238,7 +270,27 @@ class FleetRouter {
     victim.ready_ps =
         victim.backlog.empty() ? 0 : victim.backlog.back().est_finish_ps;
     if (!victim.backlog.empty()) {
-      victim.resident = victim.backlog.back().behavior;
+      // Rebuild the residency MRU: backlogged behaviours newest first,
+      // then what the previous prediction still remembers, capped at the
+      // area count. (An empty backlog leaves the prediction untouched,
+      // matching the single-area model.)
+      std::vector<int> rebuilt;
+      for (auto it = victim.backlog.rbegin();
+           it != victim.backlog.rend() &&
+           static_cast<int>(rebuilt.size()) < victim.areas;
+           ++it) {
+        if (std::find(rebuilt.begin(), rebuilt.end(), it->behavior) ==
+            rebuilt.end()) {
+          rebuilt.push_back(it->behavior);
+        }
+      }
+      for (const int b : victim.resident) {
+        if (static_cast<int>(rebuilt.size()) >= victim.areas) break;
+        if (std::find(rebuilt.begin(), rebuilt.end(), b) == rebuilt.end()) {
+          rebuilt.push_back(b);
+        }
+      }
+      victim.resident = std::move(rebuilt);
     }
     return tail;
   }
@@ -267,7 +319,7 @@ class FleetRouter {
   [[nodiscard]] std::int64_t placed_finish(const Shard& s, int behavior,
                                            std::int64_t now) const {
     std::int64_t cost = kEstExecPs;
-    if (s.resident != behavior) cost += est_swap_ps(s);
+    if (!is_resident(s, behavior)) cost += est_swap_ps(s);
     return (s.ready_ps > now ? s.ready_ps : now) + cost;
   }
 

@@ -65,8 +65,42 @@ class RequestQueue {
     __builtin_unreachable();
   }
 
+  /// Affinity pop (multi-area devices, docs/PLACEMENT.md): within the
+  /// highest non-empty priority class, prefer the oldest request whose
+  /// behaviour `resident` says is already hosted by some dynamic area --
+  /// serving warm requests first batches work per configuration and turns
+  /// co-residency into fewer swaps. The FIFO head may be bypassed at most
+  /// `max_bypass` consecutive times before it is served regardless
+  /// (aging), so a cold behaviour cannot starve. Priority still dominates:
+  /// a lower class is never popped over a higher one. Pure function of
+  /// (queue content, residency, bypass count) -- deterministic.
+  template <typename ResidentFn>
+  Request pop_affine(ResidentFn&& resident, int max_bypass) {
+    for (auto& q : q_) {
+      if (q.empty()) continue;
+      if (bypassed_ < max_bypass && !resident(q.front().behavior)) {
+        for (std::size_t i = 1; i < q.size(); ++i) {
+          if (resident(q[i].behavior)) {
+            ++bypassed_;
+            Request r = q[i];
+            q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+            return r;
+          }
+        }
+      }
+      // Head pops: resident head, no warm candidate, or aged-out bypass.
+      bypassed_ = 0;
+      Request r = q.front();
+      q.pop_front();
+      return r;
+    }
+    RTR_CHECK(false, "pop from an empty request queue");
+    __builtin_unreachable();
+  }
+
  private:
   std::size_t cap_;
+  int bypassed_ = 0;  // consecutive affinity bypasses of the current head
   std::deque<Request> q_[kPriorityCount];
 };
 

@@ -55,6 +55,12 @@ struct ServeOptions {
   /// distinct behaviour). Host-side only: simulated times and outputs are
   /// byte-identical with the cache off (see docs/PERFORMANCE.md).
   bool plan_cache = true;
+  /// Multi-area affinity dispatch (docs/PLACEMENT.md): on a device with
+  /// more than one dynamic area, pop the oldest queued request whose
+  /// behaviour is already resident in some area, bypassing the FIFO head
+  /// at most this many consecutive times before aging forces it through.
+  /// Single-area devices always pop strict (priority, FIFO) order.
+  int affinity_max_bypass = 16;
   /// Declared service-level objectives, one SloEngine each, evaluated per
   /// disposed request (see serve/slo.hpp for grammar and burn semantics).
   std::vector<SloSpec> slos;
@@ -156,9 +162,18 @@ class TaskServer {
 
   [[nodiscard]] bool pending() const { return !queue_.empty(); }
 
-  /// Pop and serve the highest-priority request. Advances simulated time.
+  /// Pop and serve the highest-priority request (on a multi-area device,
+  /// the highest-priority request warm in some area, with aging; see
+  /// ServeOptions::affinity_max_bypass). Advances simulated time.
   Completion serve_one() {
-    const Request req = queue_.pop();
+    const Request req =
+        p_->area_count() > 1
+            ? queue_.pop_affine(
+                  [this](int b) {
+                    return mgr_.is_resident(static_cast<hw::BehaviorId>(b));
+                  },
+                  opts_.affinity_max_bypass)
+            : queue_.pop();
     stage_sample(stages(req.behavior).queue, (now() - req.submitted).ps());
     trace::Tracer& tr = p_->sim().tracer();
     const int track = tr.enabled() ? tr.track("SERVE") : -1;
@@ -261,6 +276,15 @@ class TaskServer {
       const EnsureStats es = mgr_.ensure(req.behavior, dock_width());
       p_->set_load_deadline(sim::SimTime{});
       stage_sample(stages(req.behavior).reconfig, es.time.ps());
+      if (p_->area_count() > 1 && es.ok) {
+        // Per-area serving traffic (multi-area devices only): hits are
+        // requests served by a warm area (including cross-area dock
+        // re-binds), loads paid a reconfiguration into that area.
+        counter((std::string("serve.area.") + std::to_string(es.area) +
+                 (es.already_resident ? ".hits" : ".loads"))
+                    .c_str())
+            .add();
+      }
       if (opts_.plan_cache && !es.already_resident) {
         // A swap actually ran: score the prefetcher's last prediction.
         if (prefetch_pending_ == req.behavior) {

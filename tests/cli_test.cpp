@@ -326,7 +326,7 @@ TEST(Cli, ServeWritesBenchJson) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("rtrsim-serve-bench-v3"), std::string::npos);
+  EXPECT_NE(json.find("rtrsim-serve-bench-v4"), std::string::npos);
   EXPECT_NE(json.find("\"plan_cache\": true"), std::string::npos);
   EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
   EXPECT_NE(json.find("\"latency_workload\": \"heavy\""), std::string::npos);
@@ -334,6 +334,10 @@ TEST(Cli, ServeWritesBenchJson) {
   EXPECT_NE(json.find("\"p90\""), std::string::npos);
   EXPECT_NE(json.find("\"p999\""), std::string::npos);
   EXPECT_NE(json.find("BM_ServeSteadyHot_ns_per_req"), std::string::npos);
+  EXPECT_NE(json.find("\"multi_area\""), std::string::npos);
+  EXPECT_NE(json.find("\"one_area\""), std::string::npos);
+  EXPECT_NE(json.find("\"two_areas\""), std::string::npos);
+  EXPECT_NE(json.find("\"swap_drop\""), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -350,6 +354,23 @@ TEST(Cli, FleetStdoutIsByteIdenticalAcrossJobCounts) {
   EXPECT_NE(j1.output, s4.output);
 }
 
+TEST(Cli, FleetMultiAreaIsByteIdenticalAcrossJobCounts) {
+  const std::string args =
+      "fleet --devices 4 --requests 150 --seed 3 --areas 2";
+  const auto j1 = run_cli_stdout(args + " -j 1");
+  const auto j4 = run_cli_stdout(args + " -j 4");
+  EXPECT_EQ(j1.exit_code, 0) << j1.output;
+  EXPECT_EQ(j1.output, j4.output);
+  EXPECT_NE(j1.output.find("areas=2"), std::string::npos);
+  EXPECT_NE(j1.output.find("digests=ok"), std::string::npos);
+}
+
+TEST(Cli, ServeAreasRejects32BitSystem) {
+  const auto r = run_cli("serve --workload mixed --system 32 --areas 2");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--system 64"), std::string::npos);
+}
+
 TEST(Cli, FleetWritesBenchJsonWithAffinityAb) {
   const std::string path = "cli_fleet_bench.json";
   const auto r = run_cli_stdout(
@@ -360,10 +381,12 @@ TEST(Cli, FleetWritesBenchJsonWithAffinityAb) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("rtrsim-fleet-bench-v1"), std::string::npos);
+  EXPECT_NE(json.find("rtrsim-fleet-bench-v2"), std::string::npos);
   EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
   EXPECT_NE(json.find("\"affinity_hits\""), std::string::npos);
   EXPECT_NE(json.find("\"no_affinity\""), std::string::npos);
+  EXPECT_NE(json.find("\"single_area\""), std::string::npos);
+  EXPECT_NE(json.find("\"areas\": 1"), std::string::npos);
   EXPECT_NE(json.find("BM_FleetRouteDecision"), std::string::npos);
   std::remove(path.c_str());
 }

@@ -123,6 +123,7 @@ struct Args {
   int requests = 2000;                   // fleet: arrival stream length
   int zipf_skew = 1;                     // fleet: behaviour popularity skew
   long long arrival_us = 800;            // fleet: mean interarrival gap
+  int areas = 1;  // serve/fleet: co-resident dynamic areas per device
 };
 
 int usage() {
@@ -142,7 +143,7 @@ int usage() {
                "       [--devices N] [--mix 64:32] [--requests N] "
                "[--arrival-us N]\n"
                "       [--zipf-skew N] [--steal-threshold N] "
-               "[--no-affinity]\n"
+               "[--no-affinity] [--areas N]\n"
                "tasks: jenkins sha1 patmatch brightness blend fade loopback\n"
                "workloads: mixed hash image burst steady heavy\n"
                "fault sites: storage icap dma bus readback; triggers: once@N "
@@ -303,6 +304,14 @@ bool parse(int argc, char** argv, Args& a) {
       a.steal_threshold = static_cast<int>(n);
     } else if (opt == "--no-affinity") {
       a.affinity = false;
+    } else if (opt == "--areas") {
+      const char* v = value();
+      long long n = 0;
+      if (!parse_i64(v, &n) || n < 1 ||
+          n > fabric::DynamicRegion::kMaxAreasXc2vp30) {
+        return bad(v);
+      }
+      a.areas = static_cast<int>(n);
     } else if (opt == "--requests") {
       const char* v = value();
       long long n = 0;
@@ -1074,10 +1083,12 @@ struct ServeScenarioOutcome {
 template <typename Platform>
 ServeScenarioOutcome serve_scenario(const ServeScenario& sc,
                                     std::uint64_t seed, bool plan_cache,
-                                    const std::vector<serve::SloSpec>& slos) {
+                                    const std::vector<serve::SloSpec>& slos,
+                                    int areas) {
   const serve::WorkloadSpec* w = serve::workload_by_name(sc.workload);
   RTR_CHECK(w != nullptr, "unknown built-in workload");
   PlatformOptions opts;
+  opts.dynamic_areas = areas;
   if (sc.fault[0] != '\0') {
     fault::FaultSpec spec;
     RTR_CHECK(fault::FaultSpec::parse(
@@ -1176,6 +1187,7 @@ int serve_single(const Args& a) {
   }
   PlatformOptions opts;
   opts.tracer = &tracer;
+  opts.dynamic_areas = a.areas;
   if (!build_fault_plan(a, &opts.fault_plan)) return 2;
   Platform p{opts};
   apply_log_level(p.sim(), a);
@@ -1257,29 +1269,73 @@ sim::Histogram serve_bench_latency(std::uint64_t seed, bool plan_cache) {
   return p.sim().stats().histogram("serve.latency_ps");
 }
 
+/// One arm of the multi-area serve A/B: the "heavy" workload on the 64-bit
+/// platform with `areas` co-resident dynamic areas, counting the
+/// reconfigurations the device actually streamed (every successful ensure
+/// lands in exactly one rtr.ensure.latency_ps.* series; the non-resident
+/// three are swaps, "resident" is a warm hit -- possibly a cross-area dock
+/// re-bind). Simulated and deterministic per (areas, seed, plan_cache).
+struct ServeAreaArm {
+  std::int64_t requests = 0;
+  std::int64_t swaps = 0;
+  std::int64_t complete_loads = 0;  // the complete (full-bitstream) subset
+  std::int64_t resident_hits = 0;
+};
+
+ServeAreaArm measure_serve_area_arm(int areas, std::uint64_t seed,
+                                    bool plan_cache) {
+  const serve::WorkloadSpec* w = serve::workload_by_name("heavy");
+  RTR_CHECK(w != nullptr, "heavy workload exists");
+  PlatformOptions opts;
+  opts.dynamic_areas = areas;
+  Platform64 p{opts};
+  serve::ServeOptions so;
+  so.plan_cache = plan_cache;
+  const serve::ServeReport r = serve::run_workload(p, *w, seed, so);
+  ServeAreaArm arm;
+  arm.requests = static_cast<std::int64_t>(r.completions.size());
+  const auto& hists = p.sim().stats().histograms();
+  for (const char* path : {"cached", "differential", "complete"}) {
+    const auto it =
+        hists.find(std::string("rtr.ensure.latency_ps.") + path);
+    if (it != hists.end()) arm.swaps += it->second.count();
+  }
+  const auto complete = hists.find("rtr.ensure.latency_ps.complete");
+  if (complete != hists.end()) {
+    arm.complete_loads = complete->second.count();
+  }
+  const auto hit = hists.find("rtr.ensure.latency_ps.resident");
+  if (hit != hists.end()) arm.resident_hits = hit->second.count();
+  return arm;
+}
+
 /// Serve-matrix throughput record (host wall-clock; the simulated outputs
 /// above are the determinism surface, this is the perf surface). Mirrors
 /// write_bench_json's shape so CI can smoke both baselines the same way.
 /// v2 added latency percentiles and the hot-path baseline; v3 takes the
 /// percentiles from the >= 1k-request "heavy" workload so p99 and p999
-/// are distinct, populated tail statistics.
+/// are distinct, populated tail statistics; v4 records the matrix's area
+/// count and the multi-area A/B (the same heavy workload on the 64-bit
+/// platform with 1 vs 2 co-resident areas, docs/PLACEMENT.md).
 bool write_serve_bench_json(const std::string& path, std::size_t scenarios,
                             int jobs, double wall_ms, bool plan_cache,
-                            const sim::Histogram& lat,
-                            double hot_ns_per_req) {
+                            const sim::Histogram& lat, double hot_ns_per_req,
+                            int areas, const ServeAreaArm& one,
+                            const ServeAreaArm& two) {
   std::ofstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return false;
   }
-  char buf[768];
+  char buf[1280];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
-      "  \"schema\": \"rtrsim-serve-bench-v3\",\n"
+      "  \"schema\": \"rtrsim-serve-bench-v4\",\n"
       "  \"serve\": {\n"
       "    \"scenarios\": %zu,\n"
       "    \"jobs\": %d,\n"
+      "    \"areas\": %d,\n"
       "    \"plan_cache\": %s,\n"
       "    \"wall_ms\": %.1f,\n"
       "    \"scenarios_per_sec\": %.2f,\n"
@@ -1287,19 +1343,45 @@ bool write_serve_bench_json(const std::string& path, std::size_t scenarios,
       "    \"latency_requests\": %lld,\n"
       "    \"latency_ps\": {\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, "
       "\"p999\": %.0f},\n"
-      "    \"hot_path\": {\"BM_ServeSteadyHot_ns_per_req\": %.1f}\n"
+      "    \"hot_path\": {\"BM_ServeSteadyHot_ns_per_req\": %.1f},\n"
+      "    \"multi_area\": {\n"
+      "      \"workload\": \"heavy\",\n"
+      "      \"system\": 64,\n"
+      "      \"requests\": %lld,\n"
+      "      \"one_area\": {\"swaps\": %lld, \"complete_loads\": %lld, "
+      "\"resident_hits\": %lld},\n"
+      "      \"two_areas\": {\"swaps\": %lld, \"complete_loads\": %lld, "
+      "\"resident_hits\": %lld},\n"
+      "      \"swap_drop\": %.2f\n"
+      "    }\n"
       "  }\n"
       "}\n",
-      scenarios, jobs, plan_cache ? "true" : "false", wall_ms,
+      scenarios, jobs, areas, plan_cache ? "true" : "false", wall_ms,
       wall_ms > 0 ? 1000.0 * static_cast<double>(scenarios) / wall_ms : 0.0,
       static_cast<long long>(lat.count()), lat.p50(), lat.p90(), lat.p99(),
-      lat.p999(), hot_ns_per_req);
+      lat.p999(), hot_ns_per_req, static_cast<long long>(one.requests),
+      static_cast<long long>(one.swaps),
+      static_cast<long long>(one.complete_loads),
+      static_cast<long long>(one.resident_hits),
+      static_cast<long long>(two.swaps),
+      static_cast<long long>(two.complete_loads),
+      static_cast<long long>(two.resident_hits),
+      two.swaps > 0 ? static_cast<double>(one.swaps) /
+                          static_cast<double>(two.swaps)
+                    : 0.0);
   f << buf;
   return static_cast<bool>(f);
 }
 
 int serve_cmd(const Args& a) {
   if (!a.workload.empty()) {
+    if (a.system == 32 && a.areas > 1) {
+      std::fprintf(stderr,
+                   "rtrsim_cli: --areas %d requires --system 64 (the XC2VP7 "
+                   "hosts a single dynamic area)\n",
+                   a.areas);
+      return 2;
+    }
     return a.system == 32 ? serve_single<Platform32>(a)
                           : serve_single<Platform64>(a);
   }
@@ -1330,11 +1412,14 @@ int serve_cmd(const Args& a) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= list.size()) return;
+      // 32-bit scenarios always run single-area: the XC2VP7 strip has no
+      // room for a second column-disjoint area (fabric/dynamic_region).
       results[i] = list[i].system == 32
                        ? serve_scenario<Platform32>(list[i], a.fault_seed,
-                                                    a.plan_cache, a.slos)
+                                                    a.plan_cache, a.slos, 1)
                        : serve_scenario<Platform64>(list[i], a.fault_seed,
-                                                    a.plan_cache, a.slos);
+                                                    a.plan_cache, a.slos,
+                                                    a.areas);
     }
   };
   std::vector<std::thread> pool;
@@ -1370,8 +1455,18 @@ int serve_cmd(const Args& a) {
                  hot_ns);
     const sim::Histogram lat =
         serve_bench_latency(a.fault_seed, a.plan_cache);
+    const ServeAreaArm one =
+        measure_serve_area_arm(1, a.fault_seed, a.plan_cache);
+    const ServeAreaArm two =
+        measure_serve_area_arm(2, a.fault_seed, a.plan_cache);
+    std::fprintf(stderr,
+                 "serve: multi-area heavy/p64 swaps %lld (1 area) vs %lld "
+                 "(2 areas)\n",
+                 static_cast<long long>(one.swaps),
+                 static_cast<long long>(two.swaps));
     if (!write_serve_bench_json(a.bench_out, list.size(), jobs, wall_ms,
-                                a.plan_cache, lat, hot_ns)) {
+                                a.plan_cache, lat, hot_ns, a.areas, one,
+                                two)) {
       return 1;
     }
   }
@@ -1397,6 +1492,7 @@ serve::fleet::FleetOptions fleet_options(const Args& a) {
   fo.affinity = a.affinity;
   fo.steal_threshold = a.steal_threshold;
   fo.plan_cache = a.plan_cache;
+  fo.areas = a.areas;
   const unsigned hc = std::thread::hardware_concurrency();
   fo.jobs = a.jobs > 0 ? a.jobs : static_cast<int>(hc > 0 ? hc : 1);
   fo.seed = a.fault_seed;
@@ -1436,7 +1532,9 @@ bool write_fleet_bench_json(const std::string& path, const Args& a,
                             const serve::fleet::FleetReport& fr,
                             double wall_ms,
                             const serve::fleet::FleetReport& fr_rand,
-                            double rand_wall_ms, double route_ns) {
+                            double rand_wall_ms,
+                            const serve::fleet::FleetReport& fr_single,
+                            double single_wall_ms, double route_ns) {
   std::ofstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -1451,14 +1549,15 @@ bool write_fleet_bench_json(const std::string& path, const Args& a,
   const auto it = fr.stats.histograms().find("fleet.latency_ps");
   RTR_CHECK(it != fr.stats.histograms().end(), "fleet latency recorded");
   const sim::Histogram& lat = it->second;
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
-      "  \"schema\": \"rtrsim-fleet-bench-v1\",\n"
+      "  \"schema\": \"rtrsim-fleet-bench-v2\",\n"
       "  \"fleet\": {\n"
       "    \"devices\": %d,\n"
       "    \"mix\": \"%s\",\n"
+      "    \"areas\": %d,\n"
       "    \"jobs\": %d,\n"
       "    \"requests\": %lld,\n"
       "    \"plan_cache\": %s,\n"
@@ -1477,11 +1576,13 @@ bool write_fleet_bench_json(const std::string& path, const Args& a,
       "    \"degraded\": %lld,\n"
       "    \"swaps\": %lld,\n"
       "    \"no_affinity\": {\"wall_ms\": %.1f, \"requests_per_sec\": %.1f, "
-      "\"swaps\": %lld, \"served_hw\": %lld, \"degraded\": %lld}\n"
+      "\"swaps\": %lld, \"served_hw\": %lld, \"degraded\": %lld},\n"
+      "    \"single_area\": {\"wall_ms\": %.1f, \"swaps\": %lld, "
+      "\"served_hw\": %lld, \"degraded\": %lld, \"swap_drop\": %.2f}\n"
       "  },\n"
       "  \"ns_per_op\": {\"BM_FleetRouteDecision\": %.1f}\n"
       "}\n",
-      a.devices, a.mix_text.c_str(),
+      a.devices, a.mix_text.c_str(), a.areas,
       a.jobs > 0 ? a.jobs : fleet_options(a).jobs,
       static_cast<long long>(fr.requests), a.plan_cache ? "true" : "false",
       a.steal_threshold, a.zipf_skew, a.arrival_us, wall_ms, rps,
@@ -1495,7 +1596,14 @@ bool write_fleet_bench_json(const std::string& path, const Args& a,
       static_cast<long long>(fr.degraded), static_cast<long long>(fr.swaps),
       rand_wall_ms, rand_rps, static_cast<long long>(fr_rand.swaps),
       static_cast<long long>(fr_rand.served_hw),
-      static_cast<long long>(fr_rand.degraded), route_ns);
+      static_cast<long long>(fr_rand.degraded), single_wall_ms,
+      static_cast<long long>(fr_single.swaps),
+      static_cast<long long>(fr_single.served_hw),
+      static_cast<long long>(fr_single.degraded),
+      fr.swaps > 0 ? static_cast<double>(fr_single.swaps) /
+                         static_cast<double>(fr.swaps)
+                   : 0.0,
+      route_ns);
   f << buf;
   return static_cast<bool>(f);
 }
@@ -1513,10 +1621,11 @@ int fleet_cmd(const Args& a) {
   // Everything on stdout is simulated/deterministic: the fleet-determinism
   // CI job diffs it across -j values.
   std::printf("fleet: %d devices (mix %s), %d requests, seed=%llu, "
-              "affinity=%s, steal-threshold=%d, zipf-skew=%d\n",
+              "affinity=%s, steal-threshold=%d, zipf-skew=%d, areas=%d\n",
               a.devices, a.mix_text.c_str(), a.requests,
               static_cast<unsigned long long>(a.fault_seed),
-              a.affinity ? "on" : "off", a.steal_threshold, a.zipf_skew);
+              a.affinity ? "on" : "off", a.steal_threshold, a.zipf_skew,
+              a.areas);
   for (std::size_t i = 0; i < fr.shards.size(); ++i) {
     const serve::fleet::ShardOutcome& s = fr.shards[i];
     const auto hist =
@@ -1592,16 +1701,32 @@ int fleet_cmd(const Args& a) {
     const double rand_wall_ms = std::chrono::duration<double, std::milli>(
                                     std::chrono::steady_clock::now() - rand0)
                                     .count();
+    // Single-area arm: the identical stream with co-residency disabled
+    // (areas=1 everywhere). With --areas 1 the primary run already is that
+    // arm, so it is reused rather than re-run.
+    serve::fleet::FleetReport fr_single = fr;
+    double single_wall_ms = wall_ms;
+    if (a.areas > 1) {
+      serve::fleet::FleetOptions single_fo = fo;
+      single_fo.areas = 1;
+      const auto single0 = std::chrono::steady_clock::now();
+      fr_single = serve::fleet::run_fleet(single_fo, fw);
+      single_wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - single0)
+                           .count();
+    }
     const std::vector<serve::Request> stream =
         serve::fleet::make_fleet_stream(fw, a.fault_seed);
     const double route_ns = measure_fleet_route_ns(stream, a);
     std::fprintf(stderr,
                  "fleet: no-affinity %.1f ms wall, swaps %lld vs %lld, "
-                 "route %.1f ns/decision\n",
+                 "single-area swaps %lld, route %.1f ns/decision\n",
                  rand_wall_ms, static_cast<long long>(fr_rand.swaps),
-                 static_cast<long long>(fr.swaps), route_ns);
+                 static_cast<long long>(fr.swaps),
+                 static_cast<long long>(fr_single.swaps), route_ns);
     if (!write_fleet_bench_json(a.bench_out, a, fr, wall_ms, fr_rand,
-                                rand_wall_ms, route_ns)) {
+                                rand_wall_ms, fr_single, single_wall_ms,
+                                route_ns)) {
       return 1;
     }
   }
