@@ -9,8 +9,8 @@ namespace {
 
 using sim::parse_u64;
 
-constexpr const char* kSiteNames[kSiteCount] = {"storage", "icap", "dma",
-                                                "bus", "readback"};
+constexpr const char* kSiteNames[kSiteCount] = {
+    "storage", "icap", "dma", "bus", "readback", "fail_stop", "brownout"};
 
 /// Per-spec RNG stream: the seed combined with the site so two specs with
 /// the same seed at different sites make independent choices.
@@ -61,7 +61,16 @@ bool FaultSpec::parse(std::string_view text, FaultSpec* out) {
     if (!parse_u64(trig.substr(at + 1), &s.n)) return false;
     if (s.kind == TriggerKind::kEvery && s.n == 0) return false;
   }
-  if (!parse_u64(text.substr(c2 + 1), &s.seed)) return false;
+  std::string_view tail = text.substr(c2 + 1);
+  const std::size_t c3 = tail.find(':');
+  if (c3 != std::string_view::npos) {
+    std::uint64_t dev = 0;
+    if (!parse_u64(tail.substr(c3 + 1), &dev)) return false;
+    if (dev > 0x7fffffffULL) return false;
+    s.device = static_cast<int>(dev);
+    tail = tail.substr(0, c3);
+  }
+  if (!parse_u64(tail, &s.seed)) return false;
   *out = s;
   return true;
 }
@@ -82,7 +91,10 @@ std::string FaultSpec::to_string() const {
       t = "rand";
       break;
   }
-  return std::string(site_name(site)) + ":" + t + ":" + std::to_string(seed);
+  std::string out =
+      std::string(site_name(site)) + ":" + t + ":" + std::to_string(seed);
+  if (device >= 0) out += ":" + std::to_string(device);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -92,6 +104,9 @@ FaultInjector::FaultInjector(FaultPlan plan) {
   for (const FaultSpec& s : plan.specs()) {
     Armed a{s, spec_rng(s), true, s.n};
     if (s.kind == TriggerKind::kRand) a.fire_at = a.rng.below(65536);
+    if (s.site == Site::kFailStop || s.site == Site::kBrownout) {
+      has_device_faults_ = true;
+    }
     armed_.push_back(std::move(a));
   }
 }
@@ -153,6 +168,14 @@ FaultInjector::Armed* FaultInjector::fire(Site s, sim::SimTime now) {
 void FaultInjector::corrupt_staged(std::vector<std::uint32_t>& words,
                                    sim::SimTime now) {
   if (words.empty()) return;
+  if (brownout_loads_left_ > 0) {
+    // An active brownout burst corrupts one seeded word of this load
+    // (attributed to the brownout site, not storage).
+    --brownout_loads_left_;
+    words[brownout_rng_.below(words.size())] ^=
+        1u << brownout_rng_.below(32);
+    record(Site::kBrownout, now);
+  }
   Armed* a = fire(Site::kConfigStorage, now);
   if (a == nullptr) return;
   std::size_t idx;
@@ -217,14 +240,29 @@ BusFault FaultInjector::bus_fault(sim::SimTime now) {
   return a->rng.next_bool() ? BusFault::kSlaveError : BusFault::kTimeout;
 }
 
+FaultInjector::DispatchFault FaultInjector::on_dispatch(sim::SimTime now) {
+  DispatchFault f;
+  if (!has_device_faults_) return f;
+  if (fire(Site::kFailStop, now) != nullptr) f.fail_stop = true;
+  Armed* b = fire(Site::kBrownout, now);
+  if (b != nullptr) {
+    f.brownout = true;
+    brownout_loads_left_ = 1 + b->rng.below(3);
+    brownout_rng_ = sim::Rng{b->rng.next_u64()};
+  }
+  return f;
+}
+
 void FaultInjector::repair(Site s) {
   for (Armed& a : armed_) {
     if (a.spec.site == s) a.active = false;
   }
+  if (s == Site::kBrownout) brownout_loads_left_ = 0;
 }
 
 void FaultInjector::repair_all() {
   for (Armed& a : armed_) a.active = false;
+  brownout_loads_left_ = 0;
 }
 
 std::int64_t FaultInjector::injected_total() const {

@@ -9,11 +9,21 @@
 //
 // Sites and their opportunity streams (an "opportunity" is one event at
 // which the site *could* fault; triggers index into that stream):
-//   storage   one per configuration staged in external memory (per load);
-//   icap      one per word written to the HWICAP data window;
-//   dma       one per 64-bit beat moved by the scatter-gather DMA engine;
-//   bus       one per single-beat bus transaction (OPB and PLB together);
-//   readback  one per FDRO word popped during configuration readback.
+//   storage    one per configuration staged in external memory (per load);
+//   icap       one per word written to the HWICAP data window;
+//   dma        one per 64-bit beat moved by the scatter-gather DMA engine;
+//   bus        one per single-beat bus transaction (OPB and PLB together);
+//   readback   one per FDRO word popped during configuration readback;
+//   fail_stop  one per request dispatch -- a whole-device failure: once it
+//              fires the device rejects every load and execution (stuck@N
+//              models a crash at the Nth dispatch);
+//   brownout   one per request dispatch -- when it fires, a seeded burst of
+//              staged-configuration corruption hits the next few loads
+//              (intermittent upsets the recovery ladder usually survives).
+//
+// A spec may additionally be scoped to one *device* of a fleet
+// (FaultSpec::device, text form "site:trigger:seed:device"); the fleet
+// layer filters a shared plan per shard with FaultPlan::for_device.
 //
 // Injection only perturbs the modelled hardware; detection is downstream
 // and unchanged: the ICAP CRC/framing state machine, the region
@@ -43,8 +53,10 @@ enum class Site {
   kDma,                // 64-bit beats inside the DMA engine
   kBus,                // single-beat OPB/PLB transactions
   kReadback,           // FDRO words during configuration readback
+  kFailStop,           // whole device: rejects all loads/execs once fired
+  kBrownout,           // whole device: intermittent multi-site error bursts
 };
-inline constexpr int kSiteCount = 5;
+inline constexpr int kSiteCount = 7;
 
 [[nodiscard]] const char* site_name(Site s);
 [[nodiscard]] bool site_from_name(std::string_view name, Site* out);
@@ -58,8 +70,8 @@ enum class TriggerKind {
 };
 
 /// One scheduled fault. Text form (the CLI's --fault-spec):
-///   <site>:<trigger>:<seed>
-/// e.g. "icap:once@20000:7", "bus:stuck@50:1", "dma:rand:42".
+///   <site>:<trigger>:<seed>[:<device>]
+/// e.g. "icap:once@20000:7", "bus:stuck@50:1", "fail_stop:stuck@60:1:0".
 struct FaultSpec {
   Site site = Site::kIcap;
   TriggerKind kind = TriggerKind::kOnce;
@@ -67,22 +79,12 @@ struct FaultSpec {
   std::uint64_t seed = 1;  // drives bit/word/beat/kind choices (and rand)
   std::int64_t word = -1;  // storage only: staged word index (-1 = seeded)
   std::uint32_t mask = 0;  // storage only: fixed XOR mask (0 = seeded bit)
+  int device = -1;         // fleet shard this spec targets (-1 = every one)
 
-  /// Parse "site:trigger:seed". Returns false (untouched *out) on garbage.
+  /// Parse "site:trigger:seed[:device]". Returns false (untouched *out) on
+  /// garbage.
   static bool parse(std::string_view text, FaultSpec* out);
   [[nodiscard]] std::string to_string() const;
-
-  /// The deprecated PlatformOptions::corrupt_config_word semantics: flip
-  /// bit 8 of staged word `index` on every load.
-  static FaultSpec legacy_storage(std::int64_t index) {
-    FaultSpec s;
-    s.site = Site::kConfigStorage;
-    s.kind = TriggerKind::kStuck;
-    s.n = 0;
-    s.word = index;
-    s.mask = 0x0100;
-    return s;
-  }
 };
 
 /// An ordered set of FaultSpecs; value type, carried by PlatformOptions.
@@ -91,6 +93,16 @@ class FaultPlan {
   void add(const FaultSpec& spec) { specs_.push_back(spec); }
   [[nodiscard]] bool empty() const { return specs_.empty(); }
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  /// The slice of the plan one fleet shard arms: every spec targeting
+  /// `device` plus the untargeted ones, in plan order.
+  [[nodiscard]] FaultPlan for_device(int device) const {
+    FaultPlan out;
+    for (const FaultSpec& s : specs_) {
+      if (s.device < 0 || s.device == device) out.add(s);
+    }
+    return out;
+  }
 
  private:
   std::vector<FaultSpec> specs_;
@@ -127,6 +139,16 @@ class FaultInjector {
   /// bus: fault class of the next single-beat transaction.
   [[nodiscard]] BusFault bus_fault(sim::SimTime now);
 
+  /// What the fail_stop/brownout sites did at one request dispatch.
+  struct DispatchFault {
+    bool fail_stop = false;  // device is down: reject the dispatch outright
+    bool brownout = false;   // a corruption burst was armed for coming loads
+  };
+  /// fail_stop/brownout: one opportunity per request dispatch. No-op (no
+  /// opportunity counted) when the plan has no whole-device specs, so
+  /// plans without them stay byte-identical to pre-device-fault runs.
+  DispatchFault on_dispatch(sim::SimTime now);
+
   // --- repair and introspection ------------------------------------------
   /// Clear sticky/periodic faults at `s` (models fixing the failed part).
   void repair(Site s);
@@ -157,6 +179,9 @@ class FaultInjector {
   void record(Site s, sim::SimTime now);
 
   std::vector<Armed> armed_;
+  bool has_device_faults_ = false;  // any fail_stop/brownout spec armed
+  std::uint64_t brownout_loads_left_ = 0;  // loads left in the active burst
+  sim::Rng brownout_rng_{1};  // per-burst choices, reseeded when it fires
   std::int64_t opportunities_[kSiteCount] = {};
   std::int64_t injected_[kSiteCount] = {};
   sim::SimTime first_;

@@ -253,6 +253,49 @@ class ModuleManager {
     diff_failures_ = 0;
   }
 
+  /// Probation hook (fleet health, docs/FLEET_HEALTH.md): readback-verify
+  /// every area that claims a resident module, scrubbing (complete golden
+  /// reload) on mismatch exactly like the post-load verify path. An area
+  /// that still fails after max_scrubs is cleared so the next ensure
+  /// rebuilds it from scratch. Returns true when every resident area ended
+  /// up verified -- the gate a quarantined device must pass to re-enter
+  /// the routing pool.
+  bool verify_and_scrub_residents(int dock_width) {
+    bool all_ok = true;
+    for (int a = 0; a < static_cast<int>(areas_.size()); ++a) {
+      AreaState& st = areas_[static_cast<std::size_t>(a)];
+      if (st.resident < 0) continue;
+      const auto id = static_cast<hw::BehaviorId>(st.resident);
+      ReadbackStats rb = readback_verify(p_->kernel(),
+                                         Platform::kIcapRange.base,
+                                         p_->region(a));
+      int scrubs = 0;
+      while (!rb.ok && scrubs < policy_.max_scrubs) {
+        ++scrubs;
+        counter("rtr.recovery.scrubs").add();
+        mark("probe_scrub");
+        std::string err;
+        PlanCache scratch{1};
+        PlanCache& plans = cache_enabled_ ? cache_ : scratch;
+        const PlanCache::Plan* plan =
+            plans.complete(p_->linker(a), id, dock_width, &err, nullptr, a);
+        if (plan == nullptr) continue;  // link failure still costs a scrub
+        const ReconfigStats s = load_complete(*plan, a);
+        if (!s.ok) continue;  // the scrub load itself failed; costs a scrub
+        st.gen = p_->area_generation(a);
+        rb = readback_verify(p_->kernel(), Platform::kIcapRange.base,
+                             p_->region(a));
+      }
+      if (!rb.ok) {
+        all_ok = false;
+        counter("rtr.recovery.giveups").add();
+        mark("probe_giveup");
+        clear_area(a);
+      }
+    }
+    return all_ok;
+  }
+
  private:
   struct AreaState {
     int resident = -1;      // behaviour hosted by this area, -1 when empty

@@ -15,13 +15,20 @@ using sim::SimTime;
 namespace {
 
 /// Build the platform's fault injector from its options: the explicit plan
-/// plus the deprecated corrupt_config_word alias. Null when nothing is
-/// scheduled, so the components' injection points stay on their fast path.
+/// plus the corrupt_config_word CLI shim. Null when nothing is scheduled,
+/// so the components' injection points stay on their fast path.
 std::unique_ptr<fault::FaultInjector> arm_faults(const PlatformOptions& opts,
                                                  sim::Simulation& sim) {
   fault::FaultPlan plan = opts.fault_plan;
   if (opts.corrupt_config_word >= 0) {
-    plan.add(fault::FaultSpec::legacy_storage(opts.corrupt_config_word));
+    // Shim: flip bit 8 of staged word `corrupt_config_word` on every load.
+    fault::FaultSpec s;
+    s.site = fault::Site::kConfigStorage;
+    s.kind = fault::TriggerKind::kStuck;
+    s.n = 0;
+    s.word = opts.corrupt_config_word;
+    s.mask = 0x0100;
+    plan.add(s);
   }
   if (plan.empty()) return nullptr;
   auto fi = std::make_unique<fault::FaultInjector>(std::move(plan));

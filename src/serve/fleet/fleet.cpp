@@ -39,11 +39,6 @@ std::vector<Request> make_fleet_stream(const FleetWorkloadSpec& w,
   return stream;
 }
 
-namespace {
-
-/// Reconfigurations the shard actually streamed: every successful ensure
-/// that was not already resident lands in exactly one of these latency
-/// series (rtr/manager.hpp).
 std::int64_t count_swaps(const sim::StatRegistry& stats) {
   std::int64_t swaps = 0;
   for (const char* path : {"cached", "differential", "complete"}) {
@@ -54,9 +49,39 @@ std::int64_t count_swaps(const sim::StatRegistry& stats) {
   return swaps;
 }
 
+void merge_fleet_report(FleetReport& fr) {
+  sim::Histogram& fleet_lat = fr.stats.histogram("fleet.latency_ps");
+  for (std::size_t i = 0; i < fr.shards.size(); ++i) {
+    const ShardOutcome& s = fr.shards[i];
+    fr.stats.merge(s.stats);
+    const auto it = s.stats.histograms().find("serve.latency_ps");
+    if (it != s.stats.histograms().end()) {
+      fleet_lat.merge(it->second);
+      fr.stats
+          .histogram("fleet.shard." + std::to_string(i) + ".latency_ps")
+          .merge(it->second);
+    }
+    fr.served_hw += s.report.served_hw;
+    fr.degraded += s.report.degraded;
+    fr.shed += s.report.shed;
+    fr.expired += s.report.expired;
+    fr.deadline_miss += s.report.deadline_miss;
+    fr.failed += s.report.failed;
+    fr.swaps += s.swaps;
+    fr.digests_ok = fr.digests_ok && s.report.digests_ok;
+  }
+  fr.stats.counter("fleet.route.decisions").add(fr.route.decisions);
+  fr.stats.counter("fleet.route.affinity_hits").add(fr.route.affinity_hits);
+  fr.stats.counter("fleet.route.rebalances").add(fr.route.rebalances);
+  fr.stats.counter("fleet.route.steals").add(fr.route.steals);
+  fr.stats.counter("fleet.swaps").add(fr.swaps);
+}
+
+namespace {
+
 /// Phase 3 worker: one shard replays its script open-loop to drain on a
-/// fresh platform. A pure function of (script, opts) -- nothing here may
-/// observe another shard or the host.
+/// fresh platform. A pure function of (script, opts, shard index) --
+/// nothing here may observe another shard or the host.
 /// Dynamic areas a shard of this system actually hosts: the 32-bit device
 /// cannot fit a second column-disjoint area, the 64-bit one is capped by
 /// its catalogue.
@@ -69,12 +94,14 @@ int shard_areas(int system, int areas) {
 
 template <typename Platform>
 ShardOutcome run_shard(const std::vector<Request>& script,
-                       const FleetOptions& opts, int areas) {
+                       const FleetOptions& opts, int index, int areas) {
   rtr::PlatformOptions po;
   po.dynamic_areas = areas;
+  po.fault_plan = opts.fault_plan.for_device(index);
   Platform p{po};
   ServeOptions so;
   so.plan_cache = opts.plan_cache;
+  so.slos = opts.slos;
   TaskServer<Platform> srv(p, opts.queue_capacity, so, opts.seed);
   std::size_t next = 0;
   while (next < script.size() || srv.pending()) {
@@ -114,8 +141,16 @@ FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w) {
   areas.reserve(systems.size());
   for (const int sys : systems) areas.push_back(shard_areas(sys, opts.areas));
 
-  // Phase 1 + 2: generate, then route serially.
+  // Phase 1: generate (ids pre-assigned, so digests are routing-invariant).
   const std::vector<Request> stream = make_fleet_stream(w, opts.seed);
+
+  // Health-tracking runner: epochs of route -> serve -> observe -> tick,
+  // persistent shard simulations (health.cpp).
+  if (opts.health.enabled) {
+    return run_fleet_health(opts, w, stream, systems, areas);
+  }
+
+  // Phase 2: route serially.
   FleetRouter router(systems, opts.affinity, opts.steal_threshold, opts.seed,
                      areas);
   for (const Request& r : stream) (void)router.route(r);
@@ -125,6 +160,7 @@ FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w) {
   std::vector<std::vector<Request>> scripts(systems.size());
   const std::vector<int>& assign = router.assignments();
   for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (assign[i] < 0) continue;  // unroutable: health runner territory
     scripts[static_cast<std::size_t>(assign[i])].push_back(stream[i]);
   }
 
@@ -137,9 +173,12 @@ FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w) {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= systems.size()) return;
-      fr.shards[i] = systems[i] == 32
-                         ? run_shard<Platform32>(scripts[i], opts, areas[i])
-                         : run_shard<Platform64>(scripts[i], opts, areas[i]);
+      fr.shards[i] =
+          systems[i] == 32
+              ? run_shard<Platform32>(scripts[i], opts, static_cast<int>(i),
+                                      areas[i])
+              : run_shard<Platform64>(scripts[i], opts, static_cast<int>(i),
+                                      areas[i]);
       fr.shards[i].system = systems[i];
     }
   };
@@ -155,31 +194,7 @@ FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w) {
   // Merge serially in shard order; fleet.* series on top.
   fr.route = router.counters();
   fr.requests = static_cast<std::int64_t>(stream.size());
-  sim::Histogram& fleet_lat = fr.stats.histogram("fleet.latency_ps");
-  for (std::size_t i = 0; i < fr.shards.size(); ++i) {
-    const ShardOutcome& s = fr.shards[i];
-    fr.stats.merge(s.stats);
-    const auto it = s.stats.histograms().find("serve.latency_ps");
-    if (it != s.stats.histograms().end()) {
-      fleet_lat.merge(it->second);
-      fr.stats
-          .histogram("fleet.shard." + std::to_string(i) + ".latency_ps")
-          .merge(it->second);
-    }
-    fr.served_hw += s.report.served_hw;
-    fr.degraded += s.report.degraded;
-    fr.shed += s.report.shed;
-    fr.expired += s.report.expired;
-    fr.deadline_miss += s.report.deadline_miss;
-    fr.failed += s.report.failed;
-    fr.swaps += s.swaps;
-    fr.digests_ok = fr.digests_ok && s.report.digests_ok;
-  }
-  fr.stats.counter("fleet.route.decisions").add(fr.route.decisions);
-  fr.stats.counter("fleet.route.affinity_hits").add(fr.route.affinity_hits);
-  fr.stats.counter("fleet.route.rebalances").add(fr.route.rebalances);
-  fr.stats.counter("fleet.route.steals").add(fr.route.steals);
-  fr.stats.counter("fleet.swaps").add(fr.swaps);
+  merge_fleet_report(fr);
   return fr;
 }
 

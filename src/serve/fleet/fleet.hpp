@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "serve/fleet/health.hpp"
 #include "serve/fleet/router.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
@@ -47,6 +49,24 @@ struct FleetOptions {
   std::size_t queue_capacity = 64;  // per-shard admission bound
   int jobs = 1;                     // host worker threads for shard runs
   std::uint64_t seed = 1;
+  /// Device failure model (docs/FLEET_HEALTH.md). Disabled keeps the
+  /// legacy single-pass fleet byte-for-bit.
+  HealthPolicy health;
+  /// Chaos plan shared across the fleet: each shard arms the slice
+  /// FaultPlan::for_device(shard index) -- device-scoped specs
+  /// ("site:trigger:seed:device") hit only that shard.
+  fault::FaultPlan fault_plan;
+  /// Health runner only: repair every shard's armed faults at the start of
+  /// this epoch (models field repair; -1 = never). The
+  /// quarantine-then-recover chaos scenario keys off this.
+  int repair_at_epoch = -1;
+  /// Per-shard SLO engines (serve/slo.hpp); burn alerts feed the health
+  /// score as w_slo_breach signals.
+  std::vector<SloSpec> slos;
+  /// Optional tracer for the serial FLEET.health track (state transitions
+  /// at epoch boundaries, stamped with stream time). Never attached to the
+  /// shard platforms -- those run in parallel.
+  trace::Tracer* tracer = nullptr;
 };
 
 /// Open-loop fleet arrival stream (contrast the closed-loop WorkloadSpec:
@@ -88,13 +108,32 @@ struct FleetReport {
   std::int64_t failed = 0;
   std::int64_t swaps = 0;
   bool digests_ok = true;
+  // Health runner only (zero / empty when health is disabled):
+  std::int64_t redispatched = 0;     // drain re-dispatches onto survivors
+  std::int64_t retry_exhausted = 0;  // requests whose retry budget ran out
+  std::int64_t no_healthy_device = 0;  // typed admission failures: every
+                                       // capable shard was quarantined
+  std::vector<HealthEvent> health_events;  // state transitions, in order
   /// All shard registries merged (in shard order), plus the fleet.* series:
-  /// fleet.latency_ps, fleet.shard.<i>.latency_ps, fleet.route.*.
+  /// fleet.latency_ps, fleet.shard.<i>.latency_ps, fleet.route.*, and --
+  /// with health enabled -- fleet.health.* / fleet.redispatch.*.
   sim::StatRegistry stats;
 };
 
+/// Reconfigurations a shard actually streamed, read back from its merged
+/// rtr.ensure.latency_ps.{cached,differential,complete} series.
+[[nodiscard]] std::int64_t count_swaps(const sim::StatRegistry& stats);
+
+/// Final serial merge shared by both runners: fold fr.shards (already
+/// filled, in shard-index order) and fr.route into the aggregate fields
+/// and the fleet.* stats series.
+void merge_fleet_report(FleetReport& fr);
+
 /// Run the whole fleet: generate, route, serve on `opts.jobs` host
 /// threads, merge. Byte-identical output per (opts, spec) at any jobs.
+/// With opts.health.enabled the run proceeds in epochs through the
+/// health-tracking runner (health.hpp); otherwise the legacy single-pass
+/// three-phase pipeline runs unchanged.
 FleetReport run_fleet(const FleetOptions& opts, const FleetWorkloadSpec& w);
 
 }  // namespace rtr::serve::fleet

@@ -100,6 +100,28 @@ class FleetRouter {
   [[nodiscard]] std::size_t devices() const { return shards_.size(); }
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // --- health integration (docs/FLEET_HEALTH.md) -------------------------
+  /// A quarantined shard is removed from every candidate set (placement,
+  /// random arm, stealing) until readmitted.
+  void set_available(int shard, bool on) {
+    shards_[static_cast<std::size_t>(shard)].available = on;
+  }
+  [[nodiscard]] bool available(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)].available;
+  }
+  /// Probation: the shard competes with this many phantom backlog entries
+  /// added to its predicted depth, so it is eased back into rotation
+  /// instead of immediately flooded (0 = full weight).
+  void set_weight_penalty(int shard, std::size_t penalty) {
+    shards_[static_cast<std::size_t>(shard)].penalty = penalty;
+  }
+  /// Epoch barrier (health runner): everything routed so far has actually
+  /// been served, so drop every predicted backlog entry -- a later
+  /// rebalance must never steal a request that already ran on its device.
+  void checkpoint() {
+    for (Shard& s : shards_) s.backlog.clear();
+  }
+
   /// Shard assignment per routed request, index-aligned with the arrival
   /// stream. rebalance() rewrites entries in place when it steals.
   [[nodiscard]] const std::vector<int>& assignments() const {
@@ -110,6 +132,9 @@ class FleetRouter {
   /// rebalance. Returns the shard the request is assigned to *now*; a
   /// later route() may still steal it, so the scripts the fleet hands to
   /// its shards must come from assignments() after the full stream.
+  /// Returns -1 (a typed no_healthy_device admission failure upstream)
+  /// when every shard is unavailable -- the capability filter is never
+  /// waived onto a quarantined device.
   int route(const Request& r) {
     RTR_CHECK(assignments_.size() ==
                   static_cast<std::size_t>(counters_.decisions),
@@ -120,6 +145,10 @@ class FleetRouter {
 
     const std::size_t idx = assignments_.size();
     const int shard = pick(r);
+    if (shard < 0) {
+      assignments_.push_back(-1);
+      return -1;
+    }
     place(shard, idx, r.behavior, r.deadline.ps(), now);
     assignments_.push_back(shard);
     if (steal_threshold_ > 0) rebalance(now);
@@ -138,6 +167,8 @@ class FleetRouter {
   struct Shard {
     int system = 64;
     int areas = 1;              // co-resident dynamic areas on the device
+    bool available = true;      // false while quarantined/draining
+    std::size_t penalty = 0;    // probation: phantom depth added in pick()
     /// Predicted resident behaviours after drain, most recent first,
     /// capped at `areas` -- mirrors the device-side LRU placer. With one
     /// area this is the legacy single resident.
@@ -174,11 +205,13 @@ class FleetRouter {
   }
 
   /// Whether the capability filter applies for this behaviour: only if at
-  /// least one shard can actually host it (otherwise everyone degrades to
-  /// software and load is the only thing left to balance).
+  /// least one *available* shard can actually host it (otherwise everyone
+  /// degrades to software and load is the only thing left to balance).
+  /// Quarantined shards never count -- the filter is not waived onto a
+  /// known-dead device.
   [[nodiscard]] bool filter_for(int behavior) const {
     for (const Shard& s : shards_) {
-      if (shard_can_host(s.system, behavior)) return true;
+      if (s.available && shard_can_host(s.system, behavior)) return true;
     }
     return false;
   }
@@ -193,15 +226,18 @@ class FleetRouter {
   }
 
   /// One O(devices) scan: affinity candidate (resident, then warm plan),
-  /// least-loaded fallback, depth guard between them.
+  /// least-loaded fallback, depth guard between them. Only available
+  /// shards are candidates; a probation penalty counts as extra depth.
+  /// Returns -1 when no shard is available at all.
   int pick(const Request& r) {
     const bool filter = filter_for(r.behavior);
     int least = -1, resident = -1, warm = -1;
     std::size_t least_d = 0, resident_d = 0, warm_d = 0;
     for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
       const Shard& s = shards_[static_cast<std::size_t>(i)];
+      if (!s.available) continue;
       if (filter && !shard_can_host(s.system, r.behavior)) continue;
-      const std::size_t d = s.backlog.size();
+      const std::size_t d = s.backlog.size() + s.penalty;
       if (least < 0 || d < least_d ||
           (d == least_d &&
            s.ready_ps < shards_[static_cast<std::size_t>(least)].ready_ps)) {
@@ -217,21 +253,21 @@ class FleetRouter {
         warm_d = d;
       }
     }
-    RTR_CHECK(least >= 0, "no shard can host this behaviour");
+    if (least < 0) return -1;  // every shard quarantined
     if (!affinity_) {
       // Random sharding (the --no-affinity A/B arm): uniform over capable
-      // shards, seeded, still deterministic because routing is serial.
+      // available shards, seeded, still deterministic because routing is
+      // serial.
       int n = 0;
       for (const Shard& s : shards_) {
+        if (!s.available) continue;
         if (!filter || shard_can_host(s.system, r.behavior)) ++n;
       }
       auto pick_n = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n)));
       for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
-        if (filter &&
-            !shard_can_host(shards_[static_cast<std::size_t>(i)].system,
-                            r.behavior)) {
-          continue;
-        }
+        const Shard& s = shards_[static_cast<std::size_t>(i)];
+        if (!s.available) continue;
+        if (filter && !shard_can_host(s.system, r.behavior)) continue;
         if (pick_n-- == 0) return i;
       }
     }
@@ -303,6 +339,7 @@ class FleetRouter {
     for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
       if (i == victim) continue;
       const Shard& s = shards_[static_cast<std::size_t>(i)];
+      if (!s.available) continue;
       if (filter && !shard_can_host(s.system, behavior)) continue;
       if (best < 0 ||
           s.backlog.size() <

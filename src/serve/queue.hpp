@@ -17,8 +17,9 @@ namespace rtr::serve {
 
 enum class AdmitError : int {
   kNone = 0,
-  kQueueFull,    // bounded queue at capacity: shed
-  kUnservable,   // behaviour has neither hw module nor sw kernel
+  kQueueFull,         // bounded queue at capacity: shed
+  kUnservable,        // behaviour has neither hw module nor sw kernel
+  kNoHealthyDevice,   // fleet: every shard that could host it is quarantined
 };
 const char* admit_error_name(AdmitError e);
 

@@ -27,6 +27,10 @@ struct Request {
   Priority priority = Priority::kNormal;
   sim::SimTime submitted;  // absolute submission time
   sim::SimTime deadline;   // absolute; zero = none
+  /// Times the fleet's drain path has re-dispatched this request onto a
+  /// surviving device (same id, so the input seed and digest are stable;
+  /// bounded by HealthPolicy::retry_budget).
+  int redispatches = 0;
 };
 
 /// How the server disposed of a request.
@@ -48,6 +52,15 @@ struct Completion {
   std::uint64_t digest = 0;  // FNV-1a 64 over the output bytes
   bool golden_ok = false;    // output matched the untimed golden model
   bool deadline_met = true;
+
+  // Health signals (fleet, docs/FLEET_HEALTH.md): what went wrong on this
+  // device while disposing of the request. The fleet's HealthTracker folds
+  // these into per-device scores in the serial routing phase.
+  bool watchdog = false;        // load watchdog aborted a hung transfer
+  bool hw_giveup = false;       // recovery exhausted (giveup) on the hw path
+  bool hw_detected = false;     // some hw fault was detected (recovered or not)
+  bool breaker_opened = false;  // this completion tripped a circuit breaker
+  bool fail_stop = false;       // the device itself refused the dispatch
 };
 
 /// FNV-1a 64, the digest used to compare hw- and sw-path outputs.

@@ -31,6 +31,7 @@ const char* admit_error_name(AdmitError e) {
     case AdmitError::kNone: return "none";
     case AdmitError::kQueueFull: return "queue-full";
     case AdmitError::kUnservable: return "unservable";
+    case AdmitError::kNoHealthyDevice: return "no-healthy-device";
   }
   return "?";
 }

@@ -79,6 +79,7 @@ struct ServeReport {
   std::int64_t failed = 0;
   std::int64_t deadline_miss = 0;    // served, but past the deadline
   std::int64_t watchdog_aborts = 0;  // loads killed by the load deadline
+  std::int64_t fail_stops = 0;       // dispatches refused: device fail-stop
   std::int64_t breaker_opens = 0;
   std::int64_t breaker_probes = 0;
   std::int64_t breaker_closes = 0;
@@ -257,6 +258,24 @@ class TaskServer {
       return c;
     }
 
+    // Whole-device fault sites (fail_stop/brownout): one opportunity per
+    // dispatch. A fail-stopped device refuses the request outright -- its
+    // software kernels run on the same dead device, so there is no
+    // degradation path; the fleet's health tracker is the recovery story.
+    if (fault::FaultInjector* fi = p_->faults()) {
+      const fault::FaultInjector::DispatchFault df = fi->on_dispatch(now());
+      if (df.fail_stop) {
+        ++report_.fail_stops;
+        ++report_.failed;
+        counter("serve.fail_stop").add();
+        counter("serve.failed").add();
+        mark("fail_stop", req.id);
+        c.fail_stop = true;
+        c.error = "device fail-stop";
+        return c;
+      }
+    }
+
     CircuitBreaker& br = breaker(req.behavior);
     const BreakerState before = br.state();
     const bool try_hw = br.allow_hw(now());
@@ -300,6 +319,9 @@ class TaskServer {
         mark("watchdog_abort", req.id);
         incident("watchdog_abort", req.id);
       }
+      c.watchdog = es.watchdog;
+      c.hw_detected = es.detected;
+      c.hw_giveup = !es.ok;
       if (es.ok) {
         const ExecResult r = timed_exec(req, /*hw=*/true);
         if (r.ok) {
@@ -328,6 +350,7 @@ class TaskServer {
         counter("serve.breaker_opens").add();
         mark("breaker:open", req.id);
         incident("breaker_open", req.id);
+        c.breaker_opened = true;
       }
     }
 

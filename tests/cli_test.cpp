@@ -391,6 +391,37 @@ TEST(Cli, FleetWritesBenchJsonWithAffinityAb) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, ChaosSmokeIsByteIdenticalAcrossJobCountsAndWritesBench) {
+  const std::string path = "cli_chaos_bench.json";
+  const std::string args = "chaos --smoke --seed 3";
+  const auto j1 = run_cli_stdout(args + " -j 1 --bench-out " + path);
+  const auto j4 = run_cli_stdout(args + " -j 4");
+  EXPECT_EQ(j1.exit_code, 0) << j1.output;
+  EXPECT_EQ(j1.output, j4.output);
+  EXPECT_NE(j1.output.find("chaos: all scenarios matched expectations"),
+            std::string::npos);
+  EXPECT_NE(j1.output.find("fail-stop-mid"), std::string::npos);
+  EXPECT_NE(j1.output.find("quarantine-recover"), std::string::npos);
+  EXPECT_NE(j1.output.find("quarantined"), std::string::npos);
+  // A different seed still passes but is a different run.
+  const auto s4 = run_cli_stdout("chaos --smoke --seed 4 -j 2");
+  EXPECT_EQ(s4.exit_code, 0) << s4.output;
+  EXPECT_NE(j1.output, s4.output);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("rtrsim-chaos-bench-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_pct\""), std::string::npos);
+  EXPECT_NE(json.find("\"no_tracker\""), std::string::npos);
+  EXPECT_NE(json.find("\"redispatched\""), std::string::npos);
+  EXPECT_NE(json.find("\"quarantines\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\": true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(Cli, ServeSloSummaryAndBreachCountArePrinted) {
   const auto r = run_cli_stdout(
       "serve --workload steady --system 32 --seed 5 "

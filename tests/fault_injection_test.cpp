@@ -2,7 +2,9 @@
 // recovery, and the safety properties the runtime must keep under faults.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <tuple>
+#include <vector>
 
 #include "apps/drivers.hpp"
 #include "apps/golden.hpp"
@@ -257,14 +259,20 @@ TEST(FaultRecovery, StickyIcapFaultExhaustsRetriesThenRepairRecovers) {
             golden_snapshot<Platform32>(hw::kBrightness));
 }
 
-TEST(FaultRecovery, LegacyCorruptOptionIsAnAliasForTheStoragePlan) {
+TEST(FaultRecovery, CorruptConfigWordShimIsAnAliasForTheStoragePlan) {
   PlatformOptions legacy;
   legacy.corrupt_config_word = 5000;
   Platform32 a{legacy};
   const ReconfigStats sa = a.load_module(hw::kJenkinsHash);
 
   PlatformOptions plan;
-  plan.fault_plan.add(fault::FaultSpec::legacy_storage(5000));
+  fault::FaultSpec shim;
+  shim.site = fault::Site::kConfigStorage;
+  shim.kind = fault::TriggerKind::kStuck;
+  shim.n = 0;
+  shim.word = 5000;
+  shim.mask = 0x0100;
+  plan.fault_plan.add(shim);
   Platform32 b{plan};
   const ReconfigStats sb = b.load_module(hw::kJenkinsHash);
 
@@ -357,6 +365,118 @@ TEST(FaultRecovery, SeededInjectionIsDeterministicAcrossRuns) {
                       p.kernel().now().ps()};
   };
   EXPECT_EQ(run(), run());
+}
+
+// --- device-scoped specs + whole-device sites (fleet chaos) ----------------
+
+TEST(FaultSpecDevice, ParseRoundTripsTheOptionalDeviceField) {
+  const fault::FaultSpec s = spec_of("fail_stop:stuck@60:7:2");
+  EXPECT_EQ(s.site, fault::Site::kFailStop);
+  EXPECT_EQ(s.kind, fault::TriggerKind::kStuck);
+  EXPECT_EQ(s.n, 60u);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.device, 2);
+  EXPECT_EQ(s.to_string(), "fail_stop:stuck@60:7:2");
+  // Untargeted specs stay untargeted (and print without the field).
+  const fault::FaultSpec u = spec_of("brownout:every@4:1");
+  EXPECT_EQ(u.device, -1);
+  EXPECT_EQ(u.to_string(), "brownout:every@4:1");
+  // Garbage device fields are rejected, not silently dropped.
+  fault::FaultSpec out;
+  EXPECT_FALSE(fault::FaultSpec::parse("icap:once@5:1:x", &out));
+  EXPECT_FALSE(fault::FaultSpec::parse("icap:once@5:1:-2", &out));
+  EXPECT_FALSE(fault::FaultSpec::parse("icap:once@5:1:", &out));
+}
+
+TEST(FaultSpecDevice, ForDeviceKeepsTargetedAndUntargetedSpecsInOrder) {
+  fault::FaultPlan plan;
+  plan.add(spec_of("icap:once@10:1"));         // every device
+  plan.add(spec_of("fail_stop:stuck@5:1:0"));  // device 0 only
+  plan.add(spec_of("bus:once@20:1:1"));        // device 1 only
+  const fault::FaultPlan d0 = plan.for_device(0);
+  ASSERT_EQ(d0.specs().size(), 2u);
+  EXPECT_EQ(d0.specs()[0].site, fault::Site::kIcap);
+  EXPECT_EQ(d0.specs()[1].site, fault::Site::kFailStop);
+  const fault::FaultPlan d1 = plan.for_device(1);
+  ASSERT_EQ(d1.specs().size(), 2u);
+  EXPECT_EQ(d1.specs()[1].site, fault::Site::kBus);
+  const fault::FaultPlan d2 = plan.for_device(2);
+  ASSERT_EQ(d2.specs().size(), 1u);
+  EXPECT_EQ(d2.specs()[0].site, fault::Site::kIcap);
+}
+
+TEST(FaultDeviceSites, FailStopIsStickyUntilRepaired) {
+  fault::FaultPlan plan;
+  plan.add(spec_of("fail_stop:stuck@3:1"));
+  fault::FaultInjector inj{plan};
+  // Opportunities 0..2: the device still accepts dispatches.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(inj.on_dispatch(SimTime::from_us(i)).fail_stop) << i;
+  }
+  // From the 3rd dispatch on it refuses everything.
+  for (int i = 3; i < 8; ++i) {
+    EXPECT_TRUE(inj.on_dispatch(SimTime::from_us(i)).fail_stop) << i;
+  }
+  EXPECT_EQ(inj.injected(fault::Site::kFailStop), 5);
+  inj.repair(fault::Site::kFailStop);
+  EXPECT_FALSE(inj.on_dispatch(SimTime::from_us(9)).fail_stop);
+}
+
+TEST(FaultDeviceSites, NoDeviceSpecsMeansNoDispatchOpportunities) {
+  // Byte-compatibility guard: a plan without fail_stop/brownout must not
+  // even count dispatch opportunities, so pre-device-fault runs replay
+  // bit-identically.
+  fault::FaultPlan plan;
+  plan.add(spec_of("icap:once@10:1"));
+  fault::FaultInjector inj{plan};
+  (void)inj.on_dispatch(SimTime::from_us(1));
+  (void)inj.on_dispatch(SimTime::from_us(2));
+  EXPECT_EQ(inj.opportunities(fault::Site::kFailStop), 0);
+  EXPECT_EQ(inj.opportunities(fault::Site::kBrownout), 0);
+}
+
+TEST(FaultDeviceSites, BrownoutArmsAFiniteSeededCorruptionBurst) {
+  fault::FaultPlan plan;
+  plan.add(spec_of("brownout:once@2:5"));
+  fault::FaultInjector inj{plan};
+  EXPECT_FALSE(inj.on_dispatch(SimTime::from_us(0)).brownout);
+  EXPECT_FALSE(inj.on_dispatch(SimTime::from_us(1)).brownout);
+  EXPECT_TRUE(inj.on_dispatch(SimTime::from_us(2)).brownout);
+
+  // The burst corrupts exactly one word of each of the next 1..3 staged
+  // configurations, then stops.
+  const std::vector<std::uint32_t> clean(256, 0xA5A5A5A5u);
+  int corrupted = 0;
+  for (int load = 0; load < 5; ++load) {
+    std::vector<std::uint32_t> words = clean;
+    inj.corrupt_staged(words, SimTime::from_us(10 + load));
+    int diffs = 0;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (words[i] != clean[i]) ++diffs;
+    }
+    EXPECT_LE(diffs, 1);
+    corrupted += diffs;
+    if (load >= 3) EXPECT_EQ(diffs, 0) << "burst must be over by load " << load;
+  }
+  EXPECT_GE(corrupted, 1);
+  EXPECT_LE(corrupted, 3);
+  // One injection for the dispatch that armed the burst, one per word.
+  EXPECT_EQ(inj.injected(fault::Site::kBrownout),
+            static_cast<std::int64_t>(corrupted) + 1);
+  // once@: a later dispatch does not re-arm the burst.
+  EXPECT_FALSE(inj.on_dispatch(SimTime::from_us(20)).brownout);
+}
+
+TEST(FaultDeviceSites, RepairCancelsAnActiveBrownoutBurst) {
+  fault::FaultPlan plan;
+  plan.add(spec_of("brownout:once@0:3"));
+  fault::FaultInjector inj{plan};
+  ASSERT_TRUE(inj.on_dispatch(SimTime::from_us(0)).brownout);
+  inj.repair(fault::Site::kBrownout);
+  std::vector<std::uint32_t> words(64, 0x11111111u);
+  const std::vector<std::uint32_t> before = words;
+  inj.corrupt_staged(words, SimTime::from_us(1));
+  EXPECT_EQ(words, before);
 }
 
 TEST(FaultInjection, TraceLoggingObservesBusTraffic) {

@@ -3,11 +3,13 @@
 // determinism across host worker counts.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 #include <thread>
 #include <tuple>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "serve/fleet/fleet.hpp"
 #include "serve/fleet/router.hpp"
 #include "serve/workload.hpp"
@@ -253,6 +255,13 @@ std::string fingerprint(const FleetReport& fr) {
      << fr.failed << '/' << fr.swaps << '/' << fr.digests_ok << '/'
      << fr.route.decisions << '/' << fr.route.affinity_hits << '/'
      << fr.route.rebalances << '/' << fr.route.steals << '\n';
+  os << fr.redispatched << '/' << fr.retry_exhausted << '/'
+     << fr.no_healthy_device << '\n';
+  for (const HealthEvent& e : fr.health_events) {
+    os << e.epoch << ':' << e.device << ':' << static_cast<int>(e.from)
+       << "->" << static_cast<int>(e.to) << ':' << e.score << '@' << e.at_ps
+       << '\n';
+  }
   for (const ShardOutcome& s : fr.shards) {
     os << s.system << ':' << s.routed << ':' << s.swaps << ':' << s.final_ps
        << ':' << s.report.completions.size();
@@ -313,6 +322,321 @@ TEST(FleetServer, AffinityBeatsRandomShardingOnSwapsForIdenticalWork) {
   EXPECT_EQ(rnd.route.affinity_hits, 0);
   EXPECT_TRUE(aff.digests_ok);
   EXPECT_TRUE(rnd.digests_ok);
+}
+
+// ---------------------------------------------------------------------------
+// FleetRouter health integration (availability, penalty, checkpoint).
+// ---------------------------------------------------------------------------
+
+TEST(FleetRouterHealth, UnavailableShardIsNeverACandidate) {
+  FleetRouter r({64, 64}, /*affinity=*/true, /*steal_threshold=*/4, 1);
+  r.set_available(0, false);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(r.route(arrival(i + 1, hw::kFade, i * 10)), 1);
+  }
+  EXPECT_TRUE(r.available(1));
+  EXPECT_FALSE(r.available(0));
+}
+
+TEST(FleetRouterHealth, AllShardsDownIsATypedAdmissionFailure) {
+  FleetRouter r({64, 64}, /*affinity=*/true, /*steal_threshold=*/4, 1);
+  r.set_available(0, false);
+  r.set_available(1, false);
+  EXPECT_EQ(r.route(arrival(1, hw::kFade, 0)), -1);
+  EXPECT_EQ(r.assignments().back(), -1);
+  // Readmission restores normal routing; the -1 slot stays on record.
+  r.set_available(1, true);
+  EXPECT_EQ(r.route(arrival(2, hw::kFade, 10)), 1);
+  EXPECT_EQ(r.assignments().front(), -1);
+}
+
+TEST(FleetRouterHealth, CapabilityFilterIsNotWaivedOntoAQuarantinedShard) {
+  // With the only SHA-1-capable shard quarantined, the filter is waived
+  // onto the *available* 32-bit shard (software degrade) -- never onto the
+  // known-dead 64-bit one.
+  FleetRouter r({32, 64}, /*affinity=*/true, /*steal_threshold=*/4, 1);
+  r.set_available(1, false);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.route(arrival(i + 1, hw::kSha1, i * 10)), 0);
+  }
+}
+
+TEST(FleetRouterHealth, ProbationPenaltyBiasesPlacementAway) {
+  // steal 0: no stealing, zero depth-guard slack. Four phantom entries on
+  // shard 0 make shard 1 the least-loaded pick for a same-instant burst of
+  // distinct behaviours until its real backlog catches up.
+  FleetRouter r({64, 64}, /*affinity=*/true, /*steal_threshold=*/0, 1);
+  r.set_weight_penalty(0, 4);
+  EXPECT_EQ(r.route(arrival(1, hw::kFade, 0)), 1);
+  EXPECT_EQ(r.route(arrival(2, hw::kBrightness, 0)), 1);
+  EXPECT_EQ(r.route(arrival(3, hw::kBlendAdd, 0)), 1);
+  EXPECT_EQ(r.route(arrival(4, hw::kJenkinsHash, 0)), 1);
+  // Depth 4 each now; the tie breaks to shard 0's earlier drain estimate.
+  EXPECT_EQ(r.route(arrival(5, hw::kPatternMatcher, 0)), 0);
+}
+
+TEST(FleetRouterHealth, CheckpointDropsThePredictedBacklog) {
+  // After an epoch barrier everything routed has actually run: the same
+  // same-instant repeat that would have tripped the zero-slack depth guard
+  // is an affinity hit again.
+  FleetRouter r({64, 64}, /*affinity=*/true, /*steal_threshold=*/0, 1);
+  const int s0 = r.route(arrival(1, hw::kFade, 0));
+  r.checkpoint();
+  EXPECT_EQ(r.route(arrival(2, hw::kFade, 0)), s0);
+  EXPECT_EQ(r.counters().affinity_hits, 1);
+  EXPECT_EQ(r.counters().rebalances, 0);
+}
+
+// ---------------------------------------------------------------------------
+// HealthTracker state machine (health.hpp).
+// ---------------------------------------------------------------------------
+
+HealthSignals one_fail_stop() {
+  HealthSignals s;
+  s.fail_stops = 1;
+  return s;
+}
+
+const std::function<bool(int)> kProbeOk = [](int) { return true; };
+const std::function<bool(int)> kProbeFail = [](int) { return false; };
+
+TEST(HealthTracker, FailStopWalksQuarantineDrainProbationHealthy) {
+  HealthPolicy hp;  // defaults: quarantine at 24, suspect at 8, 2 clean epochs
+  FleetRouter router({64, 64}, true, 4, 1);
+  HealthTracker t(hp, 2);
+  std::vector<HealthEvent> ev;
+
+  t.observe(0, one_fail_stop());
+  t.tick(0, 10, router, kProbeOk, &ev);  // score 32: straight to quarantine
+  EXPECT_EQ(t.state(0), DeviceState::kQuarantined);
+  EXPECT_EQ(t.score(0), 32);
+  EXPECT_FALSE(router.available(0));
+
+  t.tick(1, 20, router, kProbeOk, &ev);  // drain done
+  EXPECT_EQ(t.state(0), DeviceState::kDraining);
+  t.tick(2, 30, router, kProbeOk, &ev);  // score 8: not yet below suspect
+  EXPECT_EQ(t.state(0), DeviceState::kDraining);
+  EXPECT_FALSE(router.available(0));
+  t.tick(3, 40, router, kProbeOk, &ev);  // score 4: probe gates readmission
+  EXPECT_EQ(t.state(0), DeviceState::kProbation);
+  EXPECT_TRUE(router.available(0));
+  t.tick(4, 50, router, kProbeOk, &ev);  // clean epoch 1
+  EXPECT_EQ(t.state(0), DeviceState::kProbation);
+  t.tick(5, 60, router, kProbeOk, &ev);  // clean epoch 2: readmitted
+  EXPECT_EQ(t.state(0), DeviceState::kHealthy);
+
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].to, DeviceState::kQuarantined);
+  EXPECT_EQ(ev[0].epoch, 0);
+  EXPECT_EQ(ev[1].to, DeviceState::kDraining);
+  EXPECT_EQ(ev[2].to, DeviceState::kProbation);
+  EXPECT_EQ(ev[2].epoch, 3);
+  EXPECT_EQ(ev[3].from, DeviceState::kProbation);
+  EXPECT_EQ(ev[3].to, DeviceState::kHealthy);
+  EXPECT_EQ(ev[3].epoch, 5);
+  // The untouched neighbour never left healthy.
+  EXPECT_EQ(t.state(1), DeviceState::kHealthy);
+  for (const HealthEvent& e : ev) EXPECT_EQ(e.device, 0);
+}
+
+TEST(HealthTracker, FailedProbeKeepsTheDeviceOutAndResetsItsScore) {
+  HealthPolicy hp;
+  FleetRouter router({64, 64}, true, 4, 1);
+  HealthTracker t(hp, 2);
+  t.observe(0, one_fail_stop());
+  t.tick(0, 0, router, kProbeFail, nullptr);  // quarantined (32)
+  t.tick(1, 0, router, kProbeFail, nullptr);  // draining (16)
+  t.tick(2, 0, router, kProbeFail, nullptr);  // 8: gate not reached
+  t.tick(3, 0, router, kProbeFail, nullptr);  // 4: probe fails -> score 24
+  EXPECT_EQ(t.state(0), DeviceState::kDraining);
+  EXPECT_EQ(t.score(0), 24);
+  EXPECT_FALSE(router.available(0));
+  // The reset score re-earns the gate: two more decays, then a good probe.
+  t.tick(4, 0, router, kProbeOk, nullptr);  // 12
+  EXPECT_EQ(t.state(0), DeviceState::kDraining);
+  t.tick(5, 0, router, kProbeOk, nullptr);  // 6: probe passes
+  EXPECT_EQ(t.state(0), DeviceState::kProbation);
+  EXPECT_TRUE(router.available(0));
+}
+
+TEST(HealthTracker, SoftSignalsNeverQuarantineTheLastAvailableDevice) {
+  HealthPolicy hp;
+  FleetRouter router({64, 64}, true, 4, 1);
+  HealthTracker t(hp, 2);
+  HealthSignals soft;
+  soft.watchdogs = 10;  // score 60: far past the quarantine threshold
+  t.observe(0, soft);
+  t.observe(1, soft);
+  t.tick(0, 0, router, kProbeOk, nullptr);
+  // Device 0 (walked first) is quarantined; device 1 is then the last one
+  // available, so soft evidence only flags it suspect.
+  EXPECT_EQ(t.state(0), DeviceState::kQuarantined);
+  EXPECT_EQ(t.state(1), DeviceState::kSuspect);
+  EXPECT_TRUE(router.available(1));
+}
+
+TEST(HealthTracker, FailStopEvidenceQuarantinesEvenTheLastDevice) {
+  HealthPolicy hp;
+  FleetRouter router({64}, true, 4, 1);
+  HealthTracker t(hp, 1);
+  t.observe(0, one_fail_stop());
+  t.tick(0, 0, router, kProbeOk, nullptr);
+  EXPECT_EQ(t.state(0), DeviceState::kQuarantined);
+  EXPECT_FALSE(router.available(0));
+}
+
+TEST(HealthTracker, AnySignalOnProbationRequarantines) {
+  HealthPolicy hp;
+  FleetRouter router({64, 64}, true, 4, 1);
+  HealthTracker t(hp, 2);
+  t.observe(0, one_fail_stop());
+  t.tick(0, 0, router, kProbeOk, nullptr);
+  t.tick(1, 0, router, kProbeOk, nullptr);
+  t.tick(2, 0, router, kProbeOk, nullptr);
+  t.tick(3, 0, router, kProbeOk, nullptr);
+  ASSERT_EQ(t.state(0), DeviceState::kProbation);
+  HealthSignals relapse;
+  relapse.detections = 1;
+  t.observe(0, relapse);
+  t.tick(4, 0, router, kProbeOk, nullptr);
+  EXPECT_EQ(t.state(0), DeviceState::kQuarantined);
+  EXPECT_FALSE(router.available(0));
+}
+
+TEST(HealthTracker, SuspectDecaysBackToHealthyWithoutLeavingRotation) {
+  HealthPolicy hp;
+  FleetRouter router({64, 64}, true, 4, 1);
+  HealthTracker t(hp, 2);
+  std::vector<HealthEvent> ev;
+  HealthSignals mild;
+  mild.giveups = 1;  // score 8: suspect, below quarantine
+  t.observe(0, mild);
+  t.tick(0, 0, router, kProbeOk, &ev);
+  EXPECT_EQ(t.state(0), DeviceState::kSuspect);
+  EXPECT_TRUE(router.available(0));
+  t.tick(1, 0, router, kProbeOk, &ev);  // score 4: clean again
+  EXPECT_EQ(t.state(0), DeviceState::kHealthy);
+  // suspect->healthy decay is not a readmission event trail through
+  // quarantine: exactly the two flagged transitions, both in rotation.
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[1].from, DeviceState::kSuspect);
+  EXPECT_EQ(ev[1].to, DeviceState::kHealthy);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-fleet runs with the health runner and device-scoped chaos.
+// ---------------------------------------------------------------------------
+
+FleetOptions health_fleet(int devices, int jobs) {
+  FleetOptions fo = small_fleet(devices, jobs);
+  fo.mix = {64};
+  fo.health.enabled = true;
+  fo.health.epoch_arrivals = 40;
+  return fo;
+}
+
+/// Below-saturation arrival stream: an overloaded fleet arms watchdogs
+/// against request deadlines on fault-free devices, which is congestion,
+/// not device failure (see docs/FLEET_HEALTH.md).
+FleetWorkloadSpec health_load(int requests) {
+  FleetWorkloadSpec w = small_load(requests);
+  w.mean_gap_ps = sim::SimTime::from_us(2500).ps();
+  return w;
+}
+
+fault::FaultSpec chaos_spec(const char* text) {
+  fault::FaultSpec s;
+  EXPECT_TRUE(fault::FaultSpec::parse(text, &s)) << text;
+  return s;
+}
+
+TEST(FleetHealth, FailStopIsQuarantinedAndGoodputHolds) {
+  FleetOptions fo = health_fleet(3, 2);
+  fo.fault_plan.add(chaos_spec("fail_stop:stuck@8:1:0"));
+  const FleetReport fr = run_fleet(fo, health_load(200));
+
+  bool quarantined0 = false;
+  std::int64_t quarantines = 0;
+  for (const HealthEvent& e : fr.health_events) {
+    if (e.to == DeviceState::kQuarantined) {
+      ++quarantines;
+      if (e.device == 0) quarantined0 = true;
+    }
+  }
+  EXPECT_TRUE(quarantined0);
+  EXPECT_GT(fr.redispatched, 0);
+  const std::int64_t completed = fr.served_hw + fr.degraded;
+  EXPECT_GE(completed * 100, fr.requests * 90);
+  EXPECT_TRUE(fr.digests_ok);
+  // Counters agree with the report.
+  EXPECT_EQ(fr.stats.counters().at("fleet.health.quarantines").value(),
+            quarantines);
+  EXPECT_EQ(fr.stats.counters().at("fleet.redispatch.attempts").value(),
+            fr.redispatched);
+
+  // A/B: same stream without the tracker loses every request the dead
+  // device eats, and reports no health activity at all.
+  FleetOptions naive = fo;
+  naive.health.enabled = false;
+  const FleetReport nr = run_fleet(naive, health_load(200));
+  EXPECT_GT(completed, nr.served_hw + nr.degraded);
+  EXPECT_TRUE(nr.health_events.empty());
+  EXPECT_EQ(nr.redispatched, 0);
+  EXPECT_EQ(nr.stats.counters().count("fleet.health.quarantines"), 0u);
+}
+
+TEST(FleetHealth, ByteIdenticalAcrossWorkerCountsUnderChaos) {
+  FleetOptions fo = health_fleet(3, 1);
+  fo.fault_plan.add(chaos_spec("fail_stop:stuck@8:1:0"));
+  const FleetReport j1 = run_fleet(fo, health_load(200));
+  fo.jobs = 4;
+  const FleetReport j4 = run_fleet(fo, health_load(200));
+  EXPECT_EQ(fingerprint(j1), fingerprint(j4));
+}
+
+TEST(FleetHealth, RetryBudgetZeroIsTypedExhaustionNotRedispatch) {
+  FleetOptions fo = health_fleet(3, 2);
+  fo.health.retry_budget = 0;
+  fo.fault_plan.add(chaos_spec("fail_stop:stuck@8:1:0"));
+  const FleetReport fr = run_fleet(fo, health_load(200));
+  EXPECT_GT(fr.retry_exhausted, 0);
+  EXPECT_EQ(fr.redispatched, 0);
+  EXPECT_EQ(fr.stats.counters().at("fleet.redispatch.retry_exhausted").value(),
+            fr.retry_exhausted);
+}
+
+TEST(FleetHealth, WholeFleetDownYieldsTypedNoHealthyDevice) {
+  FleetOptions fo = health_fleet(2, 2);
+  // Untargeted: every device crashes at its 5th dispatch.
+  fo.fault_plan.add(chaos_spec("fail_stop:stuck@5:1"));
+  const FleetReport fr = run_fleet(fo, health_load(160));
+  EXPECT_GT(fr.no_healthy_device, 0);
+  EXPECT_EQ(fr.stats.counters().at("fleet.health.no_healthy_device").value(),
+            fr.no_healthy_device);
+  int quarantined = 0;
+  for (const HealthEvent& e : fr.health_events) {
+    if (e.to == DeviceState::kQuarantined) ++quarantined;
+  }
+  EXPECT_EQ(quarantined, 2);  // hard evidence overrides the last-device guard
+}
+
+TEST(FleetHealth, FieldRepairReadmitsThroughProbation) {
+  FleetOptions fo = health_fleet(3, 2);
+  fo.fault_plan.add(chaos_spec("fail_stop:stuck@8:1:0"));
+  fo.repair_at_epoch = 2;
+  const FleetReport fr = run_fleet(fo, health_load(400));
+  bool readmitted = false;
+  for (const HealthEvent& e : fr.health_events) {
+    if (e.device == 0 && e.from == DeviceState::kProbation &&
+        e.to == DeviceState::kHealthy) {
+      readmitted = true;
+    }
+  }
+  EXPECT_TRUE(readmitted);
+  EXPECT_GE(fr.stats.counters().at("fleet.health.readmits").value(), 1);
+  EXPECT_GE(fr.stats.counters().at("fleet.health.probe_ok").value(), 1);
+  const std::int64_t completed = fr.served_hw + fr.degraded;
+  EXPECT_GE(completed * 100, fr.requests * 90);
 }
 
 TEST(FleetServer, All32BitFleetDegradesSha1InsteadOfFailing) {

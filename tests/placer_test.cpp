@@ -5,10 +5,12 @@
 // byte-identical at --areas 2 and --areas 1 (area 0 is the legacy region).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "busmacro/bus_macro.hpp"
+#include "fault/fault.hpp"
 #include "fabric/dynamic_region.hpp"
 #include "rtr/manager.hpp"
 #include "rtr/placer.hpp"
@@ -170,6 +172,27 @@ TEST(AreaPlacerTest, EvictAndResetClearResidency) {
   EXPECT_EQ(placer.resident(1), -1);
 }
 
+TEST(AreaPlacerTest, EvictedAreaIsRefilledBeforeLruEviction) {
+  // evict() models a load that destroyed an area's occupant mid-stream.
+  // The emptied bin must be the next first-fit target (no collateral
+  // eviction of the survivor), and the survivor's recency must be intact
+  // so a later full-placer decision still evicts in true LRU order.
+  AreaPlacer placer{xc2vp30_two_areas()};
+  (void)placer.place(hw::kJenkinsHash, module_footprint(hw::kJenkinsHash, 64));
+  (void)placer.place(hw::kBrightness, module_footprint(hw::kBrightness, 64));
+  placer.evict(0);
+  EXPECT_EQ(placer.resident(0), -1);
+  const auto d = placer.place(hw::kFade, module_footprint(hw::kFade, 64));
+  EXPECT_EQ(d.area, 0);
+  EXPECT_EQ(d.evicted, -1);
+  EXPECT_EQ(placer.resident(1), hw::kBrightness);
+  // Both areas full again; brightness is now the LRU resident.
+  const auto d2 =
+      placer.place(hw::kJenkinsHash, module_footprint(hw::kJenkinsHash, 64));
+  EXPECT_EQ(d2.area, 1);
+  EXPECT_EQ(d2.evicted, hw::kBrightness);
+}
+
 TEST(AreaPlacerTest, FfdPacksBigModulesFirst) {
   const auto areas = xc2vp30_two_areas();
   // patmatch (10x22) only fits area 0; jenkins fits both. FFD places the
@@ -294,6 +317,73 @@ TEST(ManagerMultiAreaTest, InvalidateClearsEveryArea) {
   const auto re = mgr.ensure(hw::kBrightness, 64);
   ASSERT_TRUE(re.ok);
   EXPECT_FALSE(re.already_resident);
+}
+
+TEST(ManagerMultiAreaTest, FailedLoadEvictsOnlyTheTargetAreaAndRecovers) {
+  // A load whose stream dies mid-flight has already torn down the target
+  // area's occupant: the manager must clear exactly that area (AreaState +
+  // placer eviction) and leave the co-resident module serving.
+  //
+  // The fault must hit the *third* load only, so first measure how many
+  // ICAP-word opportunities the first two loads consume. A benign
+  // never-firing spec arms the injector (and its opportunity counters)
+  // without perturbing the run.
+  fault::FaultSpec benign;
+  RTR_CHECK(fault::FaultSpec::parse("bus:once@99999999:1", &benign),
+            "bad benign spec");
+  std::int64_t icap_words = 0;
+  {
+    PlatformOptions po;
+    po.dynamic_areas = 2;
+    po.fault_plan.add(benign);
+    Platform64 p{po};
+    ModuleManager<Platform64> mgr{p};
+    ASSERT_TRUE(mgr.ensure(hw::kJenkinsHash, 64).ok);
+    ASSERT_TRUE(mgr.ensure(hw::kBrightness, 64).ok);
+    // Refresh jenkins' recency so brightness (area 1) is the LRU victim.
+    ASSERT_TRUE(mgr.ensure(hw::kJenkinsHash, 64).already_resident);
+    icap_words = p.faults()->opportunities(fault::Site::kIcap);
+  }
+  ASSERT_GT(icap_words, 0);
+
+  // Same sequence, with the ICAP stuck dead from the third load's first
+  // word: every attempt of the fade load fails, recovery gives up.
+  fault::FaultSpec stuck;
+  RTR_CHECK(fault::FaultSpec::parse(
+                ("icap:stuck@" + std::to_string(icap_words) + ":1").c_str(),
+                &stuck),
+            "bad stuck spec");
+  PlatformOptions po;
+  po.dynamic_areas = 2;
+  po.fault_plan.add(stuck);
+  Platform64 p{po};
+  ModuleManager<Platform64> mgr{p};
+  ASSERT_TRUE(mgr.ensure(hw::kJenkinsHash, 64).ok);
+  ASSERT_TRUE(mgr.ensure(hw::kBrightness, 64).ok);
+  ASSERT_TRUE(mgr.ensure(hw::kJenkinsHash, 64).already_resident);
+
+  const EnsureStats fail = mgr.ensure(hw::kFade, 64);
+  EXPECT_FALSE(fail.ok);
+  EXPECT_EQ(fail.area, 1);  // the LRU area was the target
+  // Exactly the target area was cleared: its old occupant was evicted
+  // before the stream died, and fade never became resident.
+  EXPECT_EQ(mgr.resident_in(1), -1);
+  EXPECT_EQ(mgr.resident_in(0), hw::kJenkinsHash);
+  EXPECT_FALSE(mgr.is_resident(hw::kBrightness));
+  EXPECT_FALSE(mgr.is_resident(hw::kFade));
+  EXPECT_GE(p.sim().stats().counter("rtr.recovery.giveups").value(), 1);
+  // The survivor keeps serving without a reconfiguration.
+  EXPECT_TRUE(mgr.ensure(hw::kJenkinsHash, 64).already_resident);
+
+  // Field repair: the cleared area is the placer's first-fit target again
+  // and the next load into it converges without touching the survivor.
+  p.faults()->repair_all();
+  const EnsureStats again = mgr.ensure(hw::kBrightness, 64);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.area, 1);
+  EXPECT_FALSE(again.already_resident);
+  EXPECT_EQ(mgr.resident_in(0), hw::kJenkinsHash);
+  EXPECT_TRUE(mgr.ensure(hw::kBrightness, 64).already_resident);
 }
 
 // --- serving on a two-area device ------------------------------------------

@@ -245,7 +245,13 @@ TEST(ManagerDegrade, RepeatedDiffFailuresDegradeToCompleteOnly) {
 TEST(ManagerRetry, SingleAttemptPolicyObservesOneFailure) {
   // Callers that must see a load fail exactly once opt out of retry.
   PlatformOptions opts;
-  opts.fault_plan.add(fault::FaultSpec::legacy_storage(5000));
+  fault::FaultSpec stuck_storage;
+  stuck_storage.site = fault::Site::kConfigStorage;
+  stuck_storage.kind = fault::TriggerKind::kStuck;
+  stuck_storage.n = 0;
+  stuck_storage.word = 5000;
+  stuck_storage.mask = 0x0100;
+  opts.fault_plan.add(stuck_storage);
   Platform32 p{opts};
   ModuleManager<Platform32> mgr{p, RecoveryPolicy{.max_attempts = 1}};
   const auto res = mgr.ensure(hw::kBrightness, 32);

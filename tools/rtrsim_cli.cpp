@@ -12,6 +12,8 @@
 //   rtrsim_cli serve     --workload NAME --system 32|64 [--seed N]
 //                        [--fault-spec ...] [--repair-at N] [--dma]
 //                        [--no-plan-cache]
+//   rtrsim_cli chaos     [-j N] [--smoke] [--seed N] [--bench-out FILE]
+//                        [--stats-out FILE] [--trace-out FILE]
 //
 // `sweep` runs a fixed list of Platform32/Platform64 scenarios across a
 // worker-thread pool (each simulation is single-threaded and owns all its
@@ -26,6 +28,14 @@
 // pure function of --seed, so identical invocations are byte-identical.
 // run/reconfig also accept --fault-spec <site:trigger:seed> (repeatable)
 // to arm individual faults.
+//
+// `chaos` runs the deterministic device-failure matrix over the
+// health-tracking fleet (docs/FLEET_HEALTH.md): seeded fail-stop and
+// brownout scenarios, each in three arms (fault-free baseline, faults with
+// the HealthTracker, faults without it), reporting goodput retained and
+// checking per-scenario expectations (quarantine, readmission, typed
+// no-healthy-device failures). Output is a pure function of --seed at any
+// -j; --bench-out records BENCH_chaos.json.
 //
 // `serve` drives the request-serving layer (docs/SERVING.md): closed-loop
 // seeded workloads through a TaskServer with admission control, deadline
@@ -129,7 +139,7 @@ struct Args {
 int usage() {
   std::fprintf(stderr,
                "usage: rtrsim_cli <topology|resources|run|reconfig|sweep|"
-               "faults|serve|fleet> "
+               "faults|serve|fleet|chaos> "
                "[--system 32|64|dual] [--task NAME] [--bytes N] "
                "[--image WxH] [--dma] [--cache]\n"
                "       [--trace-out FILE] [--trace-format chrome|text]\n"
@@ -146,8 +156,10 @@ int usage() {
                "[--no-affinity] [--areas N]\n"
                "tasks: jenkins sha1 patmatch brightness blend fade loopback\n"
                "workloads: mixed hash image burst steady heavy\n"
-               "fault sites: storage icap dma bus readback; triggers: once@N "
-               "every@N stuck@N rand\n"
+               "fault sites: storage icap dma bus readback fail_stop "
+               "brownout; triggers: once@N every@N stuck@N rand\n"
+               "fault spec: site:trigger:seed[:device] (device scopes the "
+               "fault to one fleet shard)\n"
                "slo metrics: deadline hw (e.g. deadline:0.99@10ms/50ms:burn=2)"
                "\n");
   return 2;
@@ -393,8 +405,8 @@ bool build_fault_plan(const Args& a, fault::FaultPlan* plan) {
     fault::FaultSpec spec;
     if (!fault::FaultSpec::parse(s, &spec)) {
       std::fprintf(stderr,
-                   "bad --fault-spec '%s' (want site:trigger:seed, e.g. "
-                   "icap:once@20000:1)\n",
+                   "bad --fault-spec '%s' (want site:trigger:seed[:device], "
+                   "e.g. icap:once@20000:1)\n",
                    s.c_str());
       return false;
     }
@@ -408,13 +420,15 @@ bool build_fault_plan(const Args& a, fault::FaultPlan* plan) {
 void print_fault_summary(fault::FaultInjector* fi) {
   if (fi == nullptr) return;
   std::printf("faults: injected=%lld (storage=%lld icap=%lld dma=%lld "
-              "bus=%lld readback=%lld)\n",
+              "bus=%lld readback=%lld fail_stop=%lld brownout=%lld)\n",
               static_cast<long long>(fi->injected_total()),
               static_cast<long long>(fi->injected(fault::Site::kConfigStorage)),
               static_cast<long long>(fi->injected(fault::Site::kIcap)),
               static_cast<long long>(fi->injected(fault::Site::kDma)),
               static_cast<long long>(fi->injected(fault::Site::kBus)),
-              static_cast<long long>(fi->injected(fault::Site::kReadback)));
+              static_cast<long long>(fi->injected(fault::Site::kReadback)),
+              static_cast<long long>(fi->injected(fault::Site::kFailStop)),
+              static_cast<long long>(fi->injected(fault::Site::kBrownout)));
 }
 
 hw::BehaviorId behavior_of(const std::string& task) {
@@ -1733,6 +1747,292 @@ int fleet_cmd(const Args& a) {
   return fr.digests_ok && fr.failed == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// chaos: deterministic device-failure matrix over the health-tracking
+// fleet (docs/FLEET_HEALTH.md). Every scenario runs three arms on the
+// identical arrival stream: a fault-free baseline, the fault plan with the
+// HealthTracker on, and the same plan with the tracker off. Goodput
+// retained -- completed requests as an integer percentage of the baseline
+// -- is the headline number; where the matrix declares a floor the tracker
+// arm must hold it while the no-tracker arm demonstrably cannot.
+// Everything on stdout is simulated/deterministic (the chaos-determinism
+// CI job diffs it across -j values and seeds); host wall-clock goes to
+// stderr and the bench JSON only.
+// ---------------------------------------------------------------------------
+
+struct ChaosScenario {
+  const char* name;
+  const char* intent;  // one deterministic line of context
+  int devices;
+  int requests;
+  int zipf_skew;
+  /// Mean interarrival gap. The matrix keeps the fleet below saturation on
+  /// purpose: an overloaded device arms watchdogs against request
+  /// deadlines and opens breakers with no fault present, and those
+  /// congestion signals would (correctly, but unhelpfully for an A/B
+  /// gate) quarantine healthy devices too.
+  long long arrival_us;
+  std::vector<const char*> faults;  // specs; seeds are offsets off --seed
+  int repair_at_epoch;              // -1 = never (health arm only)
+  bool smoke;                       // part of the --smoke subset
+  // Expectations -- the exit status and the CI goodput-retention gate.
+  int min_tracker_pct;     // tracker-arm goodput floor, -1 = none
+  bool expect_separation;  // no-tracker goodput must fall below the floor
+  bool expect_readmit;     // a probation -> healthy readmission must occur
+  bool expect_no_healthy;  // typed no_healthy_device failures must occur
+};
+
+std::vector<ChaosScenario> chaos_matrix() {
+  return {
+      {"fail-stop-mid",
+       "device 0 fail-stops mid-burst; quarantine + re-dispatch to survivors",
+       4, 800, 1, 2500, {"fail_stop:stuck@40:0:0"}, -1, true, 90, true,
+       false, false},
+      {"brownout-churn",
+       "device 1 brownout bursts corrupt config loads under uniform churn",
+       4, 600, 0, 2500, {"brownout:every@4:0:1"}, -1, false, 90, false,
+       false, false},
+      {"quarantine-recover",
+       "device 2 fail-stops, field repair at epoch 5; must probe + readmit",
+       4, 1200, 1, 2500, {"fail_stop:stuck@25:0:2"}, 5, true, 90, true,
+       true, false},
+      {"all-degraded",
+       "every device fail-stops; typed no-healthy-device admission failures",
+       4, 400, 1, 2500, {"fail_stop:stuck@30:0"}, -1, false, -1, false,
+       false, true},
+  };
+}
+
+struct ChaosArm {
+  serve::fleet::FleetReport fr;
+  double wall_ms = 0;
+};
+
+/// One arm of one scenario. All three arms share the scenario's workload
+/// spec and --seed, so they serve the identical arrival stream.
+ChaosArm run_chaos_arm(const ChaosScenario& s, const Args& a, bool faults,
+                       bool health, trace::Tracer* tracer) {
+  serve::fleet::FleetOptions fo;
+  fo.devices = s.devices;
+  fo.mix = a.mix;
+  fo.affinity = true;
+  fo.steal_threshold = a.steal_threshold;
+  fo.plan_cache = true;
+  fo.areas = a.areas;
+  const unsigned hc = std::thread::hardware_concurrency();
+  fo.jobs = a.jobs > 0 ? a.jobs : static_cast<int>(hc > 0 ? hc : 1);
+  fo.seed = a.fault_seed;
+  if (faults) {
+    for (const char* text : s.faults) {
+      fault::FaultSpec spec;
+      RTR_CHECK(fault::FaultSpec::parse(text, &spec), "chaos matrix spec");
+      spec.seed += a.fault_seed;  // matrix seeds shift with --seed
+      fo.fault_plan.add(spec);
+    }
+    fo.repair_at_epoch = s.repair_at_epoch;
+  }
+  if (health) {
+    fo.health.enabled = true;
+    fo.tracer = tracer;
+  }
+  serve::fleet::FleetWorkloadSpec fw;
+  fw.requests = s.requests;
+  fw.mean_gap_ps = sim::SimTime::from_us(s.arrival_us).ps();
+  fw.zipf_skew = s.zipf_skew;
+  ChaosArm arm;
+  const auto t0 = std::chrono::steady_clock::now();
+  arm.fr = serve::fleet::run_fleet(fo, fw);
+  arm.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return arm;
+}
+
+std::int64_t chaos_completed(const serve::fleet::FleetReport& fr) {
+  return fr.served_hw + fr.degraded;
+}
+
+/// Integer percentage (floor division): deterministic on stdout, no
+/// floating-point formatting in the diffed output.
+int chaos_pct(std::int64_t completed, std::int64_t baseline) {
+  return baseline > 0 ? static_cast<int>(completed * 100 / baseline) : 0;
+}
+
+int chaos_cmd(const Args& a) {
+  trace::Tracer tracer;
+  tracer.enable(!a.trace_out.empty());
+
+  const std::vector<ChaosScenario> matrix = chaos_matrix();
+  std::size_t selected = 0;
+  for (const ChaosScenario& s : matrix) {
+    if (!a.smoke || s.smoke) ++selected;
+  }
+  std::printf("chaos: %zu scenarios, mix %s, seed=%llu%s\n", selected,
+              a.mix_text.c_str(),
+              static_cast<unsigned long long>(a.fault_seed),
+              a.smoke ? " (smoke)" : "");
+
+  sim::StatRegistry all_stats;  // tracker arms merged, for --stats-out
+  std::string bench_rows;
+  bool all_ok = true;
+  double wall_total = 0;
+  for (const ChaosScenario& s : matrix) {
+    if (a.smoke && !s.smoke) continue;
+
+    const ChaosArm healthy = run_chaos_arm(s, a, false, false, nullptr);
+    const ChaosArm tracked = run_chaos_arm(s, a, true, true, &tracer);
+    const ChaosArm naive = run_chaos_arm(s, a, true, false, nullptr);
+    wall_total += healthy.wall_ms + tracked.wall_ms + naive.wall_ms;
+
+    const std::int64_t base = chaos_completed(healthy.fr);
+    const std::int64_t done_t = chaos_completed(tracked.fr);
+    const std::int64_t done_n = chaos_completed(naive.fr);
+    const int pct_t = chaos_pct(done_t, base);
+    const int pct_n = chaos_pct(done_n, base);
+
+    std::string fault_list;
+    for (const char* text : s.faults) {
+      if (!fault_list.empty()) fault_list += ",";
+      fault_list += text;
+    }
+    std::printf("scenario %s: %d devices, %d requests, zipf=%d, "
+                "faults=[%s], repair-epoch=%d\n",
+                s.name, s.devices, s.requests, s.zipf_skew,
+                fault_list.c_str(), s.repair_at_epoch);
+    std::printf("  %s\n", s.intent);
+    std::printf("  healthy:    completed=%lld/%d\n",
+                static_cast<long long>(base), s.requests);
+    std::printf("  tracker:    completed=%lld goodput=%d%% failed=%lld "
+                "redispatched=%lld exhausted=%lld no-healthy=%lld\n",
+                static_cast<long long>(done_t), pct_t,
+                static_cast<long long>(tracked.fr.failed),
+                static_cast<long long>(tracked.fr.redispatched),
+                static_cast<long long>(tracked.fr.retry_exhausted),
+                static_cast<long long>(tracked.fr.no_healthy_device));
+    std::printf("  no-tracker: completed=%lld goodput=%d%% failed=%lld\n",
+                static_cast<long long>(done_n), pct_n,
+                static_cast<long long>(naive.fr.failed));
+
+    // Health transitions, in decision order: the observable trail of the
+    // quarantine -> drain -> probation -> readmit machinery.
+    std::int64_t quarantines = 0;
+    std::int64_t readmits = 0;
+    std::string evline;
+    for (const serve::fleet::HealthEvent& e : tracked.fr.health_events) {
+      if (e.to == serve::fleet::DeviceState::kQuarantined) ++quarantines;
+      if (e.from == serve::fleet::DeviceState::kProbation &&
+          e.to == serve::fleet::DeviceState::kHealthy) {
+        ++readmits;
+      }
+      evline += " dev" + std::to_string(e.device) + ":" +
+                serve::fleet::device_state_name(e.from) + "->" +
+                serve::fleet::device_state_name(e.to) + "@e" +
+                std::to_string(e.epoch);
+    }
+    std::printf("  health:%s\n", evline.empty() ? " (none)" : evline.c_str());
+
+    bool ok = true;
+    std::string verdicts;
+    if (s.min_tracker_pct >= 0) {
+      const bool p = pct_t >= s.min_tracker_pct;
+      verdicts += " tracker>=" + std::to_string(s.min_tracker_pct) +
+                  "%:" + (p ? "PASS" : "FAIL");
+      ok = ok && p;
+    }
+    if (s.expect_separation) {
+      const bool p = pct_n < s.min_tracker_pct;
+      verdicts += std::string(" no-tracker<") +
+                  std::to_string(s.min_tracker_pct) + "%:" +
+                  (p ? "PASS" : "FAIL");
+      ok = ok && p;
+    }
+    if (s.expect_readmit) {
+      const bool p = readmits > 0;
+      verdicts += std::string(" readmit:") + (p ? "PASS" : "FAIL");
+      ok = ok && p;
+    }
+    if (s.expect_no_healthy) {
+      const bool p = tracked.fr.no_healthy_device > 0;
+      verdicts += std::string(" no-healthy-typed:") + (p ? "PASS" : "FAIL");
+      ok = ok && p;
+    }
+    std::printf("  expect:%s\n", verdicts.empty() ? " (none)"
+                                                  : verdicts.c_str());
+    all_ok = all_ok && ok;
+
+    all_stats.merge(tracked.fr.stats);
+
+    char row[1024];
+    std::snprintf(
+        row, sizeof row,
+        "    {\"name\": \"%s\", \"devices\": %d, \"requests\": %d,\n"
+        "     \"healthy_completed\": %lld,\n"
+        "     \"tracker\": {\"completed\": %lld, \"goodput_pct\": %d, "
+        "\"failed\": %lld, \"redispatched\": %lld, \"retry_exhausted\": "
+        "%lld, \"no_healthy_device\": %lld, \"quarantines\": %lld, "
+        "\"readmits\": %lld, \"wall_ms\": %.1f},\n"
+        "     \"no_tracker\": {\"completed\": %lld, \"goodput_pct\": %d, "
+        "\"failed\": %lld, \"wall_ms\": %.1f},\n"
+        "     \"pass\": %s}",
+        s.name, s.devices, s.requests, static_cast<long long>(base),
+        static_cast<long long>(done_t), pct_t,
+        static_cast<long long>(tracked.fr.failed),
+        static_cast<long long>(tracked.fr.redispatched),
+        static_cast<long long>(tracked.fr.retry_exhausted),
+        static_cast<long long>(tracked.fr.no_healthy_device),
+        static_cast<long long>(quarantines),
+        static_cast<long long>(readmits), tracked.wall_ms,
+        static_cast<long long>(done_n), pct_n,
+        static_cast<long long>(naive.fr.failed), naive.wall_ms,
+        ok ? "true" : "false");
+    if (!bench_rows.empty()) bench_rows += ",\n";
+    bench_rows += row;
+  }
+
+  std::printf("chaos: %s\n", all_ok ? "all scenarios matched expectations"
+                                    : "EXPECTATION FAILURES (see above)");
+  std::fprintf(stderr, "chaos: %zu scenarios x 3 arms, %.1f ms wall\n",
+               selected, wall_total);
+
+  if (!a.trace_out.empty()) {
+    std::ofstream f(a.trace_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", a.trace_out.c_str());
+      return 1;
+    }
+    if (a.trace_format == "text") {
+      tracer.export_timeline(f);
+    } else {
+      tracer.export_chrome(f);
+    }
+  }
+  if (!a.stats_out.empty()) {
+    std::ofstream f(a.stats_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", a.stats_out.c_str());
+      return 1;
+    }
+    if (a.stats_format == "csv") {
+      all_stats.export_csv(f);
+    } else {
+      all_stats.export_json(f);
+    }
+  }
+  if (!a.bench_out.empty()) {
+    std::ofstream f(a.bench_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", a.bench_out.c_str());
+      return 1;
+    }
+    f << "{\n  \"schema\": \"rtrsim-chaos-bench-v1\",\n  \"seed\": "
+      << a.fault_seed << ",\n  \"smoke\": " << (a.smoke ? "true" : "false")
+      << ",\n  \"scenarios\": [\n"
+      << bench_rows << "\n  ]\n}\n";
+    if (!f) return 1;
+  }
+  return all_ok ? 0 : 1;
+}
+
 template <typename Platform>
 int resources() {
   Platform p;
@@ -1808,6 +2108,9 @@ int main(int argc, char** argv) {
   }
   if (a.command == "fleet") {
     return fleet_cmd(a);
+  }
+  if (a.command == "chaos") {
+    return chaos_cmd(a);
   }
   std::fprintf(stderr, "rtrsim_cli: unknown command '%s'\n",
                a.command.c_str());
