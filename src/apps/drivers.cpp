@@ -1,6 +1,7 @@
 #include "apps/drivers.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "dma/dma.hpp"
 #include "sim/check.hpp"
@@ -280,16 +281,12 @@ DmaTaskStats hw_brightness_dma(Platform64& p, Addr src, Addr dst, int n,
   return {SimTime::zero(), k.now() - t0};
 }
 
-namespace {
-DmaTaskStats two_source_dma(Platform64& p, Addr a, Addr b, Addr staging,
-                            Addr dst, int n) {
-  RTR_CHECK(n % 8 == 0, "pixel count must be a multiple of 8");
-  Kernel& k = p.kernel();
-  const SimTime t0 = k.now();
-
+SimTime dma_prepare_interleave(Kernel& k, Addr a, Addr b, Addr staging,
+                               int n) {
   // Data preparation: interleave the sources into DMA-able beats of
   // [A0..A3 B0..B3] -- "directly attributable to the constraints of the
   // DMA transfer mode".
+  const SimTime t0 = k.now();
   const int beats = n / 4;  // one beat per 4 output pixels
   for (int i = 0; i < beats; ++i) {
     const std::uint32_t va = k.lw(a + static_cast<Addr>(i) * 4);
@@ -299,7 +296,32 @@ DmaTaskStats two_source_dma(Platform64& p, Addr a, Addr b, Addr staging,
     k.op(2);
     k.branch();
   }
-  const SimTime prep = k.now() - t0;
+  return k.now() - t0;
+}
+
+SimTime hw_sg_batch_dma(Platform64& p, std::span<const SgSeg> segs) {
+  std::vector<dma::DmaDescriptor> chain;
+  chain.reserve(segs.size() * 2);
+  for (const SgSeg& s : segs) {
+    RTR_CHECK(s.drain_bytes / 8 <=
+                  static_cast<std::uint64_t>(p.dock().fifo_depth()),
+              "batched segment must fit the output FIFO");
+    chain.push_back({s.src, Platform64::dock_stream(), s.feed_bytes, true,
+                     false});
+    chain.push_back({Platform64::dock_fifo(), s.dst, s.drain_bytes, false,
+                     true});
+  }
+  return run_dma_chain(p, chain);
+}
+
+namespace {
+DmaTaskStats two_source_dma(Platform64& p, Addr a, Addr b, Addr staging,
+                            Addr dst, int n) {
+  RTR_CHECK(n % 8 == 0, "pixel count must be a multiple of 8");
+  Kernel& k = p.kernel();
+  const SimTime t0 = k.now();
+  const int beats = n / 4;  // one beat per 4 output pixels
+  const SimTime prep = dma_prepare_interleave(k, a, b, staging, n);
 
   // Stream blocks: 2 beats in -> 1 FIFO entry; a feed chunk of 2*depth
   // beats fills the FIFO exactly.

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "apps/golden.hpp"
 #include "bus/types.hpp"
@@ -85,6 +86,33 @@ DmaTaskStats hw_blend_dma(Platform64& p, bus::Addr a, bus::Addr b,
                           bus::Addr staging, bus::Addr dst, int n);
 DmaTaskStats hw_fade_dma(Platform64& p, bus::Addr a, bus::Addr b,
                          bus::Addr staging, bus::Addr dst, int n, int f);
+
+/// One buffer of a batched multi-buffer scatter-gather chain: where its
+/// (prepared) feed data lives, where its output goes, and how many bytes
+/// move each way. Feed beats must fit the output FIFO: the chain alternates
+/// feed and drain descriptors, so the FIFO high-water mark is one segment's
+/// worth of results.
+struct SgSeg {
+  bus::Addr src = 0;              // prepared feed source (incrementing)
+  std::uint64_t feed_bytes = 0;   // multiple of 8
+  bus::Addr dst = 0;              // output destination (incrementing)
+  std::uint64_t drain_bytes = 0;  // multiple of 8
+};
+
+/// Batched scatter-gather DMA (docs/SERVING.md "Batching"): one descriptor
+/// chain of [feed, drain] pairs covering every segment, programmed with a
+/// single register sequence and completed by a single interrupt. The
+/// per-request costs a one-buffer-per-chain flow pays N times -- the go
+/// kick, the completion interrupt, the handler -- are paid once for the
+/// whole batch; the resident module streams straight from buffer to buffer.
+/// Returns the chain's completion time.
+sim::SimTime hw_sg_batch_dma(Platform64& p, std::span<const SgSeg> segs);
+
+/// Data preparation for one two-source segment: interleave sources `a` and
+/// `b` into [A0..A3 B0..B3] beats at `staging` (the paper's section 4.2
+/// preparation cost, charged to the CPU). `n` output pixels -> n/4 beats.
+sim::SimTime dma_prepare_interleave(cpu::Kernel& k, bus::Addr a, bus::Addr b,
+                                    bus::Addr staging, int n);
 
 /// Overlapped variant: "since the CPU is free during DMA transfers, it can
 /// be used for other purposes" (paper section 4.1) -- while the DMA engine

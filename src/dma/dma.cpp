@@ -14,7 +14,11 @@ DmaEngine::DmaEngine(sim::Simulation& sim, bus::PlbBus& plb, DmaParams params)
       plb_(&plb),
       params_(params),
       bytes_moved_(&sim.stats().counter("dma.bytes")),
-      descriptors_(&sim.stats().counter("dma.descriptors")) {
+      descriptors_(&sim.stats().counter("dma.descriptors")),
+      chains_(&sim.stats().counter("dma.chains")),
+      chain_descriptors_(&sim.stats().counter("dma.chain.descriptors")),
+      chain_setup_ps_(&sim.stats().counter("dma.chain.setup_ps")),
+      chain_transfer_ps_(&sim.stats().counter("dma.chain.transfer_ps")) {
   RTR_CHECK(params_.burst_beats > 0, "burst length must be positive");
 }
 
@@ -25,12 +29,14 @@ SimTime DmaEngine::run_chain(std::span<const DmaDescriptor> chain,
   if (tracing && trace_track_ < 0) trace_track_ = tr.track("DMA");
 
   SimTime t = start;
+  std::int64_t setup_ps = 0;
   std::vector<std::uint64_t> buf;
   for (const DmaDescriptor& d : chain) {
     RTR_CHECK(d.bytes % 8 == 0, "DMA length must be a multiple of 8 bytes");
     descriptors_->add();
     const SimTime desc_start = t;
     t = plb_->clock().after_cycles(t, params_.descriptor_setup_cycles);
+    setup_ps += (t - desc_start).ps();
     if (tracing) {
       // Scatter-gather descriptor fetch + decode, then the burst loop.
       tr.complete(trace_track_, "sg_fetch", desc_start, t);
@@ -65,6 +71,10 @@ SimTime DmaEngine::run_chain(std::span<const DmaDescriptor> chain,
       tr.counter("dma.bytes_moved", bytes_moved_->value(), t);
     }
   }
+  chains_->add();
+  chain_descriptors_->add(static_cast<std::int64_t>(chain.size()));
+  chain_setup_ps_->add(setup_ps);
+  chain_transfer_ps_->add((t - start).ps() - setup_ps);
   sim_->observe(t);
   return t;
 }

@@ -52,6 +52,15 @@ class DmaEngine {
   DmaParams params_;
   sim::Counter* bytes_moved_;
   sim::Counter* descriptors_;
+  // Per-chain accounting (docs/OBSERVABILITY.md): how much of each chain's
+  // simulated time went to descriptor fetch/decode vs data movement. The
+  // setup share is what batched multi-buffer chains amortize -- visible in
+  // --stats-out as dma.chain.{descriptors,setup_ps,transfer_ps} without a
+  // trace.
+  sim::Counter* chains_;
+  sim::Counter* chain_descriptors_;
+  sim::Counter* chain_setup_ps_;
+  sim::Counter* chain_transfer_ps_;
   int trace_track_ = -1;
 };
 

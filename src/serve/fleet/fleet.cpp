@@ -102,6 +102,7 @@ ShardOutcome run_shard(const std::vector<Request>& script,
   ServeOptions so;
   so.plan_cache = opts.plan_cache;
   so.slos = opts.slos;
+  so.batch = opts.batch;
   TaskServer<Platform> srv(p, opts.queue_capacity, so, opts.seed);
   std::size_t next = 0;
   while (next < script.size() || srv.pending()) {
@@ -114,7 +115,13 @@ ShardOutcome run_shard(const std::vector<Request>& script,
       (void)srv.submit(script[next]);
       ++next;
     }
-    if (srv.pending()) (void)srv.serve_one();
+    if (srv.pending()) {
+      if (so.batch.max_batch > 1) {
+        (void)srv.serve_batch();
+      } else {
+        (void)srv.serve_one();
+      }
+    }
   }
   ShardOutcome o;
   o.routed = static_cast<std::int64_t>(script.size());

@@ -47,6 +47,9 @@ struct FleetOptions {
   /// (the XC2VP7 has no room for a second area).
   int areas = 1;
   std::size_t queue_capacity = 64;  // per-shard admission bound
+  /// Per-shard swap-aware batching (docs/SERVING.md "Batching"). Batching
+  /// runs inside each serial shard, so any -j remains byte-identical.
+  BatchPolicy batch;
   int jobs = 1;                     // host worker threads for shard runs
   std::uint64_t seed = 1;
   /// Device failure model (docs/FLEET_HEALTH.md). Disabled keeps the

@@ -152,6 +152,8 @@ class ShardRuntimeT final : public ShardRuntime {
     ServeOptions so;
     so.plan_cache = opts.plan_cache;
     so.slos = opts.slos;
+    so.batch = opts.batch;
+    batching_ = so.batch.max_batch > 1;
     srv_ = std::make_unique<TaskServer<Platform>>(*p_, opts.queue_capacity,
                                                   so, opts.seed);
   }
@@ -168,7 +170,13 @@ class ShardRuntimeT final : public ShardRuntime {
         (void)srv_->submit(script[next]);
         ++next;
       }
-      if (srv_->pending()) (void)srv_->serve_one();
+      if (srv_->pending()) {
+        if (batching_) {
+          (void)srv_->serve_batch();
+        } else {
+          (void)srv_->serve_one();
+        }
+      }
     }
   }
 
@@ -194,6 +202,7 @@ class ShardRuntimeT final : public ShardRuntime {
  private:
   std::unique_ptr<Platform> p_;
   std::unique_ptr<TaskServer<Platform>> srv_;
+  bool batching_ = false;
 };
 
 /// Distill one shard's new completions (since the previous epoch) into

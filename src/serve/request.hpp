@@ -31,6 +31,11 @@ struct Request {
   /// surviving device (same id, so the input seed and digest are stable;
   /// bounded by HealthPolicy::retry_budget).
   int redispatches = 0;
+  /// Times this request has been passed over while queued -- by an affinity
+  /// pop or by batch extraction. Maintained by RequestQueue; once it
+  /// reaches the queue's max_bypass the request is aged: neither pop path
+  /// may bypass it again (the shared starvation guard, docs/SERVING.md).
+  int bypassed = 0;
 };
 
 /// How the server disposed of a request.

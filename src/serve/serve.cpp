@@ -76,11 +76,14 @@ const std::vector<WorkloadSpec>& workloads() {
       {"steady", 3, 4, sim::SimTime::from_ms(1).ps(), 0, 4,
        {{hw::kJenkinsHash, 1}}},
       // 1280 requests across every behaviour the 32-bit region can host:
-      // the latency-percentile workload. Small scenario populations leave
-      // the p99 and p999 of serve.latency_ps sitting on the same handful
-      // of samples; this one puts >= 1k requests behind the tail.
-      {"heavy", 16, 80, sim::SimTime::from_ms(2).ps(),
-       sim::SimTime::from_ms(250).ps(), 32,
+      // the latency-percentile and heavy-traffic workload. Small scenario
+      // populations leave the p99 and p999 of serve.latency_ps sitting on
+      // the same handful of samples; this one puts >= 1k requests behind
+      // the tail. The 32-client population keeps the queue deep enough
+      // that batch extraction (docs/SERVING.md "Batching") has real
+      // same-behaviour runs to coalesce.
+      {"heavy", 32, 40, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(250).ps(), 48,
        {{hw::kJenkinsHash, 5},
         {hw::kBrightness, 3},
         {hw::kBlendAdd, 3},
@@ -138,6 +141,88 @@ Priority draw_priority(sim::Rng& rng) {
   if (d == 0) return Priority::kHigh;
   if (d == 9) return Priority::kLow;
   return Priority::kNormal;
+}
+
+const std::vector<hw::BehaviorId>& ranked_behaviors() {
+  static const std::vector<hw::BehaviorId> kRanked = {
+      hw::kJenkinsHash, hw::kBrightness, hw::kBlendAdd,
+      hw::kFade,        hw::kPatternMatcher, hw::kSha1,
+  };
+  return kRanked;
+}
+
+const std::vector<OpenLoopSpec>& open_workloads() {
+  // Mean gaps are short against a ~10 ms reconfiguration, so arrivals
+  // outrun a swap-per-request server and the queue holds real choice for
+  // the batch extractor. Deadlines leave ~100x the gap as slack.
+  using A = OpenLoopSpec::Arrival;
+  static const std::vector<OpenLoopSpec> kAll = {
+      {"open-steady", 512, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(250).ps(), 32, A::kSteady, 8, 64, 1},
+      {"open-bursty", 512, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(250).ps(), 32, A::kBursty, 8, 64, 1},
+      {"open-diurnal", 512, sim::SimTime::from_ms(2).ps(),
+       sim::SimTime::from_ms(250).ps(), 32, A::kDiurnal, 8, 64, 1},
+  };
+  return kAll;
+}
+
+const OpenLoopSpec* open_workload_by_name(std::string_view name) {
+  for (const OpenLoopSpec& w : open_workloads()) {
+    if (name == w.name) return &w;
+  }
+  return nullptr;
+}
+
+std::vector<Request> make_open_stream(const OpenLoopSpec& spec,
+                                      std::uint64_t seed) {
+  sim::Rng rng{seed};
+  const std::vector<TaskMix> mix = zipf_mix(ranked_behaviors(), spec.zipf_skew);
+  std::vector<Request> stream;
+  stream.reserve(static_cast<std::size_t>(spec.requests));
+  std::int64_t at_ps = 0;
+  for (int i = 0; i < spec.requests; ++i) {
+    // Integer-only gap draw, shaped per the arrival model. Every shape
+    // draws exactly one below(2001) per arrival so the behaviour/priority
+    // streams stay aligned across shapes for a given seed.
+    const auto u = static_cast<std::int64_t>(rng.below(2001));
+    std::int64_t gap = 0;
+    switch (spec.arrival) {
+      case OpenLoopSpec::Arrival::kSteady:
+        gap = spec.mean_gap_ps / 1000 * u;
+        break;
+      case OpenLoopSpec::Arrival::kBursty:
+        // Trains of `burst` back-to-back arrivals; the gap before each
+        // train carries the whole train's worth of mean spacing.
+        if (i % spec.burst == 0) {
+          gap = spec.mean_gap_ps * spec.burst / 1000 * u;
+        }
+        break;
+      case OpenLoopSpec::Arrival::kDiurnal: {
+        // Integer triangle wave over `period` arrivals: the mean gap sweeps
+        // 25% -> 175% -> 25%, so "night" stretches arrivals out and "day"
+        // packs them (long-run mean stays ~100%).
+        const int ph = i % spec.period;
+        const int half = spec.period / 2;
+        const int tri = ph < half ? ph : spec.period - ph;    // 0..half
+        const std::int64_t pct = 25 + 300 * tri / spec.period;  // 25..175
+        gap = spec.mean_gap_ps * pct / 100 / 1000 * u;
+        break;
+      }
+    }
+    at_ps += gap;
+    Request r;
+    r.id = i + 1;
+    r.client = 0;
+    r.behavior = draw_mix(rng, mix);
+    r.priority = draw_priority(rng);
+    r.submitted = sim::SimTime::from_ps(at_ps);
+    if (spec.rel_deadline_ps > 0) {
+      r.deadline = sim::SimTime::from_ps(at_ps + spec.rel_deadline_ps);
+    }
+    stream.push_back(r);
+  }
+  return stream;
 }
 
 }  // namespace rtr::serve

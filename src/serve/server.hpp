@@ -30,6 +30,7 @@
 
 #include "apps/sw_kernels.hpp"
 #include "rtr/manager.hpp"
+#include "serve/batch_exec.hpp"
 #include "serve/breaker.hpp"
 #include "serve/exec.hpp"
 #include "serve/queue.hpp"
@@ -57,10 +58,18 @@ struct ServeOptions {
   bool plan_cache = true;
   /// Multi-area affinity dispatch (docs/PLACEMENT.md): on a device with
   /// more than one dynamic area, pop the oldest queued request whose
-  /// behaviour is already resident in some area, bypassing the FIFO head
-  /// at most this many consecutive times before aging forces it through.
-  /// Single-area devices always pop strict (priority, FIFO) order.
+  /// behaviour is already resident in some area. A queued request may be
+  /// passed over -- by this path or by batch extraction -- at most this
+  /// many times before aging makes it exempt from further bypassing
+  /// (RequestQueue's shared starvation guard). Single-area devices pop
+  /// strict (priority, FIFO) order unless batching coalesces.
   int affinity_max_bypass = 16;
+  /// Swap-aware batching (docs/SERVING.md "Batching"): serve_batch pops up
+  /// to batch.max_batch same-behaviour requests per residency, jumping
+  /// only requests with at least batch.slack_ps of deadline headroom, and
+  /// streams image batches as one multi-buffer scatter-gather chain.
+  /// Default max_batch = 1: batching off, serve_batch == serve_one.
+  BatchPolicy batch;
   /// Declared service-level objectives, one SloEngine each, evaluated per
   /// disposed request (see serve/slo.hpp for grammar and burn semantics).
   std::vector<SloSpec> slos;
@@ -84,6 +93,8 @@ struct ServeReport {
   std::int64_t breaker_probes = 0;
   std::int64_t breaker_closes = 0;
   std::int64_t slo_breaches = 0;  // edge-triggered burn-rate alerts
+  std::int64_t batches = 0;    // serve_batch invocations (incl. singletons)
+  std::int64_t coalesced = 0;  // members served beyond each batch's leader
   bool digests_ok = true;  // every served output matched its golden model
   std::vector<Completion> completions;
 };
@@ -219,6 +230,296 @@ class TaskServer {
     }
     report_.completions.push_back(c);
     return c;
+  }
+
+  /// Pop and serve a slack-bounded batch of same-behaviour requests: one
+  /// residency (and, for 64-bit image tasks, one multi-buffer scatter-
+  /// gather descriptor chain) serves every member. Per-member semantics
+  /// match serve_one -- expiry, fail-stop, deadline accounting, SLOs and
+  /// digests are all evaluated per member; the batch shares the breaker
+  /// decision, the watchdog-armed module ensure (armed against the
+  /// earliest member deadline, so no member's deadline is sacrificed) and
+  /// the chain kick. A member whose output fails golden verification
+  /// (a fault corrupted its beats mid-chain) is re-run on the software
+  /// kernel for a bit-identical digest; the rest of the batch is
+  /// unaffected. With batching disabled this is exactly {serve_one()}.
+  std::vector<Completion> serve_batch() {
+    if (opts_.batch.max_batch <= 1) return {serve_one()};
+    const auto resident = [this](int b) {
+      return mgr_.is_resident(static_cast<hw::BehaviorId>(b));
+    };
+    const auto cold = [](int) { return false; };
+    std::vector<Request> batch =
+        p_->area_count() > 1
+            ? queue_.pop_batch(resident, opts_.affinity_max_bypass,
+                               opts_.batch, now())
+            : queue_.pop_batch(cold, opts_.affinity_max_bypass, opts_.batch,
+                               now());
+    ++report_.batches;
+    report_.coalesced += static_cast<std::int64_t>(batch.size()) - 1;
+    counter("serve.batch.count").add();
+    if (batch.size() > 1) {
+      counter("serve.batch.coalesced")
+          .add(static_cast<std::int64_t>(batch.size()) - 1);
+    }
+    p_->sim().stats().histogram("serve.batch.size").sample(
+        static_cast<std::int64_t>(batch.size()));
+    const hw::BehaviorId behavior = batch.front().behavior;
+    trace::Tracer& tr = p_->sim().tracer();
+    const int track = tr.enabled() ? tr.track("SERVE") : -1;
+    if (track >= 0) {
+      tr.begin(track,
+               std::string("batch:") + hw::task_name(behavior) + ":x" +
+                   std::to_string(batch.size()),
+               now());
+    }
+
+    std::vector<Completion> out;
+    out.reserve(batch.size());
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Request& req = batch[i];
+      stage_sample(stages(req.behavior).queue, (now() - req.submitted).ps());
+      if (track >= 0) {
+        tr.flow(trace::Phase::kFlowStep, track, "req", req.id, now());
+      }
+      Completion c = make_completion(req, Outcome::kFailed);
+      if (req.deadline.ps() > 0 && now() >= req.deadline) {
+        ++report_.expired;
+        counter("serve.expired").add();
+        mark("expired", req.id);
+        c.outcome = Outcome::kExpired;
+        c.deadline_met = false;
+      } else if (fault::FaultInjector* fi = p_->faults();
+                 fi != nullptr && fi->on_dispatch(now()).fail_stop) {
+        // Whole-device fault sites keep one opportunity per request, as
+        // the unbatched dispatch path gives them.
+        ++report_.fail_stops;
+        ++report_.failed;
+        counter("serve.fail_stop").add();
+        counter("serve.failed").add();
+        mark("fail_stop", req.id);
+        c.fail_stop = true;
+        c.error = "device fail-stop";
+      } else {
+        live.push_back(i);
+      }
+      out.push_back(c);
+    }
+
+    if (!live.empty()) {
+      const Request& leader = batch[live.front()];
+      Completion& lead_c = out[live.front()];
+      CircuitBreaker& br = breaker(behavior);
+      const BreakerState before = br.state();
+      const bool try_hw = br.allow_hw(now());
+      if (try_hw && before == BreakerState::kOpen) {
+        ++report_.breaker_probes;
+        counter("serve.breaker_probes").add();
+        mark("breaker:probe", leader.id);
+      }
+      bool hw_ready = false;
+      if (try_hw) {
+        // One watchdog-armed ensure serves the whole batch: the budget is
+        // capped by the earliest live member deadline, not just the
+        // leader's, so a hung load cannot strand any member past its own
+        // deadline.
+        sim::SimTime dl = now() + opts_.hw_attempt_budget;
+        for (const std::size_t i : live) {
+          if (batch[i].deadline.ps() > 0 && batch[i].deadline < dl) {
+            dl = batch[i].deadline;
+          }
+        }
+        const sim::RequestContext ctx{leader.id, leader.behavior,
+                                      leader.deadline.ps(),
+                                      leader.submitted.ps()};
+        p_->sim().set_active_request(&ctx);
+        p_->set_load_deadline(dl);
+        const EnsureStats es = mgr_.ensure(behavior, dock_width());
+        p_->set_load_deadline(sim::SimTime{});
+        p_->sim().set_active_request(nullptr);
+        stage_sample(stages(behavior).reconfig, es.time.ps());
+        if (p_->area_count() > 1 && es.ok) {
+          counter((std::string("serve.area.") + std::to_string(es.area) +
+                   (es.already_resident ? ".hits" : ".loads"))
+                      .c_str())
+              .add();
+        }
+        if (opts_.plan_cache && !es.already_resident) {
+          if (prefetch_pending_ == behavior) {
+            counter("serve.prefetch.hits").add();
+            prefetch_pending_ = -1;
+          } else {
+            counter("serve.prefetch.misses").add();
+          }
+        }
+        if (es.watchdog) {
+          ++report_.watchdog_aborts;
+          counter("serve.watchdog_aborts").add();
+          mark("watchdog_abort", leader.id);
+          incident("watchdog_abort", leader.id);
+        }
+        lead_c.watchdog = es.watchdog;
+        lead_c.hw_detected = es.detected;
+        lead_c.hw_giveup = !es.ok;
+        hw_ready = es.ok;
+        if (!es.ok) {
+          lead_c.error = es.error;
+          if (br.record_failure(now())) {
+            ++report_.breaker_opens;
+            counter("serve.breaker_opens").add();
+            mark("breaker:open", leader.id);
+            incident("breaker_open", leader.id);
+            lead_c.breaker_opened = true;
+          }
+        }
+      }
+
+      // Success bookkeeping shared by the chained and per-member paths.
+      const auto hw_served = [&](std::size_t i, const ExecResult& r) {
+        if (br.record_success()) {
+          ++report_.breaker_closes;
+          counter("serve.breaker_closes").add();
+          mark("breaker:close", batch[i].id);
+          mgr_.reset_degraded();
+        }
+        ++report_.served_hw;
+        counter("serve.hw").add();
+        out[i].outcome = Outcome::kHw;
+        out[i].digest = r.digest;
+        out[i].golden_ok = r.golden_ok;
+      };
+      const auto sw_served = [&](std::size_t i) {
+        const sim::RequestContext ctx{batch[i].id, batch[i].behavior,
+                                      batch[i].deadline.ps(),
+                                      batch[i].submitted.ps()};
+        p_->sim().set_active_request(&ctx);
+        const ExecResult r = timed_exec(batch[i], /*hw=*/false);
+        p_->sim().set_active_request(nullptr);
+        if (r.ok) {
+          ++report_.degraded;
+          counter("serve.degraded").add();
+          mark("degrade:sw", batch[i].id);
+          out[i].outcome = Outcome::kSw;
+          out[i].digest = r.digest;
+          out[i].golden_ok = r.golden_ok;
+        } else {
+          ++report_.failed;
+          counter("serve.failed").add();
+          mark("failed", batch[i].id);
+        }
+        out[i].finished = now();
+      };
+
+      if (hw_ready) {
+        std::vector<BatchMember> ms(live.size());
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          ms[j].input_seed = input_seed(batch[live[j]]);
+        }
+        bool chained = false;
+        if (live.size() > 1) {
+          const sim::RequestContext ctx{leader.id, leader.behavior,
+                                        leader.deadline.ps(),
+                                        leader.submitted.ps()};
+          p_->sim().set_active_request(&ctx);
+          const sim::SimTime t0 = now();
+          chained = exec_image_batch(*p_, behavior, ms);
+          if (chained) {
+            stage_sample(stages(behavior).exec, (now() - t0).ps());
+            if (track >= 0) {
+              tr.complete(track, "exec:hw:chain", t0, now(), "req",
+                          leader.id);
+            }
+          }
+          p_->sim().set_active_request(nullptr);
+        }
+        if (chained) {
+          const sim::SimTime chain_end = now();
+          for (std::size_t j = 0; j < live.size(); ++j) {
+            const std::size_t i = live[j];
+            if (ms[j].result.golden_ok) {
+              hw_served(i, ms[j].result);
+              out[i].finished = chain_end;
+            } else {
+              // A fault corrupted this member's beats mid-chain: degrade
+              // only this member to the software kernel (bit-identical
+              // digest); the rest of the batch is already done.
+              out[i].hw_detected = true;
+              counter("serve.batch.member_degraded").add();
+              if (br.record_failure(now())) {
+                ++report_.breaker_opens;
+                counter("serve.breaker_opens").add();
+                mark("breaker:open", batch[i].id);
+                incident("breaker_open", batch[i].id);
+                out[i].breaker_opened = true;
+              }
+              sw_served(i);
+            }
+          }
+        } else {
+          // Hash / pattern-match protocols (and the 32-bit platform) keep
+          // their per-member drivers; the batch still amortizes the swap.
+          for (const std::size_t i : live) {
+            const sim::RequestContext ctx{batch[i].id, batch[i].behavior,
+                                          batch[i].deadline.ps(),
+                                          batch[i].submitted.ps()};
+            p_->sim().set_active_request(&ctx);
+            const ExecResult r = timed_exec(batch[i], /*hw=*/true);
+            p_->sim().set_active_request(nullptr);
+            if (r.ok) {
+              hw_served(i, r);
+              out[i].finished = now();
+            } else {
+              out[i].error = "hardware execution produced no result";
+              if (br.record_failure(now())) {
+                ++report_.breaker_opens;
+                counter("serve.breaker_opens").add();
+                mark("breaker:open", batch[i].id);
+                incident("breaker_open", batch[i].id);
+                out[i].breaker_opened = true;
+              }
+              sw_served(i);
+            }
+          }
+        }
+      } else {
+        // No hardware path for this batch (breaker open or ensure failed):
+        // every live member degrades to the software kernel, none is
+        // stranded.
+        for (const std::size_t i : live) sw_served(i);
+      }
+    }
+
+    const sim::SimTime prefetch_start = now();
+    prefetch_next(batch.front());
+    stage_sample(stages(behavior).prefetch, (now() - prefetch_start).ps());
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Completion& c = out[i];
+      if (c.finished.ps() == 0) c.finished = now();
+      c.deadline_met =
+          c.req.deadline.ps() == 0 || c.finished <= c.req.deadline;
+      if (!c.deadline_met &&
+          (c.outcome == Outcome::kHw || c.outcome == Outcome::kSw)) {
+        ++report_.deadline_miss;
+        counter("serve.deadline_miss").add();
+        mark("deadline_miss", c.req.id);
+      }
+      if (c.outcome == Outcome::kHw || c.outcome == Outcome::kSw) {
+        p_->sim().stats().histogram("serve.latency_ps").sample(
+            (c.finished - c.req.submitted).ps());
+        if (!c.golden_ok) report_.digests_ok = false;
+      }
+      observe_slos(c);
+      if (track >= 0) {
+        tr.instant(track, std::string("done:") + outcome_name(c.outcome),
+                   now(), "req", c.req.id);
+        tr.flow(trace::Phase::kFlowEnd, track, "req", c.req.id, now());
+      }
+      report_.completions.push_back(c);
+    }
+    if (track >= 0) tr.end(track, now());
+    return out;
   }
 
  private:
@@ -582,8 +883,46 @@ ServeReport run_workload(Platform& p, const WorkloadSpec& w,
       }
     }
     if (srv.pending()) {
-      const Completion c = srv.serve_one();
-      dispose(c.req.client, c.finished.ps());
+      if (opts.batch.max_batch > 1) {
+        for (const Completion& c : srv.serve_batch()) {
+          dispose(c.req.client, c.finished.ps());
+        }
+      } else {
+        const Completion c = srv.serve_one();
+        dispose(c.req.client, c.finished.ps());
+      }
+    }
+  }
+  return srv.report();
+}
+
+/// Replay an open-loop arrival stream to completion: requests arrive at
+/// their pre-drawn times whether or not earlier ones have finished, so
+/// bursts genuinely pile up in the queue -- the heavy-traffic pressure a
+/// closed loop's think-time feedback cannot create, and the regime where
+/// slack-bounded batching pays (docs/SERVING.md "Batching").
+template <typename Platform>
+ServeReport run_open_workload(Platform& p, const OpenLoopSpec& spec,
+                              std::uint64_t seed, ServeOptions opts = {}) {
+  TaskServer<Platform> srv(p, spec.queue_capacity, opts, seed);
+  const std::vector<Request> stream = make_open_stream(spec, seed);
+  std::size_t next = 0;
+  while (next < stream.size() || srv.pending()) {
+    if (!srv.pending() && next < stream.size() &&
+        stream[next].submitted > p.kernel().now()) {
+      p.cpu().idle_until(stream[next].submitted);
+    }
+    while (next < stream.size() &&
+           stream[next].submitted <= p.kernel().now()) {
+      (void)srv.submit(stream[next]);
+      ++next;
+    }
+    if (srv.pending()) {
+      if (opts.batch.max_batch > 1) {
+        (void)srv.serve_batch();
+      } else {
+        (void)srv.serve_one();
+      }
     }
   }
   return srv.report();

@@ -56,4 +56,41 @@ hw::BehaviorId draw_behavior(sim::Rng& rng, const WorkloadSpec& w);
 hw::BehaviorId draw_mix(sim::Rng& rng, const std::vector<TaskMix>& mix);
 Priority draw_priority(sim::Rng& rng);
 
+/// The canonical popularity ranking used by open-loop generators and the
+/// fleet (most popular first); feed it to zipf_mix.
+const std::vector<hw::BehaviorId>& ranked_behaviors();
+
+/// Open-loop (arrival-driven) workload: requests arrive at pre-drawn times
+/// regardless of completions, so load genuinely queues up. Three arrival
+/// shapes, all integer-only off one sim::Rng:
+///  - kSteady:  i.i.d. gaps uniform on [0, 2x mean] (like the closed loop);
+///  - kBursty:  trains of `burst` back-to-back arrivals (zero intra-burst
+///              gap), the train spaced so the long-run mean rate matches;
+///  - kDiurnal: the steady gap modulated by an integer triangle wave
+///              between 25% and 175% of the mean over `period` arrivals --
+///              a compressed day/night cycle.
+/// Popularity is heavy-tailed: zipf_mix(ranked_behaviors(), zipf_skew).
+struct OpenLoopSpec {
+  const char* name;
+  int requests;                  // total arrivals
+  std::int64_t mean_gap_ps;      // long-run mean inter-arrival gap
+  std::int64_t rel_deadline_ps;  // per-request budget; 0 = no deadline
+  std::size_t queue_capacity;    // admission bound
+  enum class Arrival { kSteady, kBursty, kDiurnal };
+  Arrival arrival = Arrival::kSteady;
+  int burst = 8;        // arrivals per train (kBursty)
+  int period = 64;      // arrivals per day/night cycle (kDiurnal)
+  int zipf_skew = 1;    // popularity skew (zipf_mix)
+};
+
+/// The named open-loop set ("open-steady", "open-bursty", "open-diurnal").
+const std::vector<OpenLoopSpec>& open_workloads();
+const OpenLoopSpec* open_workload_by_name(std::string_view name);
+
+/// Materialize the spec's arrival stream: requests with ids 1..n in
+/// submission order, behaviours/priorities/deadlines pre-drawn. Pure
+/// function of (spec, seed) -- replaying it is byte-reproducible.
+std::vector<Request> make_open_stream(const OpenLoopSpec& spec,
+                                      std::uint64_t seed);
+
 }  // namespace rtr::serve

@@ -296,6 +296,35 @@ TEST(Cli, ServeRejectsUnknownWorkload) {
             std::string::npos);
 }
 
+TEST(Cli, ServeMaxBatchCoalescesAndStaysDeterministic) {
+  const std::string cmd =
+      "serve --workload heavy --system 64 --areas 2 --seed 1 "
+      "--max-batch 8 --batch-slack 20000";
+  const auto r1 = run_cli_stdout(cmd);
+  EXPECT_EQ(r1.exit_code, 0) << r1.output;
+  EXPECT_NE(r1.output.find("serve.batch.count"), std::string::npos)
+      << r1.output;
+  EXPECT_NE(r1.output.find("serve.batch.coalesced"), std::string::npos);
+  EXPECT_NE(r1.output.find("digests: ok"), std::string::npos);
+  const auto r2 = run_cli_stdout(cmd);
+  EXPECT_EQ(r1.output, r2.output);
+}
+
+TEST(Cli, ServeOpenLoopWorkloadRuns) {
+  const auto r = run_cli_stdout(
+      "serve --workload open-bursty --system 64 --areas 2 --seed 2 "
+      "--max-batch 8");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("workload open-bursty"), std::string::npos);
+  EXPECT_NE(r.output.find("digests: ok"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsBadBatchFlags) {
+  EXPECT_EQ(run_cli("serve --workload heavy --max-batch 0").exit_code, 2);
+  EXPECT_EQ(run_cli("serve --workload heavy --max-batch 65").exit_code, 2);
+  EXPECT_EQ(run_cli("serve --workload heavy --batch-slack -1").exit_code, 2);
+}
+
 TEST(Cli, ServePlanCacheFlagKeepsStdoutByteIdentical) {
   // The plan cache is host-side only: the serve matrix must print exactly
   // the same simulated results with it disabled. Only the prefetcher's own
@@ -326,7 +355,7 @@ TEST(Cli, ServeWritesBenchJson) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("rtrsim-serve-bench-v4"), std::string::npos);
+  EXPECT_NE(json.find("rtrsim-serve-bench-v5"), std::string::npos);
   EXPECT_NE(json.find("\"plan_cache\": true"), std::string::npos);
   EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
   EXPECT_NE(json.find("\"latency_workload\": \"heavy\""), std::string::npos);
@@ -338,6 +367,11 @@ TEST(Cli, ServeWritesBenchJson) {
   EXPECT_NE(json.find("\"one_area\""), std::string::npos);
   EXPECT_NE(json.find("\"two_areas\""), std::string::npos);
   EXPECT_NE(json.find("\"swap_drop\""), std::string::npos);
+  EXPECT_NE(json.find("\"batching\""), std::string::npos);
+  EXPECT_NE(json.find("\"unbatched\""), std::string::npos);
+  EXPECT_NE(json.find("\"batched\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"chain_descriptors\""), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -381,11 +415,13 @@ TEST(Cli, FleetWritesBenchJsonWithAffinityAb) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string json = ss.str();
-  EXPECT_NE(json.find("rtrsim-fleet-bench-v2"), std::string::npos);
+  EXPECT_NE(json.find("rtrsim-fleet-bench-v3"), std::string::npos);
   EXPECT_NE(json.find("scenarios_per_sec"), std::string::npos);
   EXPECT_NE(json.find("\"affinity_hits\""), std::string::npos);
   EXPECT_NE(json.find("\"no_affinity\""), std::string::npos);
   EXPECT_NE(json.find("\"single_area\""), std::string::npos);
+  EXPECT_NE(json.find("\"batched\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_batch\": 8"), std::string::npos);
   EXPECT_NE(json.find("\"areas\": 1"), std::string::npos);
   EXPECT_NE(json.find("BM_FleetRouteDecision"), std::string::npos);
   std::remove(path.c_str());

@@ -324,6 +324,33 @@ TEST(FleetServer, AffinityBeatsRandomShardingOnSwapsForIdenticalWork) {
   EXPECT_TRUE(rnd.digests_ok);
 }
 
+TEST(FleetServer, BatchingIsByteIdenticalAcrossWorkerCounts) {
+  // Batch extraction runs inside each shard's serial epoch slice, so
+  // enabling it must not disturb the fleet's -j determinism guarantee.
+  FleetOptions fo = small_fleet(4, 1);
+  fo.batch.max_batch = 8;
+  const FleetReport j1 = run_fleet(fo, small_load(150));
+  fo.jobs = 4;
+  const FleetReport j4 = run_fleet(fo, small_load(150));
+  EXPECT_EQ(fingerprint(j1), fingerprint(j4));
+  EXPECT_TRUE(j1.digests_ok);
+}
+
+TEST(FleetServer, BatchingReducesFleetSwapsOnIdenticalWork) {
+  // Ids are assigned before routing, so both arms serve the same requests
+  // with the same input seeds -- the swap counts compare identical work.
+  FleetOptions fo = small_fleet(3, 2);
+  const FleetWorkloadSpec w = small_load(300);
+  const FleetReport unbatched = run_fleet(fo, w);
+  fo.batch.max_batch = 8;
+  const FleetReport batched = run_fleet(fo, w);
+  EXPECT_EQ(batched.requests, unbatched.requests);
+  EXPECT_TRUE(batched.digests_ok);
+  EXPECT_EQ(batched.failed, 0);
+  EXPECT_LT(batched.swaps, unbatched.swaps);
+  EXPECT_LE(batched.deadline_miss, unbatched.deadline_miss);
+}
+
 // ---------------------------------------------------------------------------
 // FleetRouter health integration (availability, penalty, checkpoint).
 // ---------------------------------------------------------------------------

@@ -4,8 +4,12 @@
 // platform with an injected stuck fault.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <sstream>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "fault/fault.hpp"
 #include "rtr/platform.hpp"
@@ -684,6 +688,281 @@ TEST(RunWorkload, StuckIcapTriggersExactlyOneIncident) {
   const std::string a = run();
   EXPECT_EQ(a, run());
   EXPECT_EQ(a.substr(0, a.find('|')), "rtr_giveup");
+}
+
+// --- swap-aware batching (docs/SERVING.md "Batching") -------------------------
+
+TEST(RequestQueue, AgedRequestIsExemptFromAffinityBypass) {
+  // The shared starvation guard: once a request has been passed over
+  // max_bypass times, pop_affine must stop bypassing it -- even when a
+  // warm-behaviour request is queued behind it.
+  RequestQueue q{8};
+  ASSERT_EQ(q.admit(make_request(1, hw::kSha1)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(2, hw::kJenkinsHash)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(3, hw::kJenkinsHash)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(4, hw::kJenkinsHash)), AdmitError::kNone);
+  const auto warm = [](int b) { return b == hw::kJenkinsHash; };
+  EXPECT_EQ(q.pop_affine(warm, 2).id, 2);  // sha1 bypassed once
+  EXPECT_EQ(q.pop_affine(warm, 2).id, 3);  // sha1 bypassed twice -> aged
+  EXPECT_EQ(q.pop_affine(warm, 2).id, 1);  // aged head pops despite warm 4
+  EXPECT_EQ(q.pop_affine(warm, 2).id, 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, PopBatchCoalescesSameBehaviorWithinSlack) {
+  RequestQueue q{8};
+  ASSERT_EQ(q.admit(make_request(1, hw::kJenkinsHash)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(2, hw::kSha1)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(3, hw::kJenkinsHash)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(4, hw::kSha1)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(5, hw::kJenkinsHash)), AdmitError::kNone);
+  const auto cold = [](int) { return false; };
+  serve::BatchPolicy pol;
+  pol.max_batch = 8;
+  const std::vector<Request> batch =
+      q.pop_batch(cold, 16, pol, SimTime::zero());
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(batch[1].id, 3);
+  EXPECT_EQ(batch[2].id, 5);
+  // The jumped-over sha1 requests remain, in order, with a bypass charged.
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().id, 2);
+  EXPECT_EQ(q.pop().id, 4);
+}
+
+TEST(RequestQueue, PopBatchHonorsMaxBatch) {
+  RequestQueue q{8};
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_EQ(q.admit(make_request(i, hw::kJenkinsHash)), AdmitError::kNone);
+  }
+  const auto cold = [](int) { return false; };
+  serve::BatchPolicy pol;
+  pol.max_batch = 3;
+  EXPECT_EQ(q.pop_batch(cold, 16, pol, SimTime::zero()).size(), 3u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueue, PopBatchFencesAtTightDeadlineNonMember) {
+  // A non-member whose deadline slack is exhausted may not be jumped: the
+  // batch ends at the fence, so no member's deadline is sacrificed.
+  RequestQueue q{8};
+  ASSERT_EQ(q.admit(make_request(1, hw::kJenkinsHash)), AdmitError::kNone);
+  Request tight = make_request(2, hw::kSha1);
+  tight.deadline = SimTime::from_ms(5);  // < now + slack
+  ASSERT_EQ(q.admit(tight), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(3, hw::kJenkinsHash)), AdmitError::kNone);
+  const auto cold = [](int) { return false; };
+  serve::BatchPolicy pol;
+  pol.max_batch = 8;
+  pol.slack_ps = SimTime::from_ms(20).ps();
+  const std::vector<Request> batch =
+      q.pop_batch(cold, 16, pol, SimTime::zero());
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 1);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueue, PopBatchFencesAtAgedNonMember) {
+  // Batch extraction obeys the same starvation guard as pop_affine: an
+  // aged entry may not be jumped, so coalescing stops there.
+  RequestQueue q{8};
+  ASSERT_EQ(q.admit(make_request(1, hw::kSha1)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(2, hw::kJenkinsHash)), AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(3, hw::kJenkinsHash)), AdmitError::kNone);
+  const auto warm = [](int b) { return b == hw::kJenkinsHash; };
+  // Age the sha1 head: one warm pop with max_bypass=1 charges its bypass.
+  EXPECT_EQ(q.pop_affine(warm, 1).id, 2);
+  serve::BatchPolicy pol;
+  pol.max_batch = 8;
+  // Leader: the aged sha1 head (exempt from further bypass). Coalescing
+  // looks for more sha1 but the queue holds none, so the batch is just it.
+  std::vector<Request> batch = q.pop_batch(warm, 1, pol, SimTime::zero());
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 1);
+  // The remaining jenkins request batches normally.
+  batch = q.pop_batch(warm, 1, pol, SimTime::zero());
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, PopBatchCoalescesAcrossPriorityClasses) {
+  RequestQueue q{8};
+  ASSERT_EQ(q.admit(make_request(1, hw::kJenkinsHash, Priority::kHigh)),
+            AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(2, hw::kSha1, Priority::kNormal)),
+            AdmitError::kNone);
+  ASSERT_EQ(q.admit(make_request(3, hw::kJenkinsHash, Priority::kNormal)),
+            AdmitError::kNone);
+  const auto cold = [](int) { return false; };
+  serve::BatchPolicy pol;
+  pol.max_batch = 8;
+  const std::vector<Request> batch =
+      q.pop_batch(cold, 16, pol, SimTime::zero());
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 1);  // high-priority leader
+  EXPECT_EQ(batch[1].id, 3);  // same behaviour from the normal class
+  EXPECT_EQ(q.pop().id, 2);
+}
+
+TEST(Batching, BatchedDigestsMatchUnbatchedPerRequest) {
+  // The core bit-exactness guarantee: for every request id, the digest a
+  // batched chain produces equals the unbatched (PIO/software) digest.
+  // "image" covers chained members (brightness/blend/fade) and the
+  // non-chained per-member path (patmatch).
+  const serve::WorkloadSpec* w = serve::workload_by_name("image");
+  ASSERT_NE(w, nullptr);
+  auto run = [&](int max_batch) {
+    Platform64 p;
+    ServeOptions so;
+    so.batch.max_batch = max_batch;
+    const ServeReport r = serve::run_workload(p, *w, 5, so);
+    EXPECT_TRUE(r.digests_ok);
+    EXPECT_EQ(r.failed, 0);
+    std::map<std::int64_t, std::uint64_t> by_id;
+    for (const serve::Completion& c : r.completions) {
+      if (c.outcome == Outcome::kHw || c.outcome == Outcome::kSw) {
+        by_id[c.req.id] = c.digest;
+      }
+    }
+    return by_id;
+  };
+  const auto unbatched = run(1);
+  const auto batched = run(4);
+  EXPECT_EQ(unbatched, batched);
+}
+
+TEST(Batching, HeavyWorkloadBatchingReducesSwapsWithoutDeadlineCost) {
+  const serve::WorkloadSpec* w = serve::workload_by_name("heavy");
+  ASSERT_NE(w, nullptr);
+  struct Arm {
+    std::int64_t swaps = 0;
+    std::int64_t miss = 0;
+    std::int64_t expired = 0;
+    std::int64_t batches = 0;
+    std::int64_t coalesced = 0;
+  };
+  auto run = [&](int max_batch) {
+    PlatformOptions po;
+    po.dynamic_areas = 2;
+    Platform64 p{po};
+    ServeOptions so;
+    so.batch.max_batch = max_batch;
+    const ServeReport r = serve::run_workload(p, *w, 1, so);
+    EXPECT_TRUE(r.digests_ok);
+    EXPECT_EQ(r.failed, 0);
+    Arm a;
+    for (const char* path : {"cached", "differential", "complete"}) {
+      const auto& hists = p.sim().stats().histograms();
+      const auto it =
+          hists.find(std::string("rtr.ensure.latency_ps.") + path);
+      if (it != hists.end()) a.swaps += it->second.count();
+    }
+    a.miss = r.deadline_miss;
+    a.expired = r.expired;
+    a.batches = r.batches;
+    a.coalesced = r.coalesced;
+    return a;
+  };
+  const Arm unbatched = run(1);
+  const Arm batched = run(8);
+  // The CI amortization gate's claim, asserted at the library level:
+  // batching at least halves heavy-workload swaps...
+  EXPECT_LE(2 * batched.swaps, unbatched.swaps);
+  // ...without sacrificing any member's deadline.
+  EXPECT_LE(batched.miss, unbatched.miss);
+  EXPECT_LE(batched.expired, unbatched.expired);
+  EXPECT_GT(batched.batches, 0);
+  EXPECT_GT(batched.coalesced, 0);
+}
+
+TEST(Batching, MidChainDmaFaultDegradesOnlyAffectedMembers) {
+  // A DMA fault corrupts beats inside the scatter-gather chain: the
+  // members whose buffers they landed in must re-run on the software
+  // kernel (bit-identical digest), and the rest of the batch must be
+  // unaffected -- nobody is stranded, no digest drifts.
+  fault::FaultSpec spec;
+  ASSERT_TRUE(fault::FaultSpec::parse("dma:every@40:1", &spec));
+  PlatformOptions po;
+  po.fault_plan.add(spec);
+  Platform64 p{po};
+  ServeOptions so;
+  so.batch.max_batch = 4;
+  const serve::WorkloadSpec* w = serve::workload_by_name("image");
+  ASSERT_NE(w, nullptr);
+  const ServeReport r = serve::run_workload(p, *w, 5, so);
+  EXPECT_TRUE(r.digests_ok);
+  EXPECT_EQ(r.failed, 0);
+  EXPECT_GT(r.degraded, 0);   // corrupted members fell back to software
+  EXPECT_GT(r.served_hw, 0);  // the rest of their batches did not
+  for (const serve::Completion& c : r.completions) {
+    EXPECT_TRUE(c.outcome == Outcome::kHw || c.outcome == Outcome::kSw ||
+                c.outcome == Outcome::kExpired)
+        << "request " << c.req.id << " stranded as "
+        << serve::outcome_name(c.outcome);
+  }
+}
+
+TEST(Batching, IcapFaultFailsTheLoadAndWholeBatchDegrades) {
+  // The ensure (reconfiguration) fails mid-run: every live member of the
+  // affected batch degrades to the software kernel -- bit-identical
+  // digests, nobody stranded past its slack.
+  fault::FaultSpec spec;
+  ASSERT_TRUE(fault::FaultSpec::parse("icap:stuck@15000:1", &spec));
+  PlatformOptions po;
+  po.fault_plan.add(spec);
+  Platform64 p{po};
+  ServeOptions so;
+  so.batch.max_batch = 4;
+  so.hw_attempt_budget = SimTime::from_ms(40);
+  const serve::WorkloadSpec* w = serve::workload_by_name("image");
+  ASSERT_NE(w, nullptr);
+  const ServeReport r = serve::run_workload(p, *w, 5, so);
+  EXPECT_TRUE(r.digests_ok);
+  EXPECT_EQ(r.failed, 0);
+  EXPECT_GT(r.degraded, 0);
+  EXPECT_GT(r.watchdog_aborts, 0);
+}
+
+TEST(Batching, OpenLoopStreamsAreSeedDeterministicAndOrdered) {
+  const serve::OpenLoopSpec* spec = serve::open_workload_by_name("open-bursty");
+  ASSERT_NE(spec, nullptr);
+  const std::vector<Request> a = serve::make_open_stream(*spec, 3);
+  const std::vector<Request> b = serve::make_open_stream(*spec, 3);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(spec->requests));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].behavior, b[i].behavior);
+    EXPECT_EQ(a[i].submitted.ps(), b[i].submitted.ps());
+    if (i > 0) {
+      EXPECT_GE(a[i].submitted.ps(), a[i - 1].submitted.ps());
+    }
+  }
+  // A different seed reshuffles the stream.
+  const std::vector<Request> c = serve::make_open_stream(*spec, 4);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs = differs || a[i].behavior != c[i].behavior ||
+              a[i].submitted.ps() != c[i].submitted.ps();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Batching, OpenLoopBurstyWorkloadServesCleanlyBatched) {
+  const serve::OpenLoopSpec* spec = serve::open_workload_by_name("open-bursty");
+  ASSERT_NE(spec, nullptr);
+  PlatformOptions po;
+  po.dynamic_areas = 2;
+  Platform64 p{po};
+  ServeOptions so;
+  so.batch.max_batch = 8;
+  const ServeReport r = serve::run_open_workload(p, *spec, 2, so);
+  EXPECT_TRUE(r.digests_ok);
+  EXPECT_EQ(r.failed, 0);
+  EXPECT_EQ(r.submitted + r.shed,
+            static_cast<std::int64_t>(spec->requests));
+  EXPECT_GT(r.batches, 0);
 }
 
 }  // namespace

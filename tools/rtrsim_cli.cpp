@@ -134,6 +134,8 @@ struct Args {
   int zipf_skew = 1;                     // fleet: behaviour popularity skew
   long long arrival_us = 800;            // fleet: mean interarrival gap
   int areas = 1;  // serve/fleet: co-resident dynamic areas per device
+  int max_batch = 1;  // serve/fleet/chaos: swap-aware batching (1 = off)
+  long long batch_slack_us = 20000;  // batch admission slack budget
 };
 
 int usage() {
@@ -154,8 +156,10 @@ int usage() {
                "[--arrival-us N]\n"
                "       [--zipf-skew N] [--steal-threshold N] "
                "[--no-affinity] [--areas N]\n"
+               "       [--max-batch N] [--batch-slack US]\n"
                "tasks: jenkins sha1 patmatch brightness blend fade loopback\n"
-               "workloads: mixed hash image burst steady heavy\n"
+               "workloads: mixed hash image burst steady heavy "
+               "open-steady open-bursty open-diurnal\n"
                "fault sites: storage icap dma bus readback fail_stop "
                "brownout; triggers: once@N every@N stuck@N rand\n"
                "fault spec: site:trigger:seed[:device] (device scopes the "
@@ -270,7 +274,10 @@ bool parse(int argc, char** argv, Args& a) {
       a.bench_out = v;
     } else if (opt == "--workload") {
       const char* v = value();
-      if (!v || serve::workload_by_name(v) == nullptr) return bad(v);
+      if (!v || (serve::workload_by_name(v) == nullptr &&
+                 serve::open_workload_by_name(v) == nullptr)) {
+        return bad(v);
+      }
       a.workload = v;
     } else if (opt == "--repair-at") {
       const char* v = value();
@@ -324,6 +331,16 @@ bool parse(int argc, char** argv, Args& a) {
         return bad(v);
       }
       a.areas = static_cast<int>(n);
+    } else if (opt == "--max-batch") {
+      const char* v = value();
+      long long n = 0;
+      if (!parse_i64(v, &n) || n < 1 || n > 64) return bad(v);
+      a.max_batch = static_cast<int>(n);
+    } else if (opt == "--batch-slack") {
+      const char* v = value();
+      long long n = 0;
+      if (!parse_i64(v, &n) || n < 0 || n > 10000000) return bad(v);
+      a.batch_slack_us = n;
     } else if (opt == "--requests") {
       const char* v = value();
       long long n = 0;
@@ -1188,7 +1205,9 @@ void print_serve_stats(const sim::StatRegistry& reg) {
 template <typename Platform>
 int serve_single(const Args& a) {
   const serve::WorkloadSpec* w = serve::workload_by_name(a.workload);
-  RTR_CHECK(w != nullptr, "workload validated at parse time");
+  const serve::OpenLoopSpec* ow = serve::open_workload_by_name(a.workload);
+  RTR_CHECK(w != nullptr || ow != nullptr,
+            "workload validated at parse time");
   trace::Tracer tracer;
   tracer.enable(!a.trace_out.empty() || !a.incident_dir.empty());
   // Recorder-only runs keep the tracer's own store off: retention then
@@ -1215,8 +1234,11 @@ int serve_single(const Args& a) {
   so.recovery.use_dma = a.dma;
   so.plan_cache = a.plan_cache;
   so.slos = a.slos;
+  so.batch.max_batch = a.max_batch;
+  so.batch.slack_ps = sim::SimTime::from_us(a.batch_slack_us).ps();
   const serve::ServeReport r =
-      serve::run_workload(p, *w, a.fault_seed, so, a.repair_at);
+      w != nullptr ? serve::run_workload(p, *w, a.fault_seed, so, a.repair_at)
+                   : serve::run_open_workload(p, *ow, a.fault_seed, so);
 
   std::printf("serve: system %d, workload %s, seed %llu\n", a.system,
               a.workload.c_str(),
@@ -1294,10 +1316,18 @@ struct ServeAreaArm {
   std::int64_t swaps = 0;
   std::int64_t complete_loads = 0;  // the complete (full-bitstream) subset
   std::int64_t resident_hits = 0;
+  std::int64_t deadline_miss = 0;
+  std::int64_t batches = 0;            // serve_batch pops (0 when unbatched)
+  std::int64_t coalesced = 0;          // members beyond each batch leader
+  std::int64_t chain_descriptors = 0;  // dma.chain.descriptors
+  double p50 = 0, p99 = 0, p999 = 0;   // serve.latency_ps percentiles
 };
 
+/// `max_batch` = 1 measures the unbatched arm; > 1 enables swap-aware
+/// batching with the given admission slack (docs/SERVING.md "Batching").
 ServeAreaArm measure_serve_area_arm(int areas, std::uint64_t seed,
-                                    bool plan_cache) {
+                                    bool plan_cache, int max_batch,
+                                    std::int64_t slack_ps) {
   const serve::WorkloadSpec* w = serve::workload_by_name("heavy");
   RTR_CHECK(w != nullptr, "heavy workload exists");
   PlatformOptions opts;
@@ -1305,9 +1335,14 @@ ServeAreaArm measure_serve_area_arm(int areas, std::uint64_t seed,
   Platform64 p{opts};
   serve::ServeOptions so;
   so.plan_cache = plan_cache;
+  so.batch.max_batch = max_batch;
+  so.batch.slack_ps = slack_ps;
   const serve::ServeReport r = serve::run_workload(p, *w, seed, so);
   ServeAreaArm arm;
   arm.requests = static_cast<std::int64_t>(r.completions.size());
+  arm.deadline_miss = r.deadline_miss;
+  arm.batches = max_batch > 1 ? r.batches : 0;
+  arm.coalesced = r.coalesced;
   const auto& hists = p.sim().stats().histograms();
   for (const char* path : {"cached", "differential", "complete"}) {
     const auto it =
@@ -1320,6 +1355,15 @@ ServeAreaArm measure_serve_area_arm(int areas, std::uint64_t seed,
   }
   const auto hit = hists.find("rtr.ensure.latency_ps.resident");
   if (hit != hists.end()) arm.resident_hits = hit->second.count();
+  const auto lat = hists.find("serve.latency_ps");
+  if (lat != hists.end() && lat->second.count() > 0) {
+    arm.p50 = lat->second.p50();
+    arm.p99 = lat->second.p99();
+    arm.p999 = lat->second.p999();
+  }
+  const auto& counters = p.sim().stats().counters();
+  const auto cd = counters.find("dma.chain.descriptors");
+  if (cd != counters.end()) arm.chain_descriptors = cd->second.value();
   return arm;
 }
 
@@ -1330,22 +1374,28 @@ ServeAreaArm measure_serve_area_arm(int areas, std::uint64_t seed,
 /// percentiles from the >= 1k-request "heavy" workload so p99 and p999
 /// are distinct, populated tail statistics; v4 records the matrix's area
 /// count and the multi-area A/B (the same heavy workload on the 64-bit
-/// platform with 1 vs 2 co-resident areas, docs/PLACEMENT.md).
+/// platform with 1 vs 2 co-resident areas, docs/PLACEMENT.md); v5 adds the
+/// batching A/B (the two-area heavy workload, unbatched vs swap-aware
+/// batching, docs/SERVING.md "Batching") with per-arm deadline misses and
+/// tail percentiles -- the swap amortization gate and the
+/// no-deadline-sacrificed check read this block.
 bool write_serve_bench_json(const std::string& path, std::size_t scenarios,
                             int jobs, double wall_ms, bool plan_cache,
                             const sim::Histogram& lat, double hot_ns_per_req,
                             int areas, const ServeAreaArm& one,
-                            const ServeAreaArm& two) {
+                            const ServeAreaArm& two,
+                            const ServeAreaArm& batched, int max_batch,
+                            long long batch_slack_us) {
   std::ofstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return false;
   }
-  char buf[1280];
+  char buf[3072];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
-      "  \"schema\": \"rtrsim-serve-bench-v4\",\n"
+      "  \"schema\": \"rtrsim-serve-bench-v5\",\n"
       "  \"serve\": {\n"
       "    \"scenarios\": %zu,\n"
       "    \"jobs\": %d,\n"
@@ -1367,6 +1417,20 @@ bool write_serve_bench_json(const std::string& path, std::size_t scenarios,
       "      \"two_areas\": {\"swaps\": %lld, \"complete_loads\": %lld, "
       "\"resident_hits\": %lld},\n"
       "      \"swap_drop\": %.2f\n"
+      "    },\n"
+      "    \"batching\": {\n"
+      "      \"workload\": \"heavy\",\n"
+      "      \"system\": 64,\n"
+      "      \"areas\": 2,\n"
+      "      \"max_batch\": %d,\n"
+      "      \"slack_us\": %lld,\n"
+      "      \"unbatched\": {\"swaps\": %lld, \"deadline_miss\": %lld, "
+      "\"latency_ps\": {\"p50\": %.0f, \"p99\": %.0f, \"p999\": %.0f}},\n"
+      "      \"batched\": {\"swaps\": %lld, \"deadline_miss\": %lld, "
+      "\"batches\": %lld, \"coalesced\": %lld, "
+      "\"chain_descriptors\": %lld, "
+      "\"latency_ps\": {\"p50\": %.0f, \"p99\": %.0f, \"p999\": %.0f}},\n"
+      "      \"swap_drop\": %.2f\n"
       "    }\n"
       "  }\n"
       "}\n",
@@ -1382,7 +1446,18 @@ bool write_serve_bench_json(const std::string& path, std::size_t scenarios,
       static_cast<long long>(two.resident_hits),
       two.swaps > 0 ? static_cast<double>(one.swaps) /
                           static_cast<double>(two.swaps)
-                    : 0.0);
+                    : 0.0,
+      max_batch, batch_slack_us, static_cast<long long>(two.swaps),
+      static_cast<long long>(two.deadline_miss), two.p50, two.p99, two.p999,
+      static_cast<long long>(batched.swaps),
+      static_cast<long long>(batched.deadline_miss),
+      static_cast<long long>(batched.batches),
+      static_cast<long long>(batched.coalesced),
+      static_cast<long long>(batched.chain_descriptors), batched.p50,
+      batched.p99, batched.p999,
+      batched.swaps > 0 ? static_cast<double>(two.swaps) /
+                              static_cast<double>(batched.swaps)
+                        : 0.0);
   f << buf;
   return static_cast<bool>(f);
 }
@@ -1469,18 +1544,31 @@ int serve_cmd(const Args& a) {
                  hot_ns);
     const sim::Histogram lat =
         serve_bench_latency(a.fault_seed, a.plan_cache);
+    const std::int64_t slack_ps =
+        sim::SimTime::from_us(a.batch_slack_us).ps();
+    const int bench_batch = a.max_batch > 1 ? a.max_batch : 8;
     const ServeAreaArm one =
-        measure_serve_area_arm(1, a.fault_seed, a.plan_cache);
+        measure_serve_area_arm(1, a.fault_seed, a.plan_cache, 1, slack_ps);
     const ServeAreaArm two =
-        measure_serve_area_arm(2, a.fault_seed, a.plan_cache);
+        measure_serve_area_arm(2, a.fault_seed, a.plan_cache, 1, slack_ps);
+    const ServeAreaArm batched = measure_serve_area_arm(
+        2, a.fault_seed, a.plan_cache, bench_batch, slack_ps);
     std::fprintf(stderr,
                  "serve: multi-area heavy/p64 swaps %lld (1 area) vs %lld "
                  "(2 areas)\n",
                  static_cast<long long>(one.swaps),
                  static_cast<long long>(two.swaps));
+    std::fprintf(stderr,
+                 "serve: batching heavy/p64/2-areas swaps %lld (unbatched) "
+                 "vs %lld (max-batch %d), deadline_miss %lld vs %lld\n",
+                 static_cast<long long>(two.swaps),
+                 static_cast<long long>(batched.swaps), bench_batch,
+                 static_cast<long long>(two.deadline_miss),
+                 static_cast<long long>(batched.deadline_miss));
     if (!write_serve_bench_json(a.bench_out, list.size(), jobs, wall_ms,
                                 a.plan_cache, lat, hot_ns, a.areas, one,
-                                two)) {
+                                two, batched, bench_batch,
+                                a.batch_slack_us)) {
       return 1;
     }
   }
@@ -1507,6 +1595,8 @@ serve::fleet::FleetOptions fleet_options(const Args& a) {
   fo.steal_threshold = a.steal_threshold;
   fo.plan_cache = a.plan_cache;
   fo.areas = a.areas;
+  fo.batch.max_batch = a.max_batch;
+  fo.batch.slack_ps = sim::SimTime::from_us(a.batch_slack_us).ps();
   const unsigned hc = std::thread::hardware_concurrency();
   fo.jobs = a.jobs > 0 ? a.jobs : static_cast<int>(hc > 0 ? hc : 1);
   fo.seed = a.fault_seed;
@@ -1542,13 +1632,19 @@ double measure_fleet_route_ns(const std::vector<serve::Request>& stream,
   return stream.empty() ? 0.0 : ns / static_cast<double>(stream.size());
 }
 
+/// v3 adds the batched arm: the identical stream with per-shard swap-aware
+/// batching enabled (docs/SERVING.md "Batching"), against the primary
+/// (unbatched) run -- the fleet-level swap amortization record.
 bool write_fleet_bench_json(const std::string& path, const Args& a,
                             const serve::fleet::FleetReport& fr,
                             double wall_ms,
                             const serve::fleet::FleetReport& fr_rand,
                             double rand_wall_ms,
                             const serve::fleet::FleetReport& fr_single,
-                            double single_wall_ms, double route_ns) {
+                            double single_wall_ms,
+                            const serve::fleet::FleetReport& fr_batched,
+                            double batched_wall_ms, int bench_batch,
+                            double route_ns) {
   std::ofstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -1563,11 +1659,11 @@ bool write_fleet_bench_json(const std::string& path, const Args& a,
   const auto it = fr.stats.histograms().find("fleet.latency_ps");
   RTR_CHECK(it != fr.stats.histograms().end(), "fleet latency recorded");
   const sim::Histogram& lat = it->second;
-  char buf[2048];
+  char buf[3072];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
-      "  \"schema\": \"rtrsim-fleet-bench-v2\",\n"
+      "  \"schema\": \"rtrsim-fleet-bench-v3\",\n"
       "  \"fleet\": {\n"
       "    \"devices\": %d,\n"
       "    \"mix\": \"%s\",\n"
@@ -1592,7 +1688,10 @@ bool write_fleet_bench_json(const std::string& path, const Args& a,
       "    \"no_affinity\": {\"wall_ms\": %.1f, \"requests_per_sec\": %.1f, "
       "\"swaps\": %lld, \"served_hw\": %lld, \"degraded\": %lld},\n"
       "    \"single_area\": {\"wall_ms\": %.1f, \"swaps\": %lld, "
-      "\"served_hw\": %lld, \"degraded\": %lld, \"swap_drop\": %.2f}\n"
+      "\"served_hw\": %lld, \"degraded\": %lld, \"swap_drop\": %.2f},\n"
+      "    \"batched\": {\"max_batch\": %d, \"wall_ms\": %.1f, "
+      "\"swaps\": %lld, \"served_hw\": %lld, \"degraded\": %lld, "
+      "\"deadline_miss\": %lld, \"swap_drop\": %.2f}\n"
       "  },\n"
       "  \"ns_per_op\": {\"BM_FleetRouteDecision\": %.1f}\n"
       "}\n",
@@ -1617,6 +1716,14 @@ bool write_fleet_bench_json(const std::string& path, const Args& a,
       fr.swaps > 0 ? static_cast<double>(fr_single.swaps) /
                          static_cast<double>(fr.swaps)
                    : 0.0,
+      bench_batch, batched_wall_ms,
+      static_cast<long long>(fr_batched.swaps),
+      static_cast<long long>(fr_batched.served_hw),
+      static_cast<long long>(fr_batched.degraded),
+      static_cast<long long>(fr_batched.deadline_miss),
+      fr_batched.swaps > 0 ? static_cast<double>(fr.swaps) /
+                                 static_cast<double>(fr_batched.swaps)
+                           : 0.0,
       route_ns);
   f << buf;
   return static_cast<bool>(f);
@@ -1635,11 +1742,12 @@ int fleet_cmd(const Args& a) {
   // Everything on stdout is simulated/deterministic: the fleet-determinism
   // CI job diffs it across -j values.
   std::printf("fleet: %d devices (mix %s), %d requests, seed=%llu, "
-              "affinity=%s, steal-threshold=%d, zipf-skew=%d, areas=%d\n",
+              "affinity=%s, steal-threshold=%d, zipf-skew=%d, areas=%d, "
+              "max-batch=%d\n",
               a.devices, a.mix_text.c_str(), a.requests,
               static_cast<unsigned long long>(a.fault_seed),
               a.affinity ? "on" : "off", a.steal_threshold, a.zipf_skew,
-              a.areas);
+              a.areas, a.max_batch);
   for (std::size_t i = 0; i < fr.shards.size(); ++i) {
     const serve::fleet::ShardOutcome& s = fr.shards[i];
     const auto hist =
@@ -1729,17 +1837,34 @@ int fleet_cmd(const Args& a) {
                            std::chrono::steady_clock::now() - single0)
                            .count();
     }
+    // Batched arm: the identical stream with per-shard swap-aware batching
+    // enabled. With batching already on, the primary run is that arm.
+    const int bench_batch = a.max_batch > 1 ? a.max_batch : 8;
+    serve::fleet::FleetReport fr_batched = fr;
+    double batched_wall_ms = wall_ms;
+    if (a.max_batch <= 1) {
+      serve::fleet::FleetOptions batched_fo = fo;
+      batched_fo.batch.max_batch = bench_batch;
+      const auto batched0 = std::chrono::steady_clock::now();
+      fr_batched = serve::fleet::run_fleet(batched_fo, fw);
+      batched_wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - batched0)
+                            .count();
+    }
     const std::vector<serve::Request> stream =
         serve::fleet::make_fleet_stream(fw, a.fault_seed);
     const double route_ns = measure_fleet_route_ns(stream, a);
     std::fprintf(stderr,
                  "fleet: no-affinity %.1f ms wall, swaps %lld vs %lld, "
-                 "single-area swaps %lld, route %.1f ns/decision\n",
+                 "single-area swaps %lld, batched swaps %lld, "
+                 "route %.1f ns/decision\n",
                  rand_wall_ms, static_cast<long long>(fr_rand.swaps),
                  static_cast<long long>(fr.swaps),
-                 static_cast<long long>(fr_single.swaps), route_ns);
+                 static_cast<long long>(fr_single.swaps),
+                 static_cast<long long>(fr_batched.swaps), route_ns);
     if (!write_fleet_bench_json(a.bench_out, a, fr, wall_ms, fr_rand,
                                 rand_wall_ms, fr_single, single_wall_ms,
+                                fr_batched, batched_wall_ms, bench_batch,
                                 route_ns)) {
       return 1;
     }
@@ -1819,6 +1944,8 @@ ChaosArm run_chaos_arm(const ChaosScenario& s, const Args& a, bool faults,
   fo.steal_threshold = a.steal_threshold;
   fo.plan_cache = true;
   fo.areas = a.areas;
+  fo.batch.max_batch = a.max_batch;
+  fo.batch.slack_ps = sim::SimTime::from_us(a.batch_slack_us).ps();
   const unsigned hc = std::thread::hardware_concurrency();
   fo.jobs = a.jobs > 0 ? a.jobs : static_cast<int>(hc > 0 ? hc : 1);
   fo.seed = a.fault_seed;
